@@ -1,0 +1,268 @@
+// Root benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§4), per DESIGN.md's experiment index. Each
+// iteration regenerates the experiment at a bench-friendly scale and
+// reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// exercises the entire evaluation. cmd/scaling runs the same experiments
+// at the full default scales and prints the paper-shaped tables;
+// EXPERIMENTS.md records paper-vs-measured from those runs.
+package gnbody_test
+
+import (
+	"testing"
+
+	"gnbody/internal/expt"
+	"gnbody/internal/rt"
+	"gnbody/internal/workload"
+)
+
+// benchParams shrinks the workloads so a full -bench=. pass stays in
+// wall-clock budget; shapes at these sizes match the full-scale runs.
+func benchParams(nodes ...int) expt.Params {
+	return expt.Params{
+		ScaleEColi30x:  32,
+		ScaleEColi100x: 256,
+		ScaleHumanCCS:  1024,
+		RanksPerNode:   2,
+		Nodes:          nodes,
+		Seed:           1,
+	}
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, ws, err := expt.Table1(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tasks int64
+		for _, w := range ws {
+			tasks += int64(len(w.Tasks))
+		}
+		b.ReportMetric(float64(tasks), "tasks")
+	}
+}
+
+func BenchmarkFig3SingleNode(b *testing.B) {
+	p := benchParams()
+	p.RanksPerNode = 0 // fig3 always uses the machine's core count
+	for i := 0; i < b.N; i++ {
+		_, rows, err := expt.Fig3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: |BSP−Async| runtime gap on 64+4 cores, as a fraction.
+		bsp, async := rows[2], rows[3]
+		gap := float64(async.Runtime-bsp.Runtime) / float64(bsp.Runtime)
+		b.ReportMetric(100*gap, "gap%")
+	}
+}
+
+func BenchmarkFig4ProblemSizes(b *testing.B) {
+	p := benchParams()
+	p.RanksPerNode = 0
+	for i := 0; i < b.N; i++ {
+		_, rows, err := expt.Fig4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: compute-dominated share of the larger problem (§4.1:
+		// ≈94% for E. coli 100x).
+		r := rows[2]
+		share := float64(r.Cat[rt.CatAlign]+r.Cat[rt.CatOverhead]) / float64(r.Runtime)
+		b.ReportMetric(100*share, "compute%")
+	}
+}
+
+func BenchmarkFig5LoadImbalance(b *testing.B) {
+	p := benchParams(8, 32)
+	for i := 0; i < b.N; i++ {
+		_, rows, err := expt.Fig5(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].AlignTimes.Imbalance(), "imbalance")
+	}
+}
+
+func BenchmarkFig6ExchangeImbalance(b *testing.B) {
+	p := benchParams(8, 32)
+	for i := 0; i < b.N; i++ {
+		_, rows, err := expt.Fig6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1].RecvBytes
+		b.ReportMetric(last.Max-last.Min, "spread-bytes")
+	}
+}
+
+func BenchmarkFig7CommLatency(b *testing.B) {
+	p := benchParams(8, 64)
+	for i := 0; i < b.N; i++ {
+		_, out, err := expt.Fig7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: async/BSP latency ratio at the small end (paper: >1)
+		// and the large end (paper: <1 after the 32-64 node crossover).
+		small := float64(out[expt.Async][0].Cat[rt.CatComm]) / float64(out[expt.BSP][0].Cat[rt.CatComm])
+		large := float64(out[expt.Async][1].Cat[rt.CatComm]) / float64(out[expt.BSP][1].Cat[rt.CatComm])
+		b.ReportMetric(small, "async/bsp-small")
+		b.ReportMetric(large, "async/bsp-large")
+	}
+}
+
+func BenchmarkFig8EColi100x(b *testing.B) {
+	p := benchParams(1, 16, 64)
+	for i := 0; i < b.N; i++ {
+		_, out, err := expt.Fig8(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(out[expt.BSP]) - 1
+		ratio := float64(out[expt.Async][last].Runtime) / float64(out[expt.BSP][last].Runtime)
+		b.ReportMetric(100*ratio, "async/bsp%")
+		b.ReportMetric(100*out[expt.BSP][last].CommShare(), "bsp-comm%")
+	}
+}
+
+func BenchmarkFig9HumanCCSSmall(b *testing.B) {
+	p := benchParams(8, 16)
+	p.ScaleHumanCCS = 512
+	p.RanksPerNode = 4 // the memory-pressure regime needs paper-equivalent budgets
+	for i := 0; i < b.N; i++ {
+		_, out, err := expt.Fig9(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(out[expt.BSP][0].Supersteps), "supersteps")
+	}
+}
+
+func BenchmarkFig10HumanCCSLarge(b *testing.B) {
+	p := benchParams(64, 128)
+	for i := 0; i < b.N; i++ {
+		_, out, err := expt.Fig10(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(out[expt.BSP][0].Supersteps), "supersteps")
+	}
+}
+
+func BenchmarkFig11MemoryFootprint(b *testing.B) {
+	p := benchParams(8, 64)
+	p.RanksPerNode = 4
+	for i := 0; i < b.N; i++ {
+		_, out, err := expt.Fig11(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: async footprint stays below BSP's at the small end.
+		ratio := float64(out[expt.Async][0].MaxMem) / float64(out[expt.BSP][0].MaxMem)
+		b.ReportMetric(ratio, "async/bsp-mem")
+	}
+}
+
+func BenchmarkFig12MemoryRuntime(b *testing.B) {
+	p := benchParams(8, 64)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Fig12(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13TaskStoreTraversal(b *testing.B) {
+	p := benchParams(8, 64)
+	for i := 0; i < b.N; i++ {
+		_, out, err := expt.Fig13(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(out[expt.Async]) - 1
+		r := out[expt.Async][last]
+		b.ReportMetric(100*float64(r.Cat[rt.CatOverhead])/float64(r.Runtime), "async-ovhd%")
+	}
+}
+
+func BenchmarkIntranodeStrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rows, err := expt.Intranode(expt.IntranodeParams{Scale: 400, MaxCores: 4, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Speedup, "speedup")
+	}
+}
+
+func BenchmarkAblationOutstanding(b *testing.B) {
+	p := benchParams(8)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.AblationOutstanding(p, []int{4, 64, 1024}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	p := benchParams(8)
+	for i := 0; i < b.N; i++ {
+		_, rows, err := expt.AblationAggregation(p, []float64{1, 0.25, 0.0625})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[len(rows)-1].Supersteps), "steps-at-min-mem")
+	}
+}
+
+func BenchmarkAblationNetwork(b *testing.B) {
+	p := benchParams(8, 64)
+	for i := 0; i < b.N; i++ {
+		_, out, err := expt.AblationNetwork(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(out[expt.BSP]) - 1
+		ratio := float64(out[expt.Async][last].Runtime) / float64(out[expt.BSP][last].Runtime)
+		b.ReportMetric(100*ratio, "async/bsp%")
+	}
+}
+
+// BenchmarkWorkloadSynthesis measures task-graph generation throughput.
+func BenchmarkWorkloadSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := workload.Synthesize(workload.HumanCCS, 1024, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(w.Tasks)), "tasks")
+	}
+}
+
+func BenchmarkAblationFetchBatch(b *testing.B) {
+	p := benchParams(8)
+	for i := 0; i < b.N; i++ {
+		_, rows, err := expt.AblationFetchBatch(p, []int{1, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Runtime)/float64(rows[1].Runtime), "speedup-batch16")
+	}
+}
+
+func BenchmarkAblationDynamicBalance(b *testing.B) {
+	p := benchParams(8)
+	for i := 0; i < b.N; i++ {
+		_, out, err := expt.AblationDynamicBalance(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(out[expt.AsyncSteal]) - 1
+		ratio := float64(out[expt.AsyncSteal][last].Runtime) / float64(out[expt.Async][last].Runtime)
+		b.ReportMetric(100*ratio, "steal/static%")
+	}
+}

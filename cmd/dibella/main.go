@@ -1,0 +1,249 @@
+// Command dibella runs the full many-to-many long-read alignment pipeline
+// on a FASTA/FASTQ input: size-uniform read partitioning, distributed-style
+// k-mer histogram with BELLA-model reliable-k-mer filtering, candidate
+// (task) discovery, task redistribution under the owner invariant, and the
+// exchange-and-align phase under either coordination strategy:
+//
+//	-mode bsp    bulk-synchronous aggregated exchanges (§3.1)
+//	-mode async  asynchronous pull RPCs with overlap (§3.2)
+//
+// Ranks are host goroutines (the real runtime); -procs sets how many.
+// Output: one line per saved alignment — readA readB score — plus a
+// per-rank runtime breakdown on stderr.
+//
+// Usage:
+//
+//	dibella -in reads.fa -mode async -procs 8 -k 17 -x 15 -minscore 100 \
+//	        [-coverage 30 -error 0.15 | -lofreq 2 -hifreq 40] [-mem BYTES]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gnbody/internal/align"
+	"gnbody/internal/core"
+	"gnbody/internal/kmer"
+	"gnbody/internal/overlap"
+	"gnbody/internal/par"
+	"gnbody/internal/partition"
+	"gnbody/internal/pipeline"
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+	"gnbody/internal/stats"
+	"gnbody/internal/workload"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input FASTA/FASTQ (required)")
+		mode     = flag.String("mode", "bsp", "coordination strategy: bsp or async")
+		procs    = flag.Int("procs", 4, "number of ranks (goroutines)")
+		k        = flag.Int("k", 17, "k-mer length")
+		x        = flag.Int("x", 15, "X-drop parameter")
+		minScore = flag.Int("minscore", 100, "minimum alignment score to save")
+		coverage = flag.Float64("coverage", 0, "sequencing depth for the BELLA filter window")
+		errRate  = flag.Float64("error", 0.15, "error rate for the BELLA filter window")
+		loFreq   = flag.Int("lofreq", 0, "explicit k-mer frequency lower bound (overrides BELLA model)")
+		hiFreq   = flag.Int("hifreq", 0, "explicit k-mer frequency upper bound (overrides BELLA model)")
+		mem      = flag.Int64("mem", 0, "per-rank exchange memory budget in bytes (0 = unlimited)")
+		outPath  = flag.String("out", "", "output path (default stdout)")
+		paf      = flag.Bool("paf", false, "emit PAF records (with cg:Z cigar tags) instead of TSV")
+		distrib  = flag.Bool("distributed", false, "run k-mer analysis and candidate discovery as a distributed SPMD stage (DiBELLA stages 1-2) instead of serially")
+		steal    = flag.Bool("steal", false, "async mode with dynamic load balancing (work stealing)")
+		packed   = flag.Bool("packed", false, "2-bit-pack N-free reads on the wire (≈4x smaller exchanges)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dibella: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *mode != "bsp" && *mode != "async" {
+		fmt.Fprintf(os.Stderr, "dibella: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	t0 := time.Now()
+	reads, err := seq.LoadFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "dibella: loaded %s in %s\n", reads.ComputeStats(), time.Since(t0).Round(time.Millisecond))
+
+	lens := workload.LensOf(reads)
+	lensInt := make([]int, len(lens))
+	for i, l := range lens {
+		lensInt[i] = int(l)
+	}
+	pt, err := partition.BySize(lensInt, *procs)
+	if err != nil {
+		fail(err)
+	}
+	world, err := par.NewWorld(par.Config{P: *procs, MemBudget: *mem})
+	if err != nil {
+		fail(err)
+	}
+
+	// Stage 1-2: k-mer analysis and candidate discovery — serial reference
+	// path or the distributed SPMD pipeline.
+	t1 := time.Now()
+	var tasks []overlap.Task
+	var byRank [][]overlap.Task
+	if *distrib {
+		lo, hi := *loFreq, *hiFreq
+		if hi <= 0 {
+			lo, hi = kmer.ReliableWindow(*coverage, *errRate, *k, 0)
+			if *loFreq > 0 {
+				lo = *loFreq
+			}
+		}
+		outs := make([]*pipeline.Output, *procs)
+		errs := make([]error, *procs)
+		world.Run(func(r rt.Runtime) {
+			outs[r.Rank()], errs[r.Rank()] = pipeline.Run(r, &pipeline.Input{
+				Part: pt, Reads: reads, Lens: lens, K: *k, Lo: lo, Hi: hi,
+			})
+		})
+		byRank = make([][]overlap.Task, *procs)
+		for rk := 0; rk < *procs; rk++ {
+			if errs[rk] != nil {
+				fail(fmt.Errorf("pipeline rank %d: %w", rk, errs[rk]))
+			}
+			byRank[rk] = outs[rk].Tasks
+			tasks = append(tasks, outs[rk].Tasks...)
+		}
+		fmt.Fprintf(os.Stderr, "dibella: %d candidate tasks (distributed, k=%d, window [%d,%d]) in %s\n",
+			len(tasks), *k, lo, hi, time.Since(t1).Round(time.Millisecond))
+	} else {
+		var lo, hi int
+		tasks, lo, hi, err = overlap.FromReadSet(reads, overlap.Config{
+			K: *k, Lo: *loFreq, Hi: *hiFreq, Coverage: *coverage, ErrRate: *errRate,
+		})
+		if err != nil {
+			fail(err)
+		}
+		byRank = partition.AssignTasks(tasks, pt)
+		fmt.Fprintf(os.Stderr, "dibella: %d candidate tasks (k=%d, reliable window [%d,%d]) in %s\n",
+			len(tasks), *k, lo, hi, time.Since(t1).Round(time.Millisecond))
+	}
+	var codec core.Codec = core.RealCodec{Reads: reads}
+	if *packed {
+		codec = core.PackedCodec{Reads: reads}
+	}
+	exec := core.RealExecutor{Scoring: align.DefaultScoring(), X: *x}
+	results := make([]*core.Result, *procs)
+	errs := make([]error, *procs)
+	t2 := time.Now()
+	world.Run(func(r rt.Runtime) {
+		input := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
+			Codec: codec, Reads: reads}
+		cfg := core.Config{Exec: exec, MinScore: *minScore}
+		switch {
+		case *mode == "async" && *steal:
+			results[r.Rank()], errs[r.Rank()] = core.RunAsyncStealing(r, input, cfg)
+		case *mode == "async":
+			results[r.Rank()], errs[r.Rank()] = core.RunAsync(r, input, cfg)
+		default:
+			results[r.Rank()], errs[r.Rank()] = core.RunBSP(r, input, cfg)
+		}
+	})
+	alignWall := time.Since(t2)
+	var hits []core.Hit
+	for rk := 0; rk < *procs; rk++ {
+		if errs[rk] != nil {
+			fail(fmt.Errorf("rank %d: %w", rk, errs[rk]))
+		}
+		hits = append(hits, results[rk].Hits...)
+	}
+	core.SortHits(hits)
+
+	w := bufio.NewWriter(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	kinds := map[overlap.Kind]int{}
+	taskOf := make(map[uint64]overlap.Task, len(tasks))
+	for _, t := range tasks {
+		taskOf[t.Key()] = t
+	}
+	for _, h := range hits {
+		ra, rb := reads.Get(h.A), reads.Get(h.B)
+		res := align.Result{Score: int(h.Score),
+			AStart: int(h.AStart), AEnd: int(h.AEnd),
+			BStart: int(h.BStart), BEnd: int(h.BEnd)}
+		kinds[overlap.Classify(res, ra.Len(), rb.Len(), 50)]++
+		if !*paf {
+			fmt.Fprintf(w, "%s\t%s\t%d\n", ra.Name, rb.Name, h.Score)
+			continue
+		}
+		if err := writePAF(w, reads, taskOf[uint64(h.A)<<32|uint64(h.B)], h, *x); err != nil {
+			fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "dibella: overlap kinds:")
+	for _, k := range []overlap.Kind{overlap.SuffixPrefix, overlap.PrefixSuffix,
+		overlap.ContainsB, overlap.ContainedInB, overlap.Internal} {
+		fmt.Fprintf(os.Stderr, " %s=%d", k, kinds[k])
+	}
+	fmt.Fprintln(os.Stderr)
+
+	table := &stats.Table{
+		Title:   fmt.Sprintf("dibella: %s, %d ranks, %d hits, align phase %s", *mode, *procs, len(hits), alignWall.Round(time.Millisecond)),
+		Headers: []string{"rank", "align", "overhead", "comm", "sync", "maxmem", "steps"},
+	}
+	for rk := 0; rk < *procs; rk++ {
+		m := world.Metrics(rk)
+		table.AddRow(fmt.Sprint(rk),
+			stats.FmtDur(m.Time[rt.CatAlign]), stats.FmtDur(m.Time[rt.CatOverhead]),
+			stats.FmtDur(m.Time[rt.CatComm]), stats.FmtDur(m.Time[rt.CatSync]),
+			stats.FmtBytes(m.MaxMem), fmt.Sprint(m.Supersteps))
+	}
+	table.Render(os.Stderr)
+}
+
+// writePAF renders one saved alignment as a PAF record (the de-facto
+// interchange format for long-read overlaps), recomputing the edit
+// transcript for the residue-match and cg:Z fields. Coordinates follow the
+// PAF convention: for '-' strand hits, target coordinates are reported on
+// the original strand.
+func writePAF(w io.Writer, reads *seq.ReadSet, t overlap.Task, h core.Hit, x int) error {
+	ra, rb := reads.Get(h.A), reads.Get(h.B)
+	b := rb.Seq
+	if h.RC {
+		b = b.ReverseComplement()
+	}
+	_, cigar, err := align.SeedExtendTrace(ra.Seq, b, int(t.Seed.PosA), int(t.Seed.PosB),
+		int(t.Seed.K), align.DefaultScoring(), x)
+	if err != nil {
+		return err
+	}
+	_, _, matches, alnLen := cigar.Counts()
+	strand := "+"
+	tStart, tEnd := int(h.BStart), int(h.BEnd)
+	if h.RC {
+		strand = "-"
+		tStart, tEnd = rb.Len()-int(h.BEnd), rb.Len()-int(h.BStart)
+	}
+	_, err = fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t255\tAS:i:%d\tcg:Z:%s\n",
+		ra.Name, ra.Len(), h.AStart, h.AEnd, strand,
+		rb.Name, rb.Len(), tStart, tEnd, matches, alnLen, h.Score, cigar)
+	return err
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "dibella: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command kmerhist computes the canonical k-mer frequency spectrum of a
+// read set and reports the BELLA reliable-k-mer window for given coverage
+// and error-rate assumptions — the stage-2 analysis that decides which
+// seeds survive (paper §2-3).
+//
+// Usage:
+//
+//	kmerhist -in reads.fa -k 17 [-coverage 30 -error 0.15] [-max 50]
+//
+// Output: one line per frequency — frequency, #distinct k-mers, and
+// whether that frequency falls inside the reliable window.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gnbody/internal/kmer"
+	"gnbody/internal/seq"
+	"gnbody/internal/stats"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input FASTA/FASTQ (required)")
+		k        = flag.Int("k", 17, "k-mer length")
+		coverage = flag.Float64("coverage", 30, "sequencing depth for the BELLA window")
+		errRate  = flag.Float64("error", 0.15, "per-base error rate for the BELLA window")
+		maxFreq  = flag.Int("max", 50, "highest frequency row to print")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "kmerhist: -in is required")
+		os.Exit(2)
+	}
+	reads, err := seq.LoadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kmerhist: %v\n", err)
+		os.Exit(1)
+	}
+	hist, err := kmer.CountSet(reads, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kmerhist: %v\n", err)
+		os.Exit(1)
+	}
+	lo, hi := kmer.ReliableWindow(*coverage, *errRate, *k, 0)
+
+	var distinct, instances, retained int64
+	for _, n := range hist {
+		distinct++
+		instances += int64(n)
+		if n >= lo && n <= hi {
+			retained++
+		}
+	}
+	fmt.Printf("# %s: %s\n", *in, reads.ComputeStats())
+	fmt.Printf("# k=%d distinct=%s instances=%s\n", *k, stats.FmtCount(distinct), stats.FmtCount(instances))
+	fmt.Printf("# BELLA reliable window (d=%.0f, e=%.2f): [%d, %d] — %s k-mers retained (%s)\n",
+		*coverage, *errRate, lo, hi, stats.FmtCount(retained),
+		stats.FmtPct(float64(retained)/float64(max64(distinct, 1))))
+	fmt.Printf("#freq\tkmers\treliable\n")
+	for _, row := range kmer.Spectrum(hist) {
+		if row[0] > *maxFreq {
+			break
+		}
+		mark := ""
+		if row[0] >= lo && row[0] <= hi {
+			mark = "*"
+		}
+		fmt.Printf("%d\t%d\t%s\n", row[0], row[1], mark)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

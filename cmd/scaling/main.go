@@ -1,0 +1,157 @@
+// Command scaling reproduces the paper's tables and figures.
+//
+// Each experiment prints a fixed-width table whose rows correspond to the
+// paper's plotted series; EXPERIMENTS.md records the paper-vs-measured
+// comparison for every one.
+//
+// Usage:
+//
+//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|all
+//	        [-scale30 N] [-scale100 N] [-scaleccs N]   workload scale divisors
+//	        [-rpn N]                                   simulated ranks per node
+//	        [-nodes 8,16,32]                           node counts for sweeps
+//	        [-seed N]
+//
+// Multinode experiments run under the discrete-event simulator with the
+// Cori KNL/Aries cost model; "intranode" runs the full real pipeline with
+// wall-clock timing on the host cores.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"gnbody/internal/expt"
+	"gnbody/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, ablations, all)")
+		scale30    = flag.Int("scale30", 0, "E. coli 30x scale divisor (default 8)")
+		scale100   = flag.Int("scale100", 0, "E. coli 100x scale divisor (default 64)")
+		scaleccs   = flag.Int("scaleccs", 0, "Human CCS scale divisor (default 256)")
+		rpn        = flag.Int("rpn", 0, "simulated ranks per node (default 4)")
+		nodesFlag  = flag.String("nodes", "", "comma-separated node counts (default per experiment)")
+		seed       = flag.Int64("seed", 1, "workload and noise seed")
+		intrascale = flag.Int("intrascale", 0, "intranode pipeline scale divisor (default 150)")
+		csvDir     = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	)
+	flag.Parse()
+
+	p := expt.Params{
+		ScaleEColi30x:  *scale30,
+		ScaleEColi100x: *scale100,
+		ScaleHumanCCS:  *scaleccs,
+		RanksPerNode:   *rpn,
+		Seed:           *seed,
+	}
+	if *nodesFlag != "" {
+		for _, part := range strings.Split(*nodesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "scaling: bad -nodes entry %q\n", part)
+				os.Exit(2)
+			}
+			p.Nodes = append(p.Nodes, n)
+		}
+	}
+
+	type runner func() (*stats.Table, error)
+	wrap2 := func(f func(expt.Params) (*stats.Table, []*expt.Row, error)) runner {
+		return func() (*stats.Table, error) { t, _, err := f(p); return t, err }
+	}
+	wrapM := func(f func(expt.Params) (*stats.Table, map[expt.Mode][]*expt.Row, error)) runner {
+		return func() (*stats.Table, error) { t, _, err := f(p); return t, err }
+	}
+	experiments := []struct {
+		id  string
+		run runner
+	}{
+		{"table1", func() (*stats.Table, error) { t, _, err := expt.Table1(p); return t, err }},
+		{"fig3", wrap2(expt.Fig3)},
+		{"fig4", wrap2(expt.Fig4)},
+		{"fig5", wrap2(expt.Fig5)},
+		{"fig6", wrap2(expt.Fig6)},
+		{"fig7", wrapM(expt.Fig7)},
+		{"fig8", wrapM(expt.Fig8)},
+		{"fig9", wrapM(expt.Fig9)},
+		{"fig10", wrapM(expt.Fig10)},
+		{"fig11", wrapM(expt.Fig11)},
+		{"fig12", wrapM(expt.Fig12)},
+		{"fig13", wrapM(expt.Fig13)},
+		{"intranode", func() (*stats.Table, error) {
+			t, _, err := expt.Intranode(expt.IntranodeParams{Scale: *intrascale, Seed: *seed})
+			return t, err
+		}},
+		{"ablations", func() (*stats.Table, error) {
+			t1, _, err := expt.AblationOutstanding(p, nil)
+			if err != nil {
+				return nil, err
+			}
+			t1.Render(os.Stdout)
+			fmt.Println()
+			t2, _, err := expt.AblationAggregation(p, nil)
+			if err != nil {
+				return nil, err
+			}
+			t2.Render(os.Stdout)
+			fmt.Println()
+			t3, _, err := expt.AblationNetwork(p)
+			if err != nil {
+				return nil, err
+			}
+			t3.Render(os.Stdout)
+			fmt.Println()
+			t4, _, err := expt.AblationFetchBatch(p, nil)
+			if err != nil {
+				return nil, err
+			}
+			t4.Render(os.Stdout)
+			fmt.Println()
+			t5, _, err := expt.AblationDynamicBalance(p)
+			return t5, err
+		}},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *experiment != "all" && *experiment != e.id {
+			continue
+		}
+		ran = true
+		t0 := time.Now()
+		table, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaling: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, e.id+".csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+				os.Exit(1)
+			}
+			if err := table.RenderCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Printf("  [%s completed in %s]\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "scaling: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

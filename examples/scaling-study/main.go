@@ -1,0 +1,76 @@
+// Scaling study: a compact BSP-vs-Async strong-scaling comparison on the
+// performance simulator — the Figure 8 experiment of the paper at a size
+// that runs in seconds on a laptop.
+//
+// The same driver code that aligned real reads in the other examples here
+// runs under a discrete-event model of Cori KNL (Aries interconnect,
+// 64 cores and 1.4 GB/core per node), scaling the E. coli 100x workload
+// across node counts. Watch three things as nodes grow: BSP's visible
+// communication share rises, Async hides most of its latency, and the
+// Async/BSP runtime ratio drops below 100%.
+//
+// Run with: go run ./examples/scaling-study [-nodes 1,8,64] [-scale 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"gnbody/internal/expt"
+	"gnbody/internal/rt"
+	"gnbody/internal/sim"
+	"gnbody/internal/stats"
+	"gnbody/internal/workload"
+)
+
+func main() {
+	nodesFlag := flag.String("nodes", "1,4,16,64", "node counts")
+	scale := flag.Int("scale", 128, "E. coli 100x scale divisor")
+	flag.Parse()
+
+	var nodes []int
+	for _, s := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad node count %q", s)
+		}
+		nodes = append(nodes, n)
+	}
+	w, err := workload.Synthesize(workload.EColi100x, *scale, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s at 1/%d — %d reads, %d tasks (%d genuine)\n\n",
+		w.Preset.Name, w.Scale, len(w.Lens), len(w.Tasks), w.TrueTasks)
+
+	table := &stats.Table{
+		Title:   "BSP vs Async strong scaling on simulated Cori KNL",
+		Headers: []string{"nodes", "mode", "runtime", "comm%", "sync%", "async/bsp"},
+	}
+	for _, n := range nodes {
+		var rows [2]*expt.Row
+		for i, mode := range []expt.Mode{expt.BSP, expt.Async} {
+			row, err := expt.RunSim(expt.SimSpec{
+				Workload: w, Machine: sim.CoriKNL(), Nodes: n, Mode: mode, Seed: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows[i] = row
+		}
+		for i, row := range rows {
+			ratio := ""
+			if i == 1 {
+				ratio = stats.FmtPct(float64(rows[1].Runtime) / float64(rows[0].Runtime))
+			}
+			table.AddRow(fmt.Sprint(n), string(row.Mode), stats.FmtDur(row.Runtime),
+				stats.FmtPct(row.CommShare()),
+				stats.FmtPct(float64(row.Cat[rt.CatSync])/float64(row.Runtime)), ratio)
+		}
+	}
+	table.Render(os.Stdout)
+}

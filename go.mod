@@ -1,0 +1,3 @@
+module gnbody
+
+go 1.22

@@ -1,0 +1,181 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"gnbody/internal/seq"
+)
+
+// Cigar operations, extended-CIGAR style: '=' match, 'X' mismatch,
+// 'I' insertion (consumes a only), 'D' deletion (consumes b only).
+const (
+	OpMatch    = '='
+	OpMismatch = 'X'
+	OpIns      = 'I'
+	OpDel      = 'D'
+)
+
+// CigarOp is one run-length-encoded edit operation.
+type CigarOp struct {
+	Op  byte
+	Len int
+}
+
+// Cigar is an edit transcript between two aligned regions — the "edits
+// required to make the overlapping subregions identical" (paper §2).
+type Cigar []CigarOp
+
+// String renders the transcript ("120=1X30=2D8=").
+func (c Cigar) String() string {
+	var sb strings.Builder
+	for _, op := range c {
+		fmt.Fprintf(&sb, "%d%c", op.Len, op.Op)
+	}
+	return sb.String()
+}
+
+// append adds one base-level op, merging with the tail run.
+func (c Cigar) push(op byte) Cigar {
+	if n := len(c); n > 0 && c[n-1].Op == op {
+		c[n-1].Len++
+		return c
+	}
+	return append(c, CigarOp{Op: op, Len: 1})
+}
+
+// reverse flips the transcript in place (traceback emits ops backward).
+func (c Cigar) reverse() Cigar {
+	for i, j := 0, len(c)-1; i < j; i, j = i+1, j-1 {
+		c[i], c[j] = c[j], c[i]
+	}
+	return c
+}
+
+// Counts tallies consumed bases and matches.
+func (c Cigar) Counts() (aLen, bLen, matches, alnLen int) {
+	for _, op := range c {
+		alnLen += op.Len
+		switch op.Op {
+		case OpMatch:
+			matches += op.Len
+			aLen += op.Len
+			bLen += op.Len
+		case OpMismatch:
+			aLen += op.Len
+			bLen += op.Len
+		case OpIns:
+			aLen += op.Len
+		case OpDel:
+			bLen += op.Len
+		}
+	}
+	return
+}
+
+// Identity is matches / alignment columns (0 for an empty transcript).
+func (c Cigar) Identity() float64 {
+	_, _, m, n := c.Counts()
+	if n == 0 {
+		return 0
+	}
+	return float64(m) / float64(n)
+}
+
+// Validate checks internal consistency against the sequences it claims to
+// align: op lengths positive, consumed lengths matching, ops legal.
+func (c Cigar) Validate(a, b seq.Seq) error {
+	ai, bi := 0, 0
+	for k, op := range c {
+		if op.Len <= 0 {
+			return fmt.Errorf("align: cigar op %d has length %d", k, op.Len)
+		}
+		switch op.Op {
+		case OpMatch, OpMismatch:
+			for j := 0; j < op.Len; j++ {
+				if ai >= len(a) || bi >= len(b) {
+					return fmt.Errorf("align: cigar overruns sequences at op %d", k)
+				}
+				isMatch := a[ai] == b[bi] && a[ai] < seq.N
+				if isMatch != (op.Op == OpMatch) {
+					return fmt.Errorf("align: cigar op %d claims %c at a[%d],b[%d]", k, op.Op, ai, bi)
+				}
+				ai++
+				bi++
+			}
+		case OpIns:
+			ai += op.Len
+		case OpDel:
+			bi += op.Len
+		default:
+			return fmt.Errorf("align: cigar op %d has unknown code %q", k, op.Op)
+		}
+	}
+	if ai != len(a) || bi != len(b) {
+		return fmt.Errorf("align: cigar consumes (%d,%d) of (%d,%d)", ai, bi, len(a), len(b))
+	}
+	return nil
+}
+
+// Score recomputes the transcript's score under sc.
+func (c Cigar) Score(sc Scoring) int {
+	s := 0
+	for _, op := range c {
+		switch op.Op {
+		case OpMatch:
+			s += op.Len * sc.Match
+		case OpMismatch:
+			s += op.Len * sc.Mismatch
+		case OpIns, OpDel:
+			s += op.Len * sc.Gap
+		}
+	}
+	return s
+}
+
+// NWAlign is Needleman-Wunsch with full traceback: the optimal global
+// score and its edit transcript.
+func NWAlign(a, b seq.Seq, sc Scoring) (int, Cigar) {
+	rows := len(a) + 1
+	cols := len(b) + 1
+	score := make([]int, rows*cols)
+	for j := 1; j < cols; j++ {
+		score[j] = j * sc.Gap
+	}
+	for i := 1; i < rows; i++ {
+		score[i*cols] = i * sc.Gap
+		for j := 1; j < cols; j++ {
+			v := score[(i-1)*cols+j-1] + sub(sc, a[i-1], b[j-1])
+			if w := score[(i-1)*cols+j] + sc.Gap; w > v {
+				v = w
+			}
+			if w := score[i*cols+j-1] + sc.Gap; w > v {
+				v = w
+			}
+			score[i*cols+j] = v
+		}
+	}
+	// Traceback from (len(a), len(b)).
+	var c Cigar
+	i, j := len(a), len(b)
+	for i > 0 || j > 0 {
+		cur := score[i*cols+j]
+		switch {
+		case i > 0 && j > 0 && cur == score[(i-1)*cols+j-1]+sub(sc, a[i-1], b[j-1]):
+			if a[i-1] == b[j-1] && a[i-1] < seq.N {
+				c = c.push(OpMatch)
+			} else {
+				c = c.push(OpMismatch)
+			}
+			i--
+			j--
+		case i > 0 && cur == score[(i-1)*cols+j]+sc.Gap:
+			c = c.push(OpIns)
+			i--
+		default:
+			c = c.push(OpDel)
+			j--
+		}
+	}
+	return score[len(a)*cols+len(b)], c.reverse()
+}

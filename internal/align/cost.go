@@ -1,0 +1,61 @@
+package align
+
+import "time"
+
+// CostModel converts alignment work into time for the performance
+// simulator. At 32K simulated cores and 87M tasks the real kernel cannot
+// run inside every simulated rank, so the simulator charges each task
+// a modeled duration instead. The model mirrors §4.2's cost taxonomy:
+//
+//   - a fixed per-task overhead (data structure traversal, kernel
+//     invocation — the "Computation (Overhead)" series of Figures 3-4, 13),
+//   - a per-DP-cell cost for the extension work. True overlaps extend
+//     across the overlap region (cells ≈ overlap × band); false positives
+//     terminate early (cells ≈ FPCells, a small constant set by X).
+//
+// PerCell is calibrated against the real kernel by CalibrateCost (run in
+// benchmarks) or left at the package default, which was measured on a
+// commodity x86-64 core.
+type CostModel struct {
+	PerTask time.Duration // fixed invocation overhead per task
+	PerCell time.Duration // DP cell evaluation cost
+	Band    int           // effective antidiagonal band width of the kernel
+	FPCells int           // cells evaluated before a false positive dies
+}
+
+// DefaultCostModel returns constants calibrated with BenchmarkSeedExtend on
+// a contemporary x86-64 core (≈1-2 ns per DP cell; band ≈ 2X+1 with the
+// BELLA X=7... we use the library default X below).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerTask: 2 * time.Microsecond,
+		PerCell: 2 * time.Nanosecond,
+		Band:    31,
+		FPCells: 1500,
+	}
+}
+
+// TaskCells estimates DP cells for one seed-and-extend task. overlapLen is
+// the extension extent: the true-overlap length for genuine pairs, or the
+// repeat-copy length for false-positive candidates (a repeat-seeded
+// alignment extends through the repeat before X-drop terminates — §4.2's
+// "speed of false positive detection" variability). FPCells floors the
+// cost at the minimum X-drop shutdown work.
+func (m CostModel) TaskCells(overlapLen int, falsePositive bool) int {
+	c := overlapLen * m.Band
+	if c < m.FPCells {
+		c = m.FPCells
+	}
+	return c
+}
+
+// TaskCost converts a task into modeled compute time.
+func (m CostModel) TaskCost(overlapLen int, falsePositive bool) time.Duration {
+	return m.PerTask + time.Duration(m.TaskCells(overlapLen, falsePositive))*m.PerCell
+}
+
+// CellsCost converts a measured cell count (from the real kernel's
+// Result.Cells) into modeled time; used when calibrating model-vs-real.
+func (m CostModel) CellsCost(cells int) time.Duration {
+	return m.PerTask + time.Duration(cells)*m.PerCell
+}

@@ -1,0 +1,69 @@
+package align
+
+import "gnbody/internal/seq"
+
+// sub returns the substitution score for aligning bases x and y.
+// N is always a mismatch: a low-confidence call carries no evidence.
+func sub(sc Scoring, x, y seq.Base) int {
+	if x == y && x < seq.N {
+		return sc.Match
+	}
+	return sc.Mismatch
+}
+
+// NW computes the Needleman-Wunsch global alignment score of a and b
+// (exact O(len(a)·len(b)) dynamic programming, paper §2 [18]).
+func NW(a, b seq.Seq, sc Scoring) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j * sc.Gap
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i * sc.Gap
+		for j := 1; j <= len(b); j++ {
+			best := prev[j-1] + sub(sc, a[i-1], b[j-1])
+			if v := prev[j] + sc.Gap; v > best {
+				best = v
+			}
+			if v := cur[j-1] + sc.Gap; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// SW computes the Smith-Waterman local alignment score of a and b
+// (exact O(len(a)·len(b)) dynamic programming, paper §2 [19]).
+// The score is 0 when no positive-scoring local alignment exists.
+func SW(a, b seq.Seq, sc Scoring) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			v := prev[j-1] + sub(sc, a[i-1], b[j-1])
+			if w := prev[j] + sc.Gap; w > v {
+				v = w
+			}
+			if w := cur[j-1] + sc.Gap; w > v {
+				v = w
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return best
+}

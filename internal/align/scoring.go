@@ -1,0 +1,35 @@
+// Package align implements pairwise sequence alignment: the X-drop
+// seed-and-extend kernel the paper uses for every task (SeqAn's X-drop
+// [25], reimplemented from the Zhang-Schwartz-Wagner-Miller algorithm),
+// plus full Needleman-Wunsch and Smith-Waterman dynamic programming as
+// testing baselines, and a calibrated cost model used by the performance
+// simulator in place of running the kernel at 32K-core scale.
+package align
+
+import "fmt"
+
+// Scoring is a linear-gap scoring scheme. Defaults follow BELLA
+// (match +1, mismatch -1, gap -1). The ambiguous base N never matches
+// anything, including another N.
+type Scoring struct {
+	Match    int // reward, must be > 0
+	Mismatch int // penalty, must be < 0
+	Gap      int // penalty for insertion or deletion, must be < 0
+}
+
+// DefaultScoring returns the BELLA defaults.
+func DefaultScoring() Scoring { return Scoring{Match: 1, Mismatch: -1, Gap: -1} }
+
+// Validate rejects schemes the DP recurrences do not support.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("align: match reward must be positive, got %d", s.Match)
+	}
+	if s.Mismatch >= 0 {
+		return fmt.Errorf("align: mismatch penalty must be negative, got %d", s.Mismatch)
+	}
+	if s.Gap >= 0 {
+		return fmt.Errorf("align: gap penalty must be negative, got %d", s.Gap)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package align
+
+import (
+	"fmt"
+
+	"gnbody/internal/seq"
+)
+
+// negInf is far enough below any reachable score to act as -infinity
+// without overflowing when a gap penalty is added.
+const negInf = int(^uint(0)>>1)/-4 - 1
+
+// Extension is the result of a one-directional X-drop extension.
+type Extension struct {
+	Score int // best extension score (>= 0; empty extension scores 0)
+	AExt  int // bases of a consumed by the best extension
+	BExt  int // bases of b consumed by the best extension
+	Cells int // DP cells evaluated — the kernel's work measure
+}
+
+// ExtendRight performs gapped X-drop extension aligning prefixes of a and b
+// outward from offset 0 (Zhang et al. [25]): standard banded DP where any
+// cell scoring more than x below the best seen so far is pruned, and the
+// extension terminates when a whole row has been pruned. This is the
+// early-termination behaviour §4.2 identifies as a major source of task
+// cost variability: false-positive candidates die within a few rows, while
+// true overlaps extend across the whole overlap region.
+func ExtendRight(a, b seq.Seq, sc Scoring, x int) Extension {
+	if x < 0 {
+		x = 0
+	}
+	best, bestI, bestJ := 0, 0, 0
+	cells := 0
+
+	// Row 0: gaps in a only.
+	lo, hi := 0, 0 // inclusive window of live columns in the current row
+	prev := make([]int, len(b)+1)
+	prev[0] = 0
+	for j := 1; j <= len(b); j++ {
+		s := j * sc.Gap
+		if s < best-x {
+			break
+		}
+		prev[j] = s
+		hi = j
+	}
+	cur := make([]int, len(b)+1)
+
+	plo, phi := lo, hi
+	for i := 1; i <= len(a); i++ {
+		// Columns reachable this row: [plo, phi+1] clipped to b.
+		lo = plo
+		hi = phi + 1
+		if hi > len(b) {
+			hi = len(b)
+		}
+		rowBest := negInf
+		for j := lo; j <= hi; j++ {
+			v := negInf
+			if j >= plo && j <= phi { // up: gap in b
+				if w := prev[j] + sc.Gap; w > v {
+					v = w
+				}
+			}
+			if j-1 >= plo && j-1 <= phi { // diagonal
+				if w := prev[j-1] + sub(sc, a[i-1], b[j-1]); w > v {
+					v = w
+				}
+			}
+			if j > lo { // left: gap in a
+				if w := cur[j-1] + sc.Gap; w > v {
+					v = w
+				}
+			}
+			cells++
+			if v < best-x {
+				v = negInf
+			}
+			cur[j] = v
+			if v > rowBest {
+				rowBest = v
+			}
+			if v > best {
+				best, bestI, bestJ = v, i, j
+			}
+		}
+		if rowBest == negInf {
+			break // X-drop termination: every live cell pruned
+		}
+		// Shrink the window to live cells.
+		for lo <= hi && cur[lo] == negInf {
+			lo++
+		}
+		for hi >= lo && cur[hi] == negInf {
+			hi--
+		}
+		prev, cur = cur, prev
+		plo, phi = lo, hi
+	}
+	return Extension{Score: best, AExt: bestI, BExt: bestJ, Cells: cells}
+}
+
+// reverse returns s reversed (not complemented): left extension runs the
+// right-extension kernel on reversed prefixes.
+func reverse(s seq.Seq) seq.Seq {
+	out := make(seq.Seq, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b
+	}
+	return out
+}
+
+// Result is a completed seed-and-extend pairwise alignment between a pair
+// of reads (Figure 1 of the paper): the seed region is held fixed and the
+// alignment is extended backward and forward.
+type Result struct {
+	Score  int
+	AStart int // aligned region of a: [AStart, AEnd)
+	AEnd   int
+	BStart int // aligned region of b: [BStart, BEnd)
+	BEnd   int
+	Cells  int // total DP cells evaluated in both extensions
+}
+
+// SeedExtend aligns a and b from the k-long seed anchored at a[posA] and
+// b[posB]: the seed is scored by direct comparison (sequencing errors can
+// land inside it), then gapped X-drop extensions run right of the seed and
+// left of it. x is the X-drop parameter.
+func SeedExtend(a, b seq.Seq, posA, posB, k int, sc Scoring, x int) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if posA < 0 || posB < 0 || posA+k > len(a) || posB+k > len(b) || k <= 0 {
+		return Result{}, fmt.Errorf("align: seed [%d,%d)+%d out of range for lengths %d,%d",
+			posA, posB, k, len(a), len(b))
+	}
+	seedScore := 0
+	for j := 0; j < k; j++ {
+		seedScore += sub(sc, a[posA+j], b[posB+j])
+	}
+	right := ExtendRight(a[posA+k:], b[posB+k:], sc, x)
+	left := ExtendRight(reverse(a[:posA]), reverse(b[:posB]), sc, x)
+	return Result{
+		Score:  seedScore + right.Score + left.Score,
+		AStart: posA - left.AExt,
+		AEnd:   posA + k + right.AExt,
+		BStart: posB - left.BExt,
+		BEnd:   posB + k + right.BExt,
+		Cells:  right.Cells + left.Cells,
+	}, nil
+}

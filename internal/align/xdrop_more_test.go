@@ -1,0 +1,160 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnbody/internal/seq"
+)
+
+// bruteExtend computes the exact best extension score by full dynamic
+// programming over all prefix pairs — the reference ExtendRight must match
+// when X is large enough to disable pruning.
+func bruteExtend(a, b seq.Seq, sc Scoring) (best, ai, bj int) {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 1; j <= len(b); j++ {
+		prev[j] = j * sc.Gap
+	}
+	// best over all (i,j) including (0,0)=0
+	best, ai, bj = 0, 0, 0
+	for j := 1; j <= len(b); j++ {
+		if prev[j] > best {
+			best, ai, bj = prev[j], 0, j
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i * sc.Gap
+		if cur[0] > best {
+			best, ai, bj = cur[0], i, 0
+		}
+		for j := 1; j <= len(b); j++ {
+			v := prev[j-1] + sub(sc, a[i-1], b[j-1])
+			if w := prev[j] + sc.Gap; w > v {
+				v = w
+			}
+			if w := cur[j-1] + sc.Gap; w > v {
+				v = w
+			}
+			cur[j] = v
+			if v > best {
+				best, ai, bj = v, i, j
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best, ai, bj
+}
+
+// Property: with X large enough to never prune, the X-drop extension is the
+// exact prefix-pair optimum.
+func TestExtendRightMatchesBruteForceLargeX(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	sc := DefaultScoring()
+	for trial := 0; trial < 200; trial++ {
+		na, nb := rng.Intn(30), rng.Intn(30)
+		a := make(seq.Seq, na)
+		b := make(seq.Seq, nb)
+		for i := range a {
+			a[i] = seq.Base(rng.Intn(5))
+		}
+		for i := range b {
+			b[i] = seq.Base(rng.Intn(5))
+		}
+		want, _, _ := bruteExtend(a, b, sc)
+		got := ExtendRight(a, b, sc, 1<<20)
+		if got.Score != want {
+			t.Fatalf("trial %d: xdrop score %d != brute force %d\na=%s\nb=%s",
+				trial, got.Score, want, a, b)
+		}
+	}
+}
+
+// Property: shrinking X never increases the score, and the unpruned score
+// upper-bounds every pruned run.
+func TestExtendRightMonotoneInX(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	sc := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(60)
+		a := make(seq.Seq, n)
+		for i := range a {
+			a[i] = seq.Base(rng.Intn(4))
+		}
+		b := a.Clone()
+		for m := 0; m < n/5; m++ {
+			b[rng.Intn(n)] = seq.Base(rng.Intn(4))
+		}
+		prevScore := -1
+		for _, x := range []int{0, 2, 5, 10, 50, 1 << 20} {
+			s := ExtendRight(a, b, sc, x).Score
+			if s < prevScore {
+				t.Fatalf("trial %d: score decreased from %d to %d as X grew to %d", trial, prevScore, s, x)
+			}
+			prevScore = s
+		}
+	}
+}
+
+// Property: extension work (cells) grows with X — pruning is real.
+func TestExtendRightPruningSavesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := make(seq.Seq, 400)
+	b := make(seq.Seq, 400)
+	for i := range a {
+		a[i] = seq.Base(rng.Intn(4))
+		b[i] = seq.Base(rng.Intn(4))
+	}
+	sc := DefaultScoring()
+	tight := ExtendRight(a, b, sc, 3)
+	loose := ExtendRight(a, b, sc, 1<<20)
+	if tight.Cells >= loose.Cells {
+		t.Errorf("X=3 evaluated %d cells, X=inf evaluated %d; pruning saved nothing on random strings",
+			tight.Cells, loose.Cells)
+	}
+	// Full DP region: 400 rows × 401 columns (the j=0 boundary column is
+	// evaluated per row).
+	if loose.Cells != 400*401 {
+		t.Errorf("unpruned extension evaluated %d cells, want full 160400", loose.Cells)
+	}
+}
+
+// The extension must never report extents pointing past the inputs.
+func TestExtendRightExtentsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sc := DefaultScoring()
+	for trial := 0; trial < 100; trial++ {
+		na, nb := rng.Intn(50), rng.Intn(50)
+		a := make(seq.Seq, na)
+		b := make(seq.Seq, nb)
+		for i := range a {
+			a[i] = seq.Base(rng.Intn(5))
+		}
+		for i := range b {
+			b[i] = seq.Base(rng.Intn(5))
+		}
+		ext := ExtendRight(a, b, sc, rng.Intn(20))
+		if ext.AExt < 0 || ext.AExt > na || ext.BExt < 0 || ext.BExt > nb {
+			t.Fatalf("extents (%d,%d) out of range (%d,%d)", ext.AExt, ext.BExt, na, nb)
+		}
+		if ext.Score < 0 {
+			t.Fatalf("negative best score %d; empty extension scores 0", ext.Score)
+		}
+	}
+}
+
+// SeedExtend on sequences with N in the seed region: N never matches, so
+// the seed contributes mismatches but alignment still completes.
+func TestSeedExtendWithNInSeed(t *testing.T) {
+	sc := DefaultScoring()
+	a := seq.MustFromString("ACGTNCGTACGTACGT")
+	b := a.Clone()
+	res, err := SeedExtend(a, b, 2, 2, 6, sc, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 matches + 1 N-vs-N mismatch = 15 - 1 = 14.
+	if res.Score != 14 {
+		t.Errorf("score = %d, want 14 (N must not match N)", res.Score)
+	}
+}

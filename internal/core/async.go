@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+)
+
+// RunAsync executes the asynchronous driver on one rank (§3.2): tasks are
+// indexed under their remote read; after a split-phase entry barrier
+// (local-local tasks overlap other ranks' arrival), the rank issues an
+// asynchronous pull RPC per distinct remote read with a bounded number
+// outstanding, and the attached callback computes every alignment waiting
+// on that read as soon as it arrives. A single exit barrier keeps the
+// partitioned reads servable until all ranks complete. Collective.
+//
+// Config.FetchBatch > 1 enables the §5 aggregation variant: one RPC pulls
+// up to that many same-owner reads, amortising per-message costs at the
+// price of holding more remote data in memory — the knob §5 predicts
+// high-latency networks will need.
+func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if err := in.validate(r.Rank()); err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	var store *ptrStore
+	r.Timed(rt.CatOverhead, func() { store = buildPtrStore(in, r.Rank()) })
+	out.LocalTasks = len(store.local)
+	out.RemoteReads = len(store.order)
+	for _, ts := range store.byRemote {
+		out.RemoteTasks += len(ts)
+	}
+
+	base := in.PartitionBytes(r.Rank())
+	r.Alloc(base)
+	defer r.Free(base)
+
+	// Serve lookups into this rank's partition. The split-phase barrier
+	// below guarantees no request arrives before every rank has
+	// registered (reads become "accessible via RPC-lookup" only once all
+	// ranks pass the barrier).
+	var cbErr error
+	r.Serve(readServer(r, in))
+
+	// Split-phase barrier: compute local-local tasks during the time this
+	// rank would otherwise spend waiting, polling so early requesters are
+	// not starved.
+	wait := r.SplitBarrier()
+	for i, t := range store.local {
+		execLocal(r, in, &cfg, *t, out)
+		if (i+1)%cfg.PollEvery == 0 {
+			r.Progress()
+		}
+	}
+	wait()
+
+	// Pull every remote read once; alignments run in the callback. The
+	// "pull" direction keeps peak memory at MaxOutstanding batches: no
+	// unsolicited pushes can pile up (§3.2). Reads are batched per owner
+	// when FetchBatch > 1.
+	issue := func(ids []seq.ReadID) {
+		batch := append([]seq.ReadID(nil), ids...)
+		r.AsyncCall(in.Part.Owner(batch[0]), encodeReadReq(batch...), func(val []byte) {
+			n := int64(len(val))
+			r.Alloc(n)
+			defer r.Free(n)
+			buf := val
+			for _, rid := range batch {
+				read, used, err := in.Codec.Decode(buf)
+				if err != nil || read.ID != rid {
+					cbErr = fmt.Errorf("core: rank %d: bad RPC payload for read %d: %v", r.Rank(), rid, err)
+					return
+				}
+				buf = buf[used:]
+				for i, t := range store.byRemote[rid] {
+					execTask(r, in, &cfg, *t, read.Seq, t.A == rid, out)
+					// Application-level polling (§3.2): answer inbound
+					// requests between alignments so peers are not starved
+					// while this rank chews a long task batch.
+					if (i+1)%cfg.PollEvery == 0 {
+						r.Progress()
+					}
+				}
+			}
+			if len(buf) != 0 {
+				cbErr = fmt.Errorf("core: rank %d: %d trailing payload bytes", r.Rank(), len(buf))
+			}
+		})
+		if r.Outstanding() > cfg.MaxOutstanding {
+			r.Drain(cfg.MaxOutstanding)
+		}
+	}
+	var pend []seq.ReadID
+	for _, rid := range store.order {
+		if len(pend) > 0 && (in.Part.Owner(pend[0]) != in.Part.Owner(rid) || len(pend) >= cfg.FetchBatch) {
+			issue(pend)
+			pend = pend[:0]
+		}
+		pend = append(pend, rid)
+	}
+	if len(pend) > 0 {
+		issue(pend)
+	}
+	r.Drain(0)
+
+	// Single exit barrier: partitioned reads remain available to all
+	// parallel processors until every task is complete.
+	r.Barrier()
+	if cbErr != nil {
+		return nil, cbErr
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gnbody/internal/align"
+
+	"gnbody/internal/overlap"
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+)
+
+// Config tunes the drivers.
+type Config struct {
+	Exec     Executor
+	MinScore int // hits with Score >= MinScore are saved
+
+	// MaxOutstanding caps in-flight AsyncCalls in the asynchronous driver
+	// ("varying limits on outgoing requests", §4.3). Default 64.
+	MaxOutstanding int
+
+	// PollEvery is how many tasks the asynchronous driver computes
+	// between Progress calls. Default 1: UPC++ engages internal progress
+	// on essentially every runtime call, and coarser polling starves
+	// peers whose requests land on a computing rank (the poll-interval
+	// ablation quantifies this).
+	PollEvery int
+
+	// FetchBatch is how many same-owner remote reads one async RPC pulls.
+	// Default 1 (the paper's per-read pull); larger values trade memory
+	// for per-message amortisation (§5's aggregation knob).
+	FetchBatch int
+
+	// StealBatch is how many task groups one work-steal request transfers
+	// in RunAsyncStealing. Default 8.
+	StealBatch int
+}
+
+func (cfg *Config) defaults() {
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 64
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 1
+	}
+	if cfg.FetchBatch <= 0 {
+		cfg.FetchBatch = 1
+	}
+	if cfg.StealBatch <= 0 {
+		cfg.StealBatch = 8
+	}
+}
+
+// execTask routes the task's two sequences into the executor in (A, B)
+// order; fetched is the remote read's payload (may be nil: phantom codec),
+// and remoteIsA says which side it fills.
+func execTask(r rt.Runtime, in *Input, cfg *Config, t overlap.Task, fetched seq.Seq, remoteIsA bool, out *Result) {
+	var a, b seq.Seq
+	if in.Reads != nil {
+		if remoteIsA {
+			a, b = fetched, in.localSeq(t.B)
+		} else {
+			a, b = in.localSeq(t.A), fetched
+		}
+	}
+	if res, ok := cfg.Exec.Align(r, t, a, b); ok && res.Score >= cfg.MinScore {
+		out.Hits = append(out.Hits, mkHit(t, res))
+	}
+}
+
+// execLocal runs a task whose reads are both local.
+func execLocal(r rt.Runtime, in *Input, cfg *Config, t overlap.Task, out *Result) {
+	var a, b seq.Seq
+	if in.Reads != nil {
+		a, b = in.localSeq(t.A), in.localSeq(t.B)
+	}
+	if res, ok := cfg.Exec.Align(r, t, a, b); ok && res.Score >= cfg.MinScore {
+		out.Hits = append(out.Hits, mkHit(t, res))
+	}
+}
+
+// mkHit materialises a saved alignment.
+func mkHit(t overlap.Task, res align.Result) Hit {
+	return Hit{A: t.A, B: t.B, Score: int32(res.Score),
+		AStart: int32(res.AStart), AEnd: int32(res.AEnd),
+		BStart: int32(res.BStart), BEnd: int32(res.BEnd), RC: t.Seed.RC}
+}
+
+// RunBSP executes the bulk-synchronous driver on one rank (§3.1): remote
+// reads are pulled in one or more aggregated irregular all-to-alls, with
+// superstep sizes chosen dynamically against the per-rank memory budget;
+// every alignment waiting on a received read runs as the read is unpacked
+// from the receive buffer. Collective: all ranks must call it.
+func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if err := in.validate(r.Rank()); err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	var store *flatStore
+	r.Timed(rt.CatOverhead, func() { store = buildFlatStore(in, r.Rank()) })
+	out.LocalTasks = len(store.local)
+	out.RemoteTasks = len(store.remote)
+	out.RemoteReads = len(store.groups)
+
+	base := in.PartitionBytes(r.Rank())
+	r.Alloc(base)
+	defer r.Free(base)
+
+	// Tasks with both reads local need no exchange.
+	for _, t := range store.local {
+		execLocal(r, in, &cfg, t, out)
+	}
+
+	// Dynamically-sized supersteps: request remote reads in chunks that fit
+	// the memory budget, exchange, compute while unpacking, repeat until no
+	// rank has reads left to fetch.
+	next := 0
+	budget := r.MemBudget()
+	if budget > 0 {
+		budget -= base // the input partition occupies part of the budget
+		if budget <= 0 {
+			// The partition alone fills the budget: degrade to the
+			// smallest possible superstep (one read per round) rather
+			// than silently dropping the limit.
+			budget = 1
+		}
+	}
+	for {
+		end := next
+		var planned int64
+		for end < len(store.groups) {
+			sz := int64(in.Codec.WireSize(store.groups[end].read))
+			if end > next && budget > 0 && planned+sz > budget {
+				break // chunk full; always take at least one read
+			}
+			planned += sz
+			end++
+		}
+		chunk := store.groups[next:end]
+		out.Supersteps++
+
+		// Round trip 1: request lists (read IDs grouped by owner).
+		var reqBytes int64
+		sendReq := make([][]byte, r.Size())
+		groupOf := make(map[seq.ReadID][]overlap.Task, len(chunk))
+		for _, g := range chunk {
+			owner := in.Part.Owner(g.read)
+			var idb [4]byte
+			binary.LittleEndian.PutUint32(idb[:], uint32(g.read))
+			sendReq[owner] = append(sendReq[owner], idb[:]...)
+			reqBytes += 4
+			groupOf[g.read] = store.tasksOf(g)
+		}
+		r.Alloc(reqBytes)
+		recvReq := r.Alltoallv(sendReq)
+
+		// Round trip 2: aggregated read payloads back to requesters.
+		var payBytes int64
+		var sendPay [][]byte
+		r.Timed(rt.CatOverhead, func() {
+			sendPay = make([][]byte, r.Size())
+			for src, ids := range recvReq {
+				if len(ids)%4 != 0 {
+					panic(fmt.Sprintf("core: rank %d: ragged request list from %d", r.Rank(), src))
+				}
+				for off := 0; off < len(ids); off += 4 {
+					id := seq.ReadID(binary.LittleEndian.Uint32(ids[off:]))
+					sendPay[src] = in.Codec.Encode(sendPay[src], id)
+				}
+				payBytes += int64(len(sendPay[src]))
+			}
+		})
+		r.Alloc(payBytes)
+		recvPay := r.Alltoallv(sendPay)
+		r.Free(reqBytes)
+
+		var recvBytes int64
+		for _, m := range recvPay {
+			recvBytes += int64(len(m))
+		}
+		r.Alloc(recvBytes)
+		out.ExchangeRecvBytes += recvBytes
+
+		// Compute alignments as reads are unpacked from receive buffers.
+		for src, buf := range recvPay {
+			for len(buf) > 0 {
+				read, n, err := in.Codec.Decode(buf)
+				if err != nil {
+					return nil, fmt.Errorf("core: rank %d: bad payload from %d: %v", r.Rank(), src, err)
+				}
+				buf = buf[n:]
+				tasks, ok := groupOf[read.ID]
+				if !ok {
+					return nil, fmt.Errorf("core: rank %d: unsolicited read %d from %d", r.Rank(), read.ID, src)
+				}
+				for _, t := range tasks {
+					execTask(r, in, &cfg, t, read.Seq, t.A == read.ID, out)
+				}
+			}
+		}
+		r.Free(payBytes)
+		r.Free(recvBytes)
+
+		next = end
+		if r.Allreduce(int64(len(store.groups)-next), rt.OpSum) == 0 {
+			break
+		}
+	}
+	r.Metrics().Supersteps = int64(out.Supersteps)
+	return out, nil
+}

@@ -1,0 +1,163 @@
+// Package core implements the paper's contribution: two distributed-memory
+// coordination strategies for many-to-many long-read alignment, written
+// once against the rt.Runtime interface so the identical algorithms run on
+// the real in-process runtime (package par) and under the performance
+// simulator (package sim).
+//
+//   - RunBSP (§3.1): bulk-synchronous — an aggregated irregular all-to-all
+//     read exchange, split into dynamically-sized supersteps when the
+//     per-rank memory budget cannot hold a full exchange; alignments are
+//     computed as reads are unpacked from receive buffers; local task state
+//     lives in flat arrays.
+//   - RunAsync (§3.2): asynchronous — per-remote-read pull RPCs whose
+//     completion callbacks run the alignments for that read; bounded
+//     outstanding requests; application-level polling; a split-phase entry
+//     barrier overlapping local-local work; a single exit barrier keeping
+//     partitioned reads servable until every rank finishes; pointer-based
+//     task structures.
+//
+// Both honour a communication-only mode (§4.3) via NoopExecutor, and both
+// must produce identical result sets — the central cross-implementation
+// invariant of the test suite.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gnbody/internal/overlap"
+	"gnbody/internal/partition"
+	"gnbody/internal/seq"
+)
+
+// Hit is one saved alignment: a task whose score met the criteria
+// ("only those alignments which meet or exceed the user or default scoring
+// criteria are saved for output", §3.2). Extents are the aligned regions;
+// when RC is set the B coordinates refer to the reverse complement of read
+// B (as produced by overlap.AlignTask). Model-mode runs leave extents zero.
+type Hit struct {
+	A, B         seq.ReadID
+	Score        int32
+	AStart, AEnd int32
+	BStart, BEnd int32
+	RC           bool
+}
+
+// SortHits orders hits for deterministic comparison.
+func SortHits(hs []Hit) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].A != hs[j].A {
+			return hs[i].A < hs[j].A
+		}
+		if hs[i].B != hs[j].B {
+			return hs[i].B < hs[j].B
+		}
+		return hs[i].Score < hs[j].Score
+	})
+}
+
+// Codec encodes reads for the wire. The real codec ships sequence bases;
+// the phantom codec ships correctly-sized zero payloads so the simulator
+// prices exchanges exactly without materialising gigabases.
+type Codec interface {
+	// Encode appends the wire form of read id to dst.
+	Encode(dst []byte, id seq.ReadID) []byte
+	// WireSize returns the wire size of read id.
+	WireSize(id seq.ReadID) int
+	// Decode parses one read from buf, returning the read (Seq may be nil
+	// under the phantom codec) and bytes consumed.
+	Decode(buf []byte) (seq.Read, int, error)
+}
+
+// RealCodec ships actual read payloads.
+type RealCodec struct{ Reads *seq.ReadSet }
+
+// Encode appends the full wire encoding of read id.
+func (c RealCodec) Encode(dst []byte, id seq.ReadID) []byte {
+	return seq.AppendWire(dst, c.Reads.Get(id))
+}
+
+// WireSize returns the read's exact wire size.
+func (c RealCodec) WireSize(id seq.ReadID) int { return c.Reads.Get(id).WireSize() }
+
+// Decode parses one wire-encoded read.
+func (c RealCodec) Decode(buf []byte) (seq.Read, int, error) { return seq.DecodeWire(buf) }
+
+// PhantomCodec ships zero-filled payloads of the true wire size: exchange
+// volumes, memory accounting and message pricing stay exact while the
+// simulated dataset needs no actual bases (the model executor works from
+// task metadata).
+type PhantomCodec struct{ Lens []int32 }
+
+// Encode appends a header plus a zero body of the read's length.
+func (c PhantomCodec) Encode(dst []byte, id seq.ReadID) []byte {
+	r := seq.Read{ID: id, Seq: make(seq.Seq, c.Lens[id])}
+	return seq.AppendWire(dst, &r)
+}
+
+// WireSize returns the modeled wire size.
+func (c PhantomCodec) WireSize(id seq.ReadID) int { return seq.WireSizeOf(int(c.Lens[id])) }
+
+// Decode parses the header and discards the body (Seq nil).
+func (c PhantomCodec) Decode(buf []byte) (seq.Read, int, error) {
+	r, n, err := seq.DecodeWire(buf)
+	if err != nil {
+		return r, n, err
+	}
+	r.Seq = nil
+	return r, n, nil
+}
+
+// Input is one rank's share of the problem, as produced by the earlier
+// pipeline stages (partitioning, candidate discovery, task redistribution).
+type Input struct {
+	Part  *partition.Partition
+	Lens  []int32        // global read lengths (stage-2 metadata, all ranks)
+	Tasks []overlap.Task // tasks assigned to this rank (owner invariant holds)
+	Codec Codec
+	Reads *seq.ReadSet // global store; a rank touches only its own range
+	// directly (nil under the phantom codec)
+}
+
+// localSeq returns the sequence of a read owned by this rank (nil in
+// phantom mode).
+func (in *Input) localSeq(id seq.ReadID) seq.Seq {
+	if in.Reads == nil {
+		return nil
+	}
+	return in.Reads.Get(id).Seq
+}
+
+// PartitionBytes returns the wire size of rank r's read partition — the
+// input-residency baseline of the memory-footprint figures.
+func (in *Input) PartitionBytes(r int) int64 {
+	lo, hi := in.Part.Range(r)
+	var n int64
+	for i := lo; i < hi; i++ {
+		n += int64(seq.WireSizeOf(int(in.Lens[i])))
+	}
+	return n
+}
+
+// Result is one rank's outcome plus driver-level counters that the
+// experiment harness reads alongside rt.Metrics.
+type Result struct {
+	Hits              []Hit
+	LocalTasks        int   // tasks with both reads local
+	RemoteTasks       int   // tasks needing a fetch
+	RemoteReads       int   // distinct remote reads fetched
+	Supersteps        int   // BSP: exchange rounds executed (async: 0)
+	ExchangeRecvBytes int64 // BSP: payload bytes received (Figure 6 series)
+	TasksStolen       int   // stealing driver: tasks this rank executed for others
+	TasksShed         int   // stealing driver: tasks handed away by this rank
+}
+
+// validate checks the owner invariant over the rank's tasks.
+func (in *Input) validate(rank int) error {
+	for _, t := range in.Tasks {
+		if in.Part.Owner(t.A) != rank && in.Part.Owner(t.B) != rank {
+			return fmt.Errorf("core: rank %d holds task (%d,%d) owning neither read", rank, t.A, t.B)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"time"
+
+	"gnbody/internal/align"
+	"gnbody/internal/overlap"
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+)
+
+// Executor runs (or prices) one alignment task. The drivers are agnostic:
+// the real executor times the actual X-drop kernel; the model executor
+// charges the simulator's cost model; the no-op executor skips computation
+// entirely (the paper's communication-benchmarking mode, §4.3).
+type Executor interface {
+	// Align processes task t given the two sequences (b may be the
+	// remotely-fetched copy; either may be nil under the phantom codec).
+	// ok reports whether a result was produced.
+	Align(r rt.Runtime, t overlap.Task, a, b seq.Seq) (res align.Result, ok bool)
+}
+
+// RealExecutor runs the X-drop seed-and-extend kernel under wall-clock
+// timing (rt.CatAlign).
+type RealExecutor struct {
+	Scoring align.Scoring
+	X       int
+}
+
+// Align runs the kernel. Seeds are validated at candidate construction, so
+// a kernel error here is a programming error and panics.
+func (e RealExecutor) Align(r rt.Runtime, t overlap.Task, a, b seq.Seq) (align.Result, bool) {
+	var res align.Result
+	var err error
+	r.Timed(rt.CatAlign, func() {
+		res, err = overlap.AlignTask(a, b, t, e.Scoring, e.X)
+	})
+	if err != nil {
+		panic("core: invalid task reached the aligner: " + err.Error())
+	}
+	return res, true
+}
+
+// TaskMeta gives the model executor what it needs to price and score a
+// task without sequences: the true overlap length (0 for a false-positive
+// candidate). Workload generators provide it from planted ground truth.
+type TaskMeta func(t overlap.Task) (overlapLen int, falsePositive bool)
+
+// ModelExecutor prices tasks with align.CostModel and synthesises scores
+// from ground truth (score = true overlap length; false positives score 0,
+// mirroring X-drop early termination). Deterministic, so BSP and Async
+// produce identical hits in simulation too.
+type ModelExecutor struct {
+	Model    align.CostModel
+	Meta     TaskMeta
+	Overhead time.Duration // per-task data-structure traversal cost (Figure 13)
+}
+
+// Align charges the modeled cost and returns the synthetic result.
+func (e ModelExecutor) Align(r rt.Runtime, t overlap.Task, _, _ seq.Seq) (align.Result, bool) {
+	ov, fp := e.Meta(t)
+	if e.Overhead > 0 {
+		r.Charge(rt.CatOverhead, e.Overhead)
+	}
+	r.Charge(rt.CatAlign, e.Model.TaskCost(ov, fp))
+	score := ov
+	if fp {
+		score = 0
+	}
+	return align.Result{Score: score}, true
+}
+
+// NoopExecutor skips the pairwise alignment computation but leaves every
+// other step intact — the mode the paper added to both codes to measure
+// absolute communication latency (§4.3).
+type NoopExecutor struct{}
+
+// Align does nothing.
+func (NoopExecutor) Align(rt.Runtime, overlap.Task, seq.Seq, seq.Seq) (align.Result, bool) {
+	return align.Result{}, false
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gnbody/internal/seq"
+)
+
+// PackedCodec is RealCodec with 2-bit base packing for N-free reads:
+// roughly a 4x wire-size reduction on clean data, trading pack/unpack CPU
+// for exchange volume — the §5 bandwidth-vs-compute trade from the other
+// side. Reads containing N fall back to byte encoding.
+//
+// Wire format per read:
+//
+//	[4B id][4B length with bit31 = packed flag][payload]
+//
+// where payload is ceil(len/4) packed bytes or len raw base codes.
+type PackedCodec struct{ Reads *seq.ReadSet }
+
+const packedFlag = 1 << 31
+
+// Encode appends the packed wire form of read id.
+func (c PackedCodec) Encode(dst []byte, id seq.ReadID) []byte {
+	r := c.Reads.Get(id)
+	s := r.Seq
+	packed := true
+	for _, b := range s {
+		if b >= seq.N {
+			packed = false
+			break
+		}
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(id))
+	n := uint32(len(s))
+	if packed {
+		n |= packedFlag
+	}
+	binary.LittleEndian.PutUint32(hdr[4:], n)
+	dst = append(dst, hdr[:]...)
+	if !packed {
+		for _, b := range s {
+			dst = append(dst, byte(b))
+		}
+		return dst
+	}
+	var cur byte
+	for i, b := range s {
+		cur |= byte(b) << uint((i%4)*2)
+		if i%4 == 3 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(s)%4 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// WireSize returns the packed wire size of read id.
+func (c PackedCodec) WireSize(id seq.ReadID) int {
+	s := c.Reads.Get(id).Seq
+	for _, b := range s {
+		if b >= seq.N {
+			return 8 + len(s)
+		}
+	}
+	return 8 + (len(s)+3)/4
+}
+
+// Decode parses one packed wire read.
+func (c PackedCodec) Decode(buf []byte) (seq.Read, int, error) {
+	if len(buf) < 8 {
+		return seq.Read{}, 0, fmt.Errorf("core: packed wire: short header")
+	}
+	id := binary.LittleEndian.Uint32(buf[0:4])
+	nf := binary.LittleEndian.Uint32(buf[4:8])
+	packed := nf&packedFlag != 0
+	n := int(nf &^ packedFlag)
+	body := 8 + n
+	if packed {
+		body = 8 + (n+3)/4
+	}
+	if len(buf) < body {
+		return seq.Read{}, 0, fmt.Errorf("core: packed wire: short body (%d < %d)", len(buf), body)
+	}
+	s := make(seq.Seq, n)
+	if packed {
+		for i := 0; i < n; i++ {
+			s[i] = seq.Base(buf[8+i/4] >> uint((i%4)*2) & 3)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			b := buf[8+i]
+			if b >= seq.NumBases {
+				return seq.Read{}, 0, fmt.Errorf("core: packed wire: invalid base %d", b)
+			}
+			s[i] = seq.Base(b)
+		}
+	}
+	return seq.Read{ID: seq.ReadID(id), Seq: s}, body, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+)
+
+// The async drivers' RPC request protocol. Every request starts with a
+// one-byte op code; the remainder is op-specific.
+const (
+	// reqRead asks the owner for one or more of its reads:
+	// [op][4-byte read id]... — the response is the concatenated wire
+	// encodings. A batch of size one is the paper's per-read pull; larger
+	// batches are the §5 "more aggregation" variant.
+	reqRead = 0x01
+	// reqSteal asks the victim to hand over up to max pending task
+	// groups: [op][4-byte max] — the response is a stolen-work bundle
+	// (see steal.go), empty when the victim has nothing left.
+	reqSteal = 0x02
+)
+
+// encodeReadReq builds a reqRead request for the given ids.
+func encodeReadReq(ids ...seq.ReadID) []byte {
+	buf := make([]byte, 1+4*len(ids))
+	buf[0] = reqRead
+	for i, id := range ids {
+		binary.LittleEndian.PutUint32(buf[1+4*i:], uint32(id))
+	}
+	return buf
+}
+
+// decodeReadReq parses a reqRead payload (after the op byte).
+func decodeReadReq(body []byte) ([]seq.ReadID, error) {
+	if len(body)%4 != 0 {
+		return nil, fmt.Errorf("core: ragged read request (%d payload bytes)", len(body))
+	}
+	ids := make([]seq.ReadID, len(body)/4)
+	for i := range ids {
+		ids[i] = seq.ReadID(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	return ids, nil
+}
+
+// readServer answers reqRead lookups into this rank's partition. Drivers
+// needing more ops (stealing) wrap it.
+func readServer(r rt.Runtime, in *Input) func([]byte) []byte {
+	lo, hi := in.Part.Range(r.Rank())
+	return func(req []byte) []byte {
+		if len(req) == 0 || req[0] != reqRead {
+			panic(fmt.Sprintf("core: rank %d got unknown request op %v", r.Rank(), req))
+		}
+		ids, err := decodeReadReq(req[1:])
+		if err != nil {
+			panic(err.Error())
+		}
+		var out []byte
+		for _, id := range ids {
+			if int(id) < lo || int(id) >= hi {
+				panic(fmt.Sprintf("core: rank %d asked for read %d outside its partition [%d,%d)",
+					r.Rank(), id, lo, hi))
+			}
+			out = in.Codec.Encode(out, id)
+		}
+		return out
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"gnbody/internal/align"
+	"gnbody/internal/overlap"
+	"gnbody/internal/seq"
+)
+
+// SerialHits is the independent single-threaded reference: it aligns every
+// task directly with the X-drop kernel and applies the score criterion.
+// The distributed drivers must reproduce its result set exactly, for every
+// rank count and memory budget — the test suite's central invariant.
+func SerialHits(reads *seq.ReadSet, tasks []overlap.Task, sc align.Scoring, x, minScore int) ([]Hit, error) {
+	var hits []Hit
+	for _, t := range tasks {
+		res, err := overlap.AlignTask(reads.Get(t.A).Seq, reads.Get(t.B).Seq, t, sc, x)
+		if err != nil {
+			return nil, err
+		}
+		if res.Score >= minScore {
+			hits = append(hits, mkHit(t, res))
+		}
+	}
+	SortHits(hits)
+	return hits, nil
+}
+
+// SerialModelHits is the reference for model-mode runs: scores come from
+// the same ground-truth function the ModelExecutor uses.
+func SerialModelHits(tasks []overlap.Task, meta TaskMeta, minScore int) []Hit {
+	var hits []Hit
+	for _, t := range tasks {
+		ov, fp := meta(t)
+		score := ov
+		if fp {
+			score = 0
+		}
+		if score >= minScore {
+			hits = append(hits, Hit{A: t.A, B: t.B, Score: int32(score)})
+		}
+	}
+	SortHits(hits)
+	return hits
+}

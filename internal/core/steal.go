@@ -1,0 +1,291 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gnbody/internal/overlap"
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+)
+
+// RunAsyncStealing is the asynchronous driver extended with dynamic load
+// balancing — the future work §5 motivates: "The variability in
+// computational costs ... perhaps motivates a dynamic approach, but whether
+// the performance improvements can compensate for the overheads of dynamic
+// load balancing in practice will be the question."
+//
+// The static structure is RunAsync's. Additionally, every rank exposes the
+// *unissued tail* of its remote-read task groups to work stealing: a rank
+// that exhausts its own queue probes peers with reqSteal; a victim hands
+// over up to StealBatch groups from the tail of its queue. The thief must
+// then fetch *both* reads of each stolen task (neither may be local to
+// it) — the very overhead the paper's question is about, measured here by
+// the extra RPC traffic and the stolen-task counters.
+//
+// The result-set invariant is unchanged: hits across ranks equal the
+// serial reference (the ablation benches compare sync time and runtime
+// against RunAsync).
+func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
+	cfg.defaults()
+	if err := in.validate(r.Rank()); err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	var store *ptrStore
+	r.Timed(rt.CatOverhead, func() { store = buildPtrStore(in, r.Rank()) })
+	out.LocalTasks = len(store.local)
+	out.RemoteReads = len(store.order)
+	for _, ts := range store.byRemote {
+		out.RemoteTasks += len(ts)
+	}
+
+	base := in.PartitionBytes(r.Rank())
+	r.Alloc(base)
+	defer r.Free(base)
+
+	// The steal queue: store.order[next..tail] is unclaimed. The owner
+	// consumes from the front; steal requests pop from the tail. Both run
+	// on this rank's goroutine (handlers execute during polling), so plain
+	// variables suffice.
+	next, tail := 0, len(store.order)-1
+
+	readHandler := readServer(r, in)
+	r.Serve(func(req []byte) []byte {
+		if len(req) > 0 && req[0] == reqSteal {
+			max := int(binary.LittleEndian.Uint32(req[1:]))
+			var bundle []byte
+			for n := 0; n < max && next <= tail; n++ {
+				rid := store.order[tail]
+				tail--
+				bundle = appendStolenGroup(bundle, rid, store.byRemote[rid])
+				out.TasksShed += len(store.byRemote[rid])
+			}
+			return bundle
+		}
+		return readHandler(req)
+	})
+
+	var cbErr error
+	wait := r.SplitBarrier()
+	for i, t := range store.local {
+		execLocal(r, in, &cfg, *t, out)
+		if (i+1)%cfg.PollEvery == 0 {
+			r.Progress()
+		}
+	}
+	wait()
+
+	// Phase 1: own queue, front to wherever stealing leaves it.
+	for next <= tail {
+		rid := store.order[next]
+		next++
+		tasks := store.byRemote[rid]
+		r.AsyncCall(in.Part.Owner(rid), encodeReadReq(rid), func(val []byte) {
+			n := int64(len(val))
+			r.Alloc(n)
+			defer r.Free(n)
+			read, used, err := in.Codec.Decode(val)
+			if err != nil || used != len(val) {
+				cbErr = fmt.Errorf("core: rank %d: bad RPC payload for read %d: %v", r.Rank(), rid, err)
+				return
+			}
+			for i, t := range tasks {
+				execTask(r, in, &cfg, *t, read.Seq, t.A == rid, out)
+				if (i+1)%cfg.PollEvery == 0 {
+					r.Progress()
+				}
+			}
+		})
+		if r.Outstanding() > cfg.MaxOutstanding {
+			r.Drain(cfg.MaxOutstanding)
+		}
+	}
+	r.Drain(0)
+
+	// Phase 2: steal. Sweep the other ranks; stop after a full sweep
+	// yields nothing anywhere.
+	pendingWork := 0
+	if r.Size() > 1 {
+		for {
+			gotAny := false
+			for off := 1; off < r.Size(); off++ {
+				victim := (r.Rank() + off) % r.Size()
+				var req [5]byte
+				req[0] = reqSteal
+				binary.LittleEndian.PutUint32(req[1:], uint32(cfg.StealBatch))
+				var bundle []byte
+				got := false
+				r.AsyncCall(victim, req[:], func(val []byte) {
+					bundle = val
+					got = true
+				})
+				r.Drain(0)
+				if !got || len(bundle) == 0 {
+					continue
+				}
+				gotAny = true
+				groups, err := decodeStolenGroups(bundle)
+				if err != nil {
+					return nil, fmt.Errorf("core: rank %d: bad steal bundle from %d: %v", r.Rank(), victim, err)
+				}
+				for _, g := range groups {
+					out.TasksStolen += len(g.tasks)
+					pendingWork++
+					runStolenGroupImpl(r, in, &cfg, g, out, &pendingWork, &cbErr)
+					if r.Outstanding() > cfg.MaxOutstanding {
+						r.Drain(cfg.MaxOutstanding)
+					}
+				}
+				// Finish this haul before probing further: steal targets
+				// shift as queues drain.
+				for pendingWork > 0 {
+					r.Drain(0)
+					if pendingWork > 0 {
+						r.Progress()
+					}
+				}
+			}
+			if !gotAny {
+				break
+			}
+		}
+	}
+	r.Drain(0)
+
+	// Single exit barrier: reads stay servable (and empty steal responses
+	// keep peers' sweeps terminating) until every rank is done.
+	r.Barrier()
+	if cbErr != nil {
+		return nil, cbErr
+	}
+	return out, nil
+}
+
+// stolenGroup is one remote-read task group handed to a thief.
+type stolenGroup struct {
+	rid   seq.ReadID
+	tasks []overlap.Task
+}
+
+// stolenTaskWire is the per-task wire size inside a steal bundle.
+const stolenTaskWire = 19
+
+func appendStolenGroup(dst []byte, rid seq.ReadID, tasks []*overlap.Task) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(rid))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(tasks)))
+	dst = append(dst, hdr[:]...)
+	for _, t := range tasks {
+		var rec [stolenTaskWire]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(t.A))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(t.B))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(t.Seed.PosA))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(t.Seed.PosB))
+		binary.LittleEndian.PutUint16(rec[16:], uint16(t.Seed.K))
+		if t.Seed.RC {
+			rec[18] = 1
+		}
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+func decodeStolenGroups(buf []byte) ([]stolenGroup, error) {
+	var out []stolenGroup
+	for len(buf) > 0 {
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("short group header")
+		}
+		g := stolenGroup{rid: seq.ReadID(binary.LittleEndian.Uint32(buf[0:]))}
+		n := int(binary.LittleEndian.Uint32(buf[4:]))
+		buf = buf[8:]
+		if len(buf) < n*stolenTaskWire {
+			return nil, fmt.Errorf("short group body")
+		}
+		for i := 0; i < n; i++ {
+			rec := buf[i*stolenTaskWire:]
+			g.tasks = append(g.tasks, overlap.Task{
+				A: seq.ReadID(binary.LittleEndian.Uint32(rec[0:])),
+				B: seq.ReadID(binary.LittleEndian.Uint32(rec[4:])),
+				Seed: overlap.Seed{
+					PosA: int32(binary.LittleEndian.Uint32(rec[8:])),
+					PosB: int32(binary.LittleEndian.Uint32(rec[12:])),
+					K:    int16(binary.LittleEndian.Uint16(rec[16:])),
+					RC:   rec[18] == 1,
+				},
+			})
+		}
+		buf = buf[n*stolenTaskWire:]
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// fetchSeq resolves one read for a thief: local partition reads come from
+// the store; anything else is pulled from its owner.
+func fetchSeq(r rt.Runtime, in *Input, id seq.ReadID, cb func(seq.Seq, error)) {
+	lo, hi := in.Part.Range(r.Rank())
+	if int(id) >= lo && int(id) < hi {
+		cb(in.localSeq(id), nil)
+		return
+	}
+	r.AsyncCall(in.Part.Owner(id), encodeReadReq(id), func(val []byte) {
+		n := int64(len(val))
+		r.Alloc(n)
+		defer r.Free(n)
+		read, used, err := in.Codec.Decode(val)
+		if err != nil || used != len(val) {
+			cb(nil, fmt.Errorf("bad payload for read %d: %v", id, err))
+			return
+		}
+		cb(read.Seq, nil)
+	})
+}
+
+// runStolenGroupImpl executes a stolen task group: fetch the group's
+// remote read, then per task fetch the other side (the victim's local
+// read — usually remote to the thief too: stealing pays double
+// communication, which is exactly the overhead §5 asks about).
+func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, g stolenGroup, out *Result, pendingWork *int, cbErr *error) {
+	fetchSeq(r, in, g.rid, func(ridSeq seq.Seq, err error) {
+		if err != nil {
+			*cbErr = err
+			*pendingWork--
+			return
+		}
+		remaining := len(g.tasks)
+		if remaining == 0 {
+			*pendingWork--
+			return
+		}
+		for _, t := range g.tasks {
+			t := t
+			other := t.A
+			if other == g.rid {
+				other = t.B
+			}
+			fetchSeq(r, in, other, func(otherSeq seq.Seq, err error) {
+				if err != nil {
+					*cbErr = err
+				} else {
+					var a, b seq.Seq
+					if in.Reads != nil || otherSeq != nil || ridSeq != nil {
+						if t.A == g.rid {
+							a, b = ridSeq, otherSeq
+						} else {
+							a, b = otherSeq, ridSeq
+						}
+					}
+					if res, ok := cfg.Exec.Align(r, t, a, b); ok && res.Score >= cfg.MinScore {
+						out.Hits = append(out.Hits, mkHit(t, res))
+					}
+				}
+				remaining--
+				if remaining == 0 {
+					*pendingWork--
+				}
+			})
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gnbody/internal/align"
+	"gnbody/internal/par"
+	"gnbody/internal/partition"
+	"gnbody/internal/rt"
+	"gnbody/internal/sim"
+)
+
+// runRealMode extends runReal with driver selection by name.
+func runRealMode(t *testing.T, w *testWorkload, p int, driver string, exec Executor, cfg Config) ([]Hit, []*Result) {
+	t.Helper()
+	lens := w.lens()
+	lensInt := make([]int, len(lens))
+	for i, l := range lens {
+		lensInt[i] = int(l)
+	}
+	pt, err := partition.BySize(lensInt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRank := partition.AssignTasks(w.tasks, pt)
+	world, err := par.NewWorld(par.Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	cfg.Exec = exec
+	world.Run(func(r rt.Runtime) {
+		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
+			Codec: RealCodec{Reads: w.reads}, Reads: w.reads}
+		switch driver {
+		case "steal":
+			results[r.Rank()], errs[r.Rank()] = RunAsyncStealing(r, in, cfg)
+		case "async":
+			results[r.Rank()], errs[r.Rank()] = RunAsync(r, in, cfg)
+		default:
+			results[r.Rank()], errs[r.Rank()] = RunBSP(r, in, cfg)
+		}
+	})
+	var hits []Hit
+	for rk := 0; rk < p; rk++ {
+		if errs[rk] != nil {
+			t.Fatalf("rank %d: %v", rk, errs[rk])
+		}
+		hits = append(hits, results[rk].Hits...)
+	}
+	SortHits(hits)
+	return hits, results
+}
+
+func TestStealingMatchesSerial(t *testing.T) {
+	w := makeWorkload(t, 9000, 6, 101)
+	sc := align.DefaultScoring()
+	want, err := SerialHits(w.reads, w.tasks, sc, 15, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 3, 6} {
+		got, _ := runRealMode(t, w, p, "steal", RealExecutor{Scoring: sc, X: 15},
+			Config{MinScore: 40, StealBatch: 4})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("P=%d: stealing driver %d hits, serial %d", p, len(got), len(want))
+		}
+	}
+}
+
+func TestStealingActuallySteals(t *testing.T) {
+	// Skew the load: a model executor that makes rank-0-owned tasks very
+	// expensive forces other ranks to finish early and steal.
+	w := makeWorkload(t, 9000, 6, 103)
+	meta := taskMetaFromTruth(w)
+	exec := ModelExecutor{
+		Model: align.CostModel{PerTask: time.Microsecond, PerCell: time.Nanosecond, Band: 31, FPCells: 1000},
+		Meta:  meta,
+	}
+	// Run under the simulator so costs actually skew the timeline.
+	lens := w.lens()
+	lensInt := make([]int, len(lens))
+	for i, l := range lens {
+		lensInt[i] = int(l)
+	}
+	const p = 4
+	pt, _ := partition.BySize(lensInt, p)
+	byRank := partition.AssignTasks(w.tasks, pt)
+	// Pile every task onto rank 0 to force stealing.
+	heavy := byRank[0]
+	for rk := 1; rk < p; rk++ {
+		heavy = append(heavy, byRank[rk]...)
+		byRank[rk] = nil
+	}
+	// Keep the owner invariant: only tasks owning a rank-0 read may stay.
+	filtered := heavy[:0]
+	var displaced int
+	for _, task := range heavy {
+		if pt.Owner(task.A) == 0 || pt.Owner(task.B) == 0 {
+			filtered = append(filtered, task)
+		} else {
+			displaced++
+		}
+	}
+	byRank[0] = filtered
+	if displaced > 0 {
+		t.Logf("dropped %d tasks not owned by rank 0 (invariant)", displaced)
+	}
+	eng, err := sim.NewEngine(sim.Config{Machine: sim.CoriKNL(), Nodes: 1, RanksPerNode: p, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	if err := eng.Run(func(r rt.Runtime) {
+		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}}
+		results[r.Rank()], errs[r.Rank()] = RunAsyncStealing(r, in, Config{Exec: exec, MinScore: 1, StealBatch: 4})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stolen, shed := 0, 0
+	for rk := 0; rk < p; rk++ {
+		if errs[rk] != nil {
+			t.Fatalf("rank %d: %v", rk, errs[rk])
+		}
+		stolen += results[rk].TasksStolen
+		shed += results[rk].TasksShed
+	}
+	if stolen == 0 || shed == 0 {
+		t.Errorf("no stealing under extreme skew: stolen=%d shed=%d", stolen, shed)
+	}
+	if stolen != shed {
+		t.Errorf("stolen %d != shed %d", stolen, shed)
+	}
+	// And the result set must still match the non-stealing reference.
+	wantHits := SerialModelHits(byRank[0], meta, 1)
+	var got []Hit
+	for _, res := range results {
+		got = append(got, res.Hits...)
+	}
+	SortHits(got)
+	if !reflect.DeepEqual(got, wantHits) {
+		t.Errorf("stealing changed the result set: %d vs %d hits", len(got), len(wantHits))
+	}
+}
+
+func TestFetchBatchEquivalence(t *testing.T) {
+	w := makeWorkload(t, 9000, 6, 107)
+	sc := align.DefaultScoring()
+	want, err := SerialHits(w.reads, w.tasks, sc, 15, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 4, 64} {
+		got, results := runRealMode(t, w, 5, "async", RealExecutor{Scoring: sc, X: 15},
+			Config{MinScore: 40, FetchBatch: batch})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("FetchBatch=%d: %d hits, serial %d", batch, len(got), len(want))
+		}
+		for rk, res := range results {
+			if res.RemoteTasks+res.LocalTasks == 0 && len(res.Hits) > 0 {
+				t.Errorf("FetchBatch=%d rank %d: hits without tasks", batch, rk)
+			}
+		}
+	}
+}
+
+func TestFetchBatchReducesRPCs(t *testing.T) {
+	w := makeWorkload(t, 9000, 6, 109)
+	meta := taskMetaFromTruth(w)
+	exec := ModelExecutor{Model: align.DefaultCostModel(), Meta: meta}
+	rpcs := func(batch int) int64 {
+		lens := w.lens()
+		lensInt := make([]int, len(lens))
+		for i, l := range lens {
+			lensInt[i] = int(l)
+		}
+		const p = 4
+		pt, _ := partition.BySize(lensInt, p)
+		byRank := partition.AssignTasks(w.tasks, pt)
+		eng, err := sim.NewEngine(sim.Config{Machine: sim.CoriKNL(), Nodes: 2, RanksPerNode: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(func(r rt.Runtime) {
+			in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}}
+			if _, err := RunAsync(r, in, Config{Exec: exec, MinScore: 1, FetchBatch: batch}); err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for i := 0; i < eng.Ranks(); i++ {
+			total += eng.Metrics(i).RPCsSent
+		}
+		return total
+	}
+	one, sixteen := rpcs(1), rpcs(16)
+	if sixteen >= one {
+		t.Errorf("FetchBatch=16 issued %d RPCs, FetchBatch=1 issued %d", sixteen, one)
+	}
+	if sixteen < one/32 {
+		t.Errorf("suspiciously few RPCs with batching: %d vs %d", sixteen, one)
+	}
+}

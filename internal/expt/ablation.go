@@ -1,0 +1,191 @@
+package expt
+
+import (
+	"fmt"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/sim"
+	"gnbody/internal/stats"
+	"gnbody/internal/workload"
+)
+
+// Ablations for the design choices the paper calls out (DESIGN.md §7).
+
+// AblationOutstanding sweeps the asynchronous driver's outstanding-request
+// cap (§4.3 speculates "varying limits on outgoing requests" could improve
+// the 8-16 node latency anomaly). Communication-only mode isolates the
+// effect.
+func AblationOutstanding(p Params, caps []int) (*stats.Table, []*Row, error) {
+	p = p.defaults()
+	if len(caps) == 0 {
+		caps = []int{1, 4, 16, 64, 256, 1024}
+	}
+	w, err := workload.Synthesize(workload.HumanCCS, p.ScaleHumanCCS, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := 8
+	if len(p.Nodes) > 0 {
+		nodes = p.Nodes[0]
+	}
+	var rows []*Row
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: async outstanding-request cap (Human CCS, %d nodes, compute skipped)", nodes),
+		Headers: []string{"cap", "avg-comm", "max-comm", "runtime"},
+	}
+	for _, c := range caps {
+		row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: nodes,
+			RanksPerNode: p.RanksPerNode, Mode: Async, SkipCompute: true,
+			MaxOutstanding: c, Seed: p.Seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprint(c), stats.FmtDur(row.Cat[rt.CatComm]),
+			stats.FmtDur(row.CatMax[rt.CatComm]), stats.FmtDur(row.Runtime))
+	}
+	return t, rows, nil
+}
+
+// AblationAggregation contrasts BSP under shrinking memory budgets: less
+// aggregation → more supersteps → more synchronization and per-round
+// latency (the §5 argument that memory enables aggregation enables
+// performance). Budget factors scale the default budget.
+func AblationAggregation(p Params, factors []float64) (*stats.Table, []*Row, error) {
+	p = p.defaults()
+	if len(factors) == 0 {
+		factors = []float64{1, 0.5, 0.25, 0.125, 0.0625}
+	}
+	w, err := workload.Synthesize(workload.HumanCCS, p.ScaleHumanCCS, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := 8
+	if len(p.Nodes) > 0 {
+		nodes = p.Nodes[0]
+	}
+	var rows []*Row
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: BSP aggregation vs memory budget (Human CCS, %d nodes)", nodes),
+		Headers: []string{"budget", "steps", "comm", "sync", "runtime"},
+	}
+	for _, f := range factors {
+		m := sim.CoriKNL()
+		// Scale the budget by shrinking per-core memory.
+		m.AppMemPerCore = int64(float64(m.AppMemPerCore) * f)
+		row, err := RunSim(SimSpec{Workload: w, Machine: m, Nodes: nodes,
+			RanksPerNode: p.RanksPerNode, Mode: BSP, Seed: p.Seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+		t.AddRow(stats.FmtBytes(row.MemBudget), fmt.Sprint(row.Supersteps),
+			stats.FmtDur(row.Cat[rt.CatComm]), stats.FmtDur(row.Cat[rt.CatSync]),
+			stats.FmtDur(row.Runtime))
+	}
+	return t, rows, nil
+}
+
+// AblationDynamicBalance compares the static async driver against the
+// work-stealing variant — §5's open question: "whether the performance
+// improvements can compensate for the overheads of dynamic load balancing
+// in practice".
+func AblationDynamicBalance(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	nodes := p.nodesOr([]int{8, 32, 128})
+	w, err := workload.Synthesize(workload.HumanCCS, p.ScaleHumanCCS, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[Mode][]*Row{}
+	t := &stats.Table{
+		Title:   "Ablation: dynamic load balancing (work stealing) vs static assignment, Human CCS",
+		Headers: []string{"nodes", "mode", "runtime", "sync", "comm", "stolen", "vs-static"},
+	}
+	for _, n := range nodes {
+		var rows [2]*Row
+		for i, mode := range []Mode{Async, AsyncSteal} {
+			row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: n,
+				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			out[mode] = append(out[mode], row)
+			rows[i] = row
+		}
+		for i, row := range rows {
+			vs := ""
+			if i == 1 {
+				vs = stats.FmtPct(float64(rows[1].Runtime) / float64(rows[0].Runtime))
+			}
+			t.AddRow(fmt.Sprint(n), string(row.Mode), stats.FmtDur(row.Runtime),
+				stats.FmtDur(row.Cat[rt.CatSync]), stats.FmtDur(row.Cat[rt.CatComm]),
+				fmt.Sprint(row.TasksStolen), vs)
+		}
+	}
+	return t, out, nil
+}
+
+// AblationFetchBatch sweeps the async driver's reads-per-RPC on the
+// high-latency network — §5: "on a high-latency network however, we would
+// expect more aggregation to be necessary". Computation is skipped so the
+// sweep isolates the communication effect (the regime where §5's argument
+// bites: per-message latency has outrun per-task compute).
+func AblationFetchBatch(p Params, batches []int) (*stats.Table, []*Row, error) {
+	p = p.defaults()
+	if len(batches) == 0 {
+		batches = []int{1, 4, 16, 64}
+	}
+	w, err := workload.Synthesize(workload.EColi100x, p.ScaleEColi100x, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := 32
+	if len(p.Nodes) > 0 {
+		nodes = p.Nodes[0]
+	}
+	var rows []*Row
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: async aggregation (reads per RPC) on a 30us network (E. coli 100x, %d nodes)", nodes),
+		Headers: []string{"fetch-batch", "runtime", "comm", "rpcs", "maxmem"},
+	}
+	for _, b := range batches {
+		row, err := RunSim(SimSpec{Workload: w, Machine: sim.HighLatencyCloud(), Nodes: nodes,
+			RanksPerNode: p.RanksPerNode, Mode: Async, FetchBatch: b, SkipCompute: true, Seed: p.Seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprint(b), stats.FmtDur(row.Runtime), stats.FmtDur(row.Cat[rt.CatComm]),
+			stats.FmtCount(row.RPCsSent), stats.FmtBytes(row.MaxMem))
+	}
+	return t, rows, nil
+}
+
+// AblationNetwork reruns the Figure 8 comparison on the high-latency cloud
+// preset: §5 predicts the asynchronous approach needs more aggregation once
+// per-message latency overtakes per-task compute.
+func AblationNetwork(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	nodes := p.nodesOr([]int{8, 32, 128})
+	w, err := workload.Synthesize(workload.EColi100x, p.ScaleEColi100x, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[Mode][]*Row{}
+	var rows []*Row
+	for _, n := range nodes {
+		for _, mode := range []Mode{BSP, Async} {
+			row, err := RunSim(SimSpec{Workload: w, Machine: sim.HighLatencyCloud(), Nodes: n,
+				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			out[mode] = append(out[mode], row)
+			rows = append(rows, row)
+		}
+	}
+	t := breakdownTable("Ablation: E. coli 100x on a high-latency (30us) network", rows)
+	addNormalizedRuntime(t, out)
+	return t, out, nil
+}

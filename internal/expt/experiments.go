@@ -1,0 +1,386 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/sim"
+	"gnbody/internal/stats"
+	"gnbody/internal/workload"
+)
+
+// Params controls experiment sizing. Zero values select the defaults
+// recorded in EXPERIMENTS.md; benchmarks shrink them for wall-clock budget.
+type Params struct {
+	ScaleEColi30x  int // workload scale divisors (Table 1 ÷ scale)
+	ScaleEColi100x int
+	ScaleHumanCCS  int
+	RanksPerNode   int   // simulated ranks per node (each stands for 64/rpn cores)
+	Nodes          []int // node counts for strong-scaling sweeps
+	Seed           int64
+}
+
+func (p Params) defaults() Params {
+	if p.ScaleEColi30x <= 0 {
+		p.ScaleEColi30x = 8
+	}
+	if p.ScaleEColi100x <= 0 {
+		p.ScaleEColi100x = 64
+	}
+	if p.ScaleHumanCCS <= 0 {
+		p.ScaleHumanCCS = 256
+	}
+	if p.RanksPerNode <= 0 {
+		p.RanksPerNode = 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+func (p Params) nodesOr(def []int) []int {
+	if len(p.Nodes) > 0 {
+		return p.Nodes
+	}
+	return def
+}
+
+// Table1 reproduces Table 1: the workload inventory, paper counts beside
+// the synthesized scaled counts.
+func Table1(p Params) (*stats.Table, []*workload.Workload, error) {
+	p = p.defaults()
+	scales := []int{p.ScaleEColi30x, p.ScaleEColi100x, p.ScaleHumanCCS}
+	t := &stats.Table{
+		Title: "Table 1: workloads (paper counts vs synthesized at 1/scale)",
+		Headers: []string{"dataset", "species", "paper-reads", "paper-tasks",
+			"scale", "reads", "tasks", "true", "false", "bases"},
+	}
+	var ws []*workload.Workload
+	for i, preset := range workload.Presets {
+		w, err := workload.Synthesize(preset, scales[i], p.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		ws = append(ws, w)
+		t.AddRow(preset.Name, preset.Species,
+			stats.FmtCount(int64(preset.PaperReads)), stats.FmtCount(preset.PaperTasks),
+			fmt.Sprintf("1/%d", scales[i]),
+			stats.FmtCount(int64(len(w.Lens))), stats.FmtCount(int64(len(w.Tasks))),
+			stats.FmtCount(int64(w.TrueTasks)), stats.FmtCount(int64(w.FalseTasks)),
+			stats.FmtBytes(w.TotalBases()))
+	}
+	return t, ws, nil
+}
+
+// Fig3 reproduces Figure 3: single-node runtime breakdowns for E. coli 30×,
+// BSP vs Async, with all 68 cores running the application (OS noise) versus
+// 64 cores plus 4 isolating system overhead.
+func Fig3(p Params) (*stats.Table, []*Row, error) {
+	p = p.defaults()
+	w, err := workload.Synthesize(workload.EColi30x, p.ScaleEColi30x, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []*Row
+	for _, m := range []sim.Machine{sim.CoriKNLNoIsolation(), sim.CoriKNL()} {
+		for _, mode := range []Mode{BSP, Async} {
+			row, err := RunSim(SimSpec{Workload: w, Machine: m, Nodes: 1,
+				RanksPerNode: m.CoresPerNode, Mode: mode, Seed: p.Seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	t := breakdownTable("Figure 3: E. coli 30x on 1 node, 68 cores (left) vs 64+4 cores (right)", rows)
+	return t, rows, nil
+}
+
+// Fig4 reproduces Figure 4: single-node (64+4 cores) runtime breakdowns on
+// two problem sizes, E. coli 30× and E. coli 100×.
+func Fig4(p Params) (*stats.Table, []*Row, error) {
+	p = p.defaults()
+	var rows []*Row
+	for _, spec := range []struct {
+		preset workload.Preset
+		scale  int
+	}{{workload.EColi30x, p.ScaleEColi30x}, {workload.EColi100x, p.ScaleEColi100x}} {
+		w, err := workload.Synthesize(spec.preset, spec.scale, p.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := sim.CoriKNL()
+		for _, mode := range []Mode{BSP, Async} {
+			row, err := RunSim(SimSpec{Workload: w, Machine: m, Nodes: 1,
+				RanksPerNode: m.CoresPerNode, Mode: mode, Seed: p.Seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	t := breakdownTable("Figure 4: 1-node breakdowns on two problem sizes (64+4 cores)", rows)
+	return t, rows, nil
+}
+
+// ccsSweep runs Human CCS across node counts in one mode.
+func ccsSweep(p Params, nodes []int, mode Mode, skipCompute bool) ([]*Row, error) {
+	w, err := workload.Synthesize(workload.HumanCCS, p.ScaleHumanCCS, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []*Row
+	for _, n := range nodes {
+		row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: n,
+			RanksPerNode: p.RanksPerNode, Mode: mode, SkipCompute: skipCompute, Seed: p.Seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig5 reproduces Figure 5: minimum, average and maximum cumulative
+// seed-and-extend time per rank, and the load imbalance (max/mean), strong
+// scaling Human CCS.
+func Fig5(p Params) (*stats.Table, []*Row, error) {
+	p = p.defaults()
+	nodes := p.nodesOr([]int{8, 16, 32, 64, 128, 256, 512})
+	rows, err := ccsSweep(p, nodes, BSP, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 5: cumulative seed-and-extend time and load imbalance, strong scaling Human CCS",
+		Headers: []string{"nodes", "ranks", "align-min", "align-avg", "align-max", "imbalance"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.Nodes), fmt.Sprint(r.Ranks),
+			stats.FmtDur(time.Duration(r.AlignTimes.Min*float64(time.Second))),
+			stats.FmtDur(time.Duration(r.AlignTimes.Mean()*float64(time.Second))),
+			stats.FmtDur(time.Duration(r.AlignTimes.Max*float64(time.Second))),
+			fmt.Sprintf("%.2f", r.AlignTimes.Imbalance()))
+	}
+	return t, rows, nil
+}
+
+// Fig6 reproduces Figure 6: the spread (max − min) of the bulk-synchronous
+// exchange loads — received read bytes per rank — strong scaling Human CCS.
+func Fig6(p Params) (*stats.Table, []*Row, error) {
+	p = p.defaults()
+	nodes := p.nodesOr([]int{8, 16, 32, 64, 128, 256, 512})
+	rows, err := ccsSweep(p, nodes, BSP, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 6: BSP exchange-load imbalance (received bytes per rank), Human CCS",
+		Headers: []string{"nodes", "ranks", "recv-min", "recv-max", "max-min", "imbalance"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.Nodes), fmt.Sprint(r.Ranks),
+			stats.FmtBytes(int64(r.RecvBytes.Min)), stats.FmtBytes(int64(r.RecvBytes.Max)),
+			stats.FmtBytes(int64(r.RecvBytes.Max-r.RecvBytes.Min)),
+			fmt.Sprintf("%.2f", r.RecvBytes.Imbalance()))
+	}
+	return t, rows, nil
+}
+
+// Fig7 reproduces Figure 7: absolute (unhidden) communication latency with
+// the computation skipped, BSP vs Async, strong scaling Human CCS.
+func Fig7(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	nodes := p.nodesOr([]int{8, 16, 32, 64, 128, 256, 512})
+	out := map[Mode][]*Row{}
+	for _, mode := range []Mode{BSP, Async} {
+		rows, err := ccsSweep(p, nodes, mode, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[mode] = rows
+	}
+	t := &stats.Table{
+		Title:   "Figure 7: communication latency with computation skipped, Human CCS",
+		Headers: []string{"nodes", "ranks", "BSP-avg-comm", "Async-avg-comm", "async/bsp"},
+	}
+	for i := range out[BSP] {
+		b, a := out[BSP][i], out[Async][i]
+		ratio := "-"
+		if b.Cat[rt.CatComm] > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(a.Cat[rt.CatComm])/float64(b.Cat[rt.CatComm]))
+		}
+		t.AddRow(fmt.Sprint(b.Nodes), fmt.Sprint(b.Ranks),
+			stats.FmtDur(b.Cat[rt.CatComm]), stats.FmtDur(a.Cat[rt.CatComm]), ratio)
+	}
+	return t, out, nil
+}
+
+// Fig8 reproduces Figure 8: comparative runtime breakdown strong scaling
+// E. coli 100× from 1 to 128 nodes — conditions optimal for BSP (a single
+// bandwidth-maximizing exchange fits in memory at every scale).
+func Fig8(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	nodes := p.nodesOr([]int{1, 2, 4, 8, 16, 32, 64, 128})
+	w, err := workload.Synthesize(workload.EColi100x, p.ScaleEColi100x, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[Mode][]*Row{}
+	var rows []*Row
+	for _, n := range nodes {
+		for _, mode := range []Mode{BSP, Async} {
+			row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: n,
+				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			out[mode] = append(out[mode], row)
+			rows = append(rows, row)
+		}
+	}
+	t := breakdownTable("Figure 8: strong scaling E. coli 100x (single-superstep BSP regime)", rows)
+	addNormalizedRuntime(t, out)
+	return t, out, nil
+}
+
+// addNormalizedRuntime appends the Async-vs-BSP efficiency series the
+// paper overlays on Figures 8-10.
+func addNormalizedRuntime(t *stats.Table, out map[Mode][]*Row) {
+	for i := range out[BSP] {
+		b, a := out[BSP][i], out[Async][i]
+		t.AddRow(b.Workload, fmt.Sprint(b.Nodes), fmt.Sprint(b.Ranks), "Async/BSP",
+			stats.FmtPct(float64(a.Runtime)/float64(b.Runtime)), "", "", "", "", "")
+	}
+}
+
+// Fig9 reproduces Figure 9: Human CCS from 8 to 64 nodes, where the BSP
+// exchange exceeds per-rank memory and must run multiple supersteps.
+func Fig9(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	return ccsBreakdown(p, p.nodesOr([]int{8, 16, 32, 64}),
+		"Figure 9: Human CCS, 8-64 nodes (memory-limited multi-round BSP)")
+}
+
+// Fig10 reproduces Figure 10: Human CCS from 64 to 512 nodes, where a
+// single superstep fits.
+func Fig10(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	return ccsBreakdown(p, p.nodesOr([]int{64, 128, 256, 512}),
+		"Figure 10: Human CCS, 64-512 nodes (single-superstep BSP)")
+}
+
+func ccsBreakdown(p Params, nodes []int, title string) (*stats.Table, map[Mode][]*Row, error) {
+	out := map[Mode][]*Row{}
+	var rows []*Row
+	for _, mode := range []Mode{BSP, Async} {
+		rs, err := ccsSweep(p, nodes, mode, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[mode] = rs
+	}
+	for i := range out[BSP] {
+		rows = append(rows, out[BSP][i], out[Async][i])
+	}
+	t := breakdownTable(title, rows)
+	addNormalizedRuntime(t, out)
+	return t, out, nil
+}
+
+// Fig11 reproduces Figure 11: maximum per-rank memory footprint of both
+// approaches vs the application-available budget and the estimated
+// all-at-once exchange requirement, strong scaling Human CCS.
+func Fig11(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	nodes := p.nodesOr([]int{8, 16, 32, 64, 128, 256, 512})
+	out := map[Mode][]*Row{}
+	for _, mode := range []Mode{BSP, Async} {
+		rows, err := ccsSweep(p, nodes, mode, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[mode] = rows
+	}
+	t := &stats.Table{
+		Title: "Figure 11: max per-rank memory footprint, Human CCS",
+		Headers: []string{"nodes", "ranks", "BSP-maxmem", "Async-maxmem",
+			"budget", "est-1-round", "BSP-steps"},
+	}
+	for i := range out[BSP] {
+		b, a := out[BSP][i], out[Async][i]
+		// The paper's estimate: total exchange load ÷ ranks + average
+		// input partition size.
+		w := specWorkload(p)
+		est := int64(b.RecvBytes.Sum/float64(b.Ranks)) + w.TotalBases()/int64(b.Ranks)
+		t.AddRow(fmt.Sprint(b.Nodes), fmt.Sprint(b.Ranks),
+			stats.FmtBytes(b.MaxMem), stats.FmtBytes(a.MaxMem),
+			stats.FmtBytes(b.MemBudget), stats.FmtBytes(est), fmt.Sprint(b.Supersteps))
+	}
+	return t, out, nil
+}
+
+// specWorkload re-synthesizes the CCS workload for estimate arithmetic
+// (cached by Go's determinism: same seed, same counts).
+func specWorkload(p Params) *workload.Workload {
+	w, err := workload.Synthesize(workload.HumanCCS, p.ScaleHumanCCS, p.Seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Fig12 reproduces Figure 12: the Figure 11 footprints on an absolute scale
+// beside overall runtimes.
+func Fig12(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	_, out, err := Fig11(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{
+		Title: "Figure 12: memory footprint and runtime, Human CCS",
+		Headers: []string{"nodes", "BSP-maxmem", "Async-maxmem", "BSP-runtime",
+			"Async-runtime", "async/bsp"},
+	}
+	for i := range out[BSP] {
+		b, a := out[BSP][i], out[Async][i]
+		t.AddRow(fmt.Sprint(b.Nodes),
+			stats.FmtBytes(b.MaxMem), stats.FmtBytes(a.MaxMem),
+			stats.FmtDur(b.Runtime), stats.FmtDur(a.Runtime),
+			stats.FmtPct(float64(a.Runtime)/float64(b.Runtime)))
+	}
+	return t, out, nil
+}
+
+// Fig13 reproduces Figure 13: computational overhead of traversing the
+// local task structures — BSP flat arrays vs async pointer structures —
+// as a share of overall runtime, strong scaling Human CCS.
+func Fig13(p Params) (*stats.Table, map[Mode][]*Row, error) {
+	p = p.defaults()
+	nodes := p.nodesOr([]int{8, 16, 32, 64, 128, 256, 512})
+	out := map[Mode][]*Row{}
+	for _, mode := range []Mode{BSP, Async} {
+		rows, err := ccsSweep(p, nodes, mode, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[mode] = rows
+	}
+	t := &stats.Table{
+		Title: "Figure 13: local data-structure traversal overhead, Human CCS",
+		Headers: []string{"nodes", "ranks", "BSP-ovhd", "BSP-ovhd%",
+			"Async-ovhd", "Async-ovhd%"},
+	}
+	for i := range out[BSP] {
+		b, a := out[BSP][i], out[Async][i]
+		t.AddRow(fmt.Sprint(b.Nodes), fmt.Sprint(b.Ranks),
+			stats.FmtDur(b.Cat[rt.CatOverhead]),
+			stats.FmtPct(float64(b.Cat[rt.CatOverhead])/float64(b.Runtime)),
+			stats.FmtDur(a.Cat[rt.CatOverhead]),
+			stats.FmtPct(float64(a.Cat[rt.CatOverhead])/float64(a.Runtime)))
+	}
+	return t, out, nil
+}

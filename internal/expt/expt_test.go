@@ -1,0 +1,312 @@
+package expt
+
+import (
+	"testing"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/sim"
+	"gnbody/internal/workload"
+)
+
+// quick sizes every experiment down to seconds.
+func quick(nodes ...int) Params {
+	return Params{
+		ScaleEColi30x:  64,
+		ScaleEColi100x: 512,
+		ScaleHumanCCS:  2048,
+		RanksPerNode:   2,
+		Nodes:          nodes,
+		Seed:           1,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, ws, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil || len(ws) != 3 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+	for i, w := range ws {
+		if len(w.Tasks) == 0 {
+			t.Errorf("workload %d empty", i)
+		}
+	}
+}
+
+func TestRunSimValidation(t *testing.T) {
+	w, err := workload.Synthesize(workload.EColi30x, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: 0, Mode: BSP}); err == nil {
+		t.Error("nodes=0 accepted")
+	}
+}
+
+func TestRunSimDeterministic(t *testing.T) {
+	w, err := workload.Synthesize(workload.EColi30x, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: 2, RanksPerNode: 2, Mode: Async, Seed: 3}
+	a, err := RunSim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runtime != b.Runtime || a.Cat != b.Cat || a.MaxMem != b.MaxMem {
+		t.Errorf("identical specs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// The headline Figure 8 shapes at test scale: BSP's visible communication
+// share grows with node count while async's stays bounded, and BSP runs a
+// single superstep throughout (the E. coli 100x regime).
+func TestFig8Shapes(t *testing.T) {
+	_, out, err := Fig8(quick(1, 8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsp := out[BSP]
+	if len(bsp) != 3 {
+		t.Fatalf("got %d BSP rows", len(bsp))
+	}
+	if bsp[0].CommShare() >= bsp[2].CommShare() {
+		t.Errorf("BSP comm share did not grow: %.3f at 1 node vs %.3f at 64",
+			bsp[0].CommShare(), bsp[2].CommShare())
+	}
+	for _, r := range bsp {
+		if r.Supersteps != 1 {
+			t.Errorf("E. coli 100x regime must be single-superstep; %d nodes ran %d", r.Nodes, r.Supersteps)
+		}
+	}
+	// Strong scaling: runtime decreases with node count for both modes.
+	for _, mode := range []Mode{BSP, Async} {
+		rows := out[mode]
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Runtime >= rows[i-1].Runtime {
+				t.Errorf("%s: no speedup from %d to %d nodes", mode, rows[i-1].Nodes, rows[i].Nodes)
+			}
+		}
+	}
+}
+
+// Figure 9/11 regime: with paper-equivalent budgets the CCS exchange
+// exceeds per-rank memory at small node counts (multi-round) and fits at
+// larger ones, while async's footprint stays below BSP's.
+func TestFig9MemoryRegime(t *testing.T) {
+	p := quick(8, 64)
+	p.ScaleHumanCCS = 512
+	p.RanksPerNode = 4
+	_, out, err := Fig9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := out[BSP][0], out[BSP][1]
+	if small.Supersteps < 2 {
+		t.Errorf("8-node CCS ran %d supersteps, want multi-round", small.Supersteps)
+	}
+	if large.Supersteps != 1 {
+		t.Errorf("64-node CCS ran %d supersteps, want 1", large.Supersteps)
+	}
+	if a := out[Async][0]; a.MaxMem >= small.MaxMem {
+		t.Errorf("async footprint %d not below BSP %d at 8 nodes", a.MaxMem, small.MaxMem)
+	}
+	// §4.4: async is more efficient in the memory-limited regime.
+	if out[Async][0].Runtime >= small.Runtime {
+		t.Errorf("async (%v) not faster than multi-round BSP (%v)", out[Async][0].Runtime, small.Runtime)
+	}
+}
+
+func TestFig5ImbalanceGrowsWithScale(t *testing.T) {
+	_, rows, err := Fig5(quick(1, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].AlignTimes.Imbalance() >= rows[1].AlignTimes.Imbalance() {
+		t.Errorf("imbalance did not grow with scale: %.2f -> %.2f",
+			rows[0].AlignTimes.Imbalance(), rows[1].AlignTimes.Imbalance())
+	}
+	for _, r := range rows {
+		if r.AlignTimes.Max <= 0 {
+			t.Error("no alignment time recorded")
+		}
+	}
+}
+
+func TestFig7LatencyScalesDown(t *testing.T) {
+	_, out, err := Fig7(quick(8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := out[Async]
+	if a[1].Cat[rt.CatComm] >= a[0].Cat[rt.CatComm] {
+		t.Errorf("async comm-only latency did not scale down: %v at 8 nodes, %v at 64",
+			a[0].Cat[rt.CatComm], a[1].Cat[rt.CatComm])
+	}
+	// Computation must actually be skipped.
+	for _, rows := range out {
+		for _, r := range rows {
+			if r.Cat[rt.CatAlign] > r.Runtime/100 {
+				t.Errorf("comm-only run spent %v aligning", r.Cat[rt.CatAlign])
+			}
+		}
+	}
+}
+
+func TestFig3NoiseAndIsolation(t *testing.T) {
+	p := quick()
+	_, rows, err := Fig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Rows: [68-BSP, 68-Async, 64-BSP, 64-Async]. The two core counts must
+	// land close (paper: the compute gain on 68 cores is cancelled by
+	// noise), within 15% at test scale.
+	r68, r64 := rows[0].Runtime, rows[2].Runtime
+	ratio := float64(r68) / float64(r64)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("68-core/64-core runtime ratio %.2f, want ≈1", ratio)
+	}
+	if rows[0].Ranks != 68 || rows[2].Ranks != 64 {
+		t.Errorf("rank counts %d/%d, want 68/64", rows[0].Ranks, rows[2].Ranks)
+	}
+}
+
+func TestFig13OverheadOrdering(t *testing.T) {
+	_, out, err := Fig13(quick(8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out[BSP] {
+		b, a := out[BSP][i], out[Async][i]
+		if a.Cat[rt.CatOverhead] <= b.Cat[rt.CatOverhead] {
+			t.Errorf("%d nodes: pointer-store overhead (%v) not above flat-store (%v)",
+				b.Nodes, a.Cat[rt.CatOverhead], b.Cat[rt.CatOverhead])
+		}
+	}
+}
+
+func TestAblationAggregationMonotone(t *testing.T) {
+	p := quick(8)
+	p.ScaleHumanCCS = 512
+	p.RanksPerNode = 4
+	_, rows, err := AblationAggregation(p, []float64{1, 0.25, 0.0625})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Supersteps < rows[i-1].Supersteps {
+			t.Errorf("supersteps not monotone as memory shrinks: %d then %d",
+				rows[i-1].Supersteps, rows[i].Supersteps)
+		}
+	}
+	if rows[len(rows)-1].Supersteps <= rows[0].Supersteps {
+		t.Error("smallest budget did not force more supersteps")
+	}
+}
+
+func TestAblationOutstandingRuns(t *testing.T) {
+	_, rows, err := AblationOutstanding(quick(8), []int{4, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Deeper pipelining cannot be slower in comm-only mode.
+	if rows[1].Runtime > rows[0].Runtime {
+		t.Errorf("cap=256 (%v) slower than cap=4 (%v)", rows[1].Runtime, rows[0].Runtime)
+	}
+}
+
+func TestIntranodeRealRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-pipeline experiment")
+	}
+	_, rows, err := Intranode(IntranodeParams{Scale: 500, MaxCores: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: per mode, cores 1 and 2. Both modes must find the same hits.
+	var hits [2][]int
+	for _, r := range rows {
+		i := 0
+		if r.Mode == Async {
+			i = 1
+		}
+		hits[i] = append(hits[i], r.Hits)
+	}
+	for i := 1; i < len(hits[0]); i++ {
+		if hits[0][i] != hits[0][0] {
+			t.Errorf("BSP hit count varies with cores: %v", hits[0])
+		}
+	}
+	if len(hits[1]) > 0 && hits[1][0] != hits[0][0] {
+		t.Errorf("Async hits %d != BSP hits %d", hits[1][0], hits[0][0])
+	}
+}
+
+func TestBudgetFor(t *testing.T) {
+	m := sim.CoriKNL()
+	full := budgetFor(m, 64, 1)
+	want := int64(float64(m.AppMemPerCore) * ExchangeFrac)
+	if full != want {
+		t.Errorf("unit-scale 64-rpn budget = %d, want %d", full, want)
+	}
+	// Coarser ranks and smaller workloads scale the budget accordingly
+	// (within float rounding).
+	within := func(got, want int64) bool {
+		d := got - want
+		return d > -256 && d < 256
+	}
+	if b := budgetFor(m, 4, 1); !within(b, want*16) {
+		t.Errorf("rpn=4 budget = %d, want ≈%d", b, want*16)
+	}
+	if b := budgetFor(m, 64, 4); !within(b, want/4) {
+		t.Errorf("scale=4 budget = %d, want ≈%d", b, want/4)
+	}
+}
+
+func TestAblationFetchBatchShape(t *testing.T) {
+	_, rows, err := AblationFetchBatch(quick(8), []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].RPCsSent >= rows[0].RPCsSent {
+		t.Errorf("batching did not reduce RPCs: %d -> %d", rows[0].RPCsSent, rows[1].RPCsSent)
+	}
+	// §5: on a high-latency network, aggregation must help.
+	if rows[1].Runtime >= rows[0].Runtime {
+		t.Errorf("batch=16 (%v) not faster than batch=1 (%v) at 30us latency", rows[1].Runtime, rows[0].Runtime)
+	}
+}
+
+func TestAblationDynamicBalanceRuns(t *testing.T) {
+	p := quick(4)
+	_, out, err := AblationDynamicBalance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[Async]) != 1 || len(out[AsyncSteal]) != 1 {
+		t.Fatalf("rows missing: %v", out)
+	}
+	a, s := out[Async][0], out[AsyncSteal][0]
+	if a.Hits != s.Hits {
+		t.Errorf("stealing changed hit count: %d vs %d", s.Hits, a.Hits)
+	}
+	if s.Runtime <= 0 || a.Runtime <= 0 {
+		t.Error("zero runtimes")
+	}
+}

@@ -1,0 +1,114 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gnbody/internal/align"
+	"gnbody/internal/core"
+	"gnbody/internal/par"
+	"gnbody/internal/partition"
+	"gnbody/internal/rt"
+	"gnbody/internal/stats"
+	"gnbody/internal/workload"
+)
+
+// IntranodeRow is one point of the real (wall-clock) intranode strong
+// scaling experiment (§4.1: "both codes scale perfectly by powers of 2
+// from 1 to 32 cores" on Cori KNL; here, on the host machine).
+type IntranodeRow struct {
+	Cores   int
+	Mode    Mode
+	Elapsed time.Duration
+	Speedup float64
+	Hits    int
+}
+
+// IntranodeParams sizes the real-pipeline workload.
+type IntranodeParams struct {
+	Scale    int // E. coli 30x ÷ scale through the full real pipeline
+	MaxCores int // highest rank count (default: host CPUs)
+	Seed     int64
+}
+
+// Intranode runs the full real pipeline (synthetic genome → reads → k-mer
+// filter → candidates) and strong-scales both drivers with wall-clock
+// timing on the real runtime, 1..MaxCores ranks.
+func Intranode(p IntranodeParams) (*stats.Table, []IntranodeRow, error) {
+	if p.Scale <= 0 {
+		p.Scale = 150
+	}
+	if p.MaxCores <= 0 {
+		p.MaxCores = runtime.NumCPU()
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	reads, tasks, _, err := workload.Pipeline(workload.EColi30x, p.Scale, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	lens := workload.LensOf(reads)
+	lensInt := make([]int, len(lens))
+	for i, l := range lens {
+		lensInt[i] = int(l)
+	}
+	sc := align.DefaultScoring()
+	exec := core.RealExecutor{Scoring: sc, X: 15}
+
+	var cores []int
+	for c := 1; c <= p.MaxCores; c *= 2 {
+		cores = append(cores, c)
+	}
+	var rows []IntranodeRow
+	base := map[Mode]time.Duration{}
+	for _, mode := range []Mode{BSP, Async} {
+		for _, c := range cores {
+			pt, err := partition.BySize(lensInt, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			byRank := partition.AssignTasks(tasks, pt)
+			world, err := par.NewWorld(par.Config{P: c})
+			if err != nil {
+				return nil, nil, err
+			}
+			results := make([]*core.Result, c)
+			errs := make([]error, c)
+			t0 := time.Now()
+			world.Run(func(r rt.Runtime) {
+				in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
+					Codec: core.RealCodec{Reads: reads}, Reads: reads}
+				cfg := core.Config{Exec: exec, MinScore: 100}
+				if mode == Async {
+					results[r.Rank()], errs[r.Rank()] = core.RunAsync(r, in, cfg)
+				} else {
+					results[r.Rank()], errs[r.Rank()] = core.RunBSP(r, in, cfg)
+				}
+			})
+			elapsed := time.Since(t0)
+			hits := 0
+			for rk := 0; rk < c; rk++ {
+				if errs[rk] != nil {
+					return nil, nil, fmt.Errorf("%s cores=%d rank %d: %w", mode, c, rk, errs[rk])
+				}
+				hits += len(results[rk].Hits)
+			}
+			if c == 1 {
+				base[mode] = elapsed
+			}
+			rows = append(rows, IntranodeRow{Cores: c, Mode: mode, Elapsed: elapsed,
+				Speedup: float64(base[mode]) / float64(elapsed), Hits: hits})
+		}
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Intranode strong scaling (real runtime, E. coli 30x ÷ %d, wall clock)", p.Scale),
+		Headers: []string{"mode", "cores", "elapsed", "speedup", "hits"},
+	}
+	for _, r := range rows {
+		t.AddRow(string(r.Mode), fmt.Sprint(r.Cores), stats.FmtDur(r.Elapsed),
+			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprint(r.Hits))
+	}
+	return t, rows, nil
+}

@@ -1,0 +1,70 @@
+package genome
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: TrueOverlap is symmetric and bounded by both interval lengths.
+func TestTrueOverlapProperties(t *testing.T) {
+	f := func(s1, l1, s2, l2 uint16) bool {
+		a := SampledRead{Start: int(s1), End: int(s1) + int(l1%5000) + 1}
+		b := SampledRead{Start: int(s2), End: int(s2) + int(l2%5000) + 1}
+		ov := TrueOverlap(a, b)
+		if ov != TrueOverlap(b, a) {
+			return false
+		}
+		if ov < 0 || ov > a.End-a.Start || ov > b.End-b.Start {
+			return false
+		}
+		// Zero exactly when disjoint.
+		disjoint := a.End <= b.Start || b.End <= a.Start
+		return (ov == 0) == disjoint
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every read the sampler reports lies inside the genome and its
+// truth interval length matches the pre-error template.
+func TestSampleTruthBounds(t *testing.T) {
+	g := Generate(Config{Length: 30000, Seed: 77})
+	s, err := NewSampler(g, ReadConfig{Coverage: 4, MeanLen: 900, SigmaLog: 0.5, Seed: 78, BothStrands: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, truth := s.Sample()
+	for i, tr := range truth {
+		if tr.Start < 0 || tr.End > len(g) || tr.End <= tr.Start {
+			t.Fatalf("read %d: interval [%d,%d) outside genome [0,%d)", i, tr.Start, tr.End, len(g))
+		}
+		// With the error channel, emitted length deviates from the template
+		// by at most the template length (sanity bound).
+		tpl := tr.End - tr.Start
+		got := rs.Reads[i].Len()
+		if got < tpl/2 || got > tpl*2 {
+			t.Fatalf("read %d: emitted %d bases from a %d-base template", i, got, tpl)
+		}
+	}
+}
+
+// Error-free sampling must reproduce genome substrings exactly.
+func TestSampleErrorFreeIsExact(t *testing.T) {
+	g := Generate(Config{Length: 5000, Seed: 5})
+	s, err := NewSampler(g, ReadConfig{Coverage: 2, MeanLen: 300, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, truth := s.Sample()
+	for i := range rs.Reads {
+		tr := truth[i]
+		want := g[tr.Start:tr.End]
+		if tr.RC {
+			want = want.ReverseComplement()
+		}
+		if rs.Reads[i].Seq.String() != want.String() {
+			t.Fatalf("read %d does not match its genome interval", i)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package genome
+
+import (
+	"math"
+	"testing"
+
+	"gnbody/internal/seq"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Length: 1000, Seed: 5}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.String() != b.String() {
+		t.Error("same seed produced different genomes")
+	}
+	cfg.Seed = 6
+	if Generate(cfg).String() == a.String() {
+		t.Error("different seeds produced identical genomes")
+	}
+	if len(a) != 1000 {
+		t.Errorf("length = %d, want 1000", len(a))
+	}
+	for i, base := range a {
+		if base >= seq.N {
+			t.Fatalf("genome contains N at %d", i)
+		}
+	}
+}
+
+func TestGenerateRepeats(t *testing.T) {
+	g := Generate(Config{Length: 10000, RepeatLen: 100, RepeatCopies: 8, Seed: 1})
+	// Count distinct 100-mers: with 8 planted copies of one template, at
+	// least one 100-long substring must appear multiple times.
+	counts := map[string]int{}
+	for i := 0; i+100 <= len(g); i += 1 {
+		counts[g[i:i+100].String()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2 {
+		t.Errorf("no repeated 100-mer found; repeat injection failed")
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	g := Generate(Config{Length: 100, Seed: 1})
+	bad := []ReadConfig{
+		{Coverage: 0, MeanLen: 10},
+		{Coverage: 1, MeanLen: 0},
+		{Coverage: 1, MeanLen: 10, Errors: ErrorModel{Substitution: 0.95}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSampler(g, cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+	if _, err := NewSampler(nil, ReadConfig{Coverage: 1, MeanLen: 10}); err == nil {
+		t.Error("empty genome accepted")
+	}
+}
+
+func TestSampleCoverage(t *testing.T) {
+	g := Generate(Config{Length: 50000, Seed: 2})
+	s, err := NewSampler(g, ReadConfig{Coverage: 10, MeanLen: 1000, SigmaLog: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, truth := s.Sample()
+	if rs.Len() != len(truth) {
+		t.Fatalf("reads %d != truth %d", rs.Len(), len(truth))
+	}
+	var total int64
+	for _, tr := range truth {
+		total += int64(tr.End - tr.Start)
+	}
+	want := int64(10 * 50000)
+	if total < want || total > want+4*1000 {
+		t.Errorf("sampled template bases = %d, want within [%d, %d]", total, want, want+4000)
+	}
+}
+
+func TestSampleErrorRates(t *testing.T) {
+	g := Generate(Config{Length: 200000, Seed: 4})
+	em := ErrorModel{Substitution: 0.05, Insertion: 0.04, Deletion: 0.03, NRate: 0.01}
+	s, err := NewSampler(g, ReadConfig{Coverage: 5, MeanLen: 2000, Errors: em, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, truth := s.Sample()
+	// Statistically verify the channel: N fraction in output and length
+	// deflation from deletions vs inflation from insertions.
+	var outBases, nBases, tplBases int64
+	for i := range rs.Reads {
+		outBases += int64(rs.Reads[i].Len())
+		nBases += int64(rs.Reads[i].Seq.CountN())
+		tplBases += int64(truth[i].End - truth[i].Start)
+	}
+	nFrac := float64(nBases) / float64(outBases)
+	// Expected emitted-N fraction ≈ (1-del)·N / (1+ins-del) ≈ 0.0098.
+	if nFrac < 0.005 || nFrac > 0.02 {
+		t.Errorf("N fraction = %.4f, want ≈ 0.01", nFrac)
+	}
+	// Length ratio ≈ 1 + ins - del = 1.01.
+	ratio := float64(outBases) / float64(tplBases)
+	if math.Abs(ratio-1.01) > 0.01 {
+		t.Errorf("length ratio = %.4f, want ≈ 1.01", ratio)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	g := Generate(Config{Length: 10000, Seed: 9})
+	cfg := ReadConfig{Coverage: 3, MeanLen: 500, SigmaLog: 0.4, Errors: PacBioCLR(), Seed: 11, BothStrands: true}
+	s1, _ := NewSampler(g, cfg)
+	s2, _ := NewSampler(g, cfg)
+	r1, _ := s1.Sample()
+	r2, _ := s2.Sample()
+	if r1.Len() != r2.Len() {
+		t.Fatalf("nondeterministic read count: %d vs %d", r1.Len(), r2.Len())
+	}
+	for i := range r1.Reads {
+		if r1.Reads[i].Seq.String() != r2.Reads[i].Seq.String() {
+			t.Fatalf("read %d differs across identical samplers", i)
+		}
+	}
+}
+
+func TestTrueOverlap(t *testing.T) {
+	cases := []struct {
+		a, b SampledRead
+		want int
+	}{
+		{SampledRead{Start: 0, End: 10}, SampledRead{Start: 5, End: 15}, 5},
+		{SampledRead{Start: 0, End: 10}, SampledRead{Start: 10, End: 20}, 0},
+		{SampledRead{Start: 0, End: 30}, SampledRead{Start: 10, End: 20}, 10}, // containment
+		{SampledRead{Start: 5, End: 15}, SampledRead{Start: 0, End: 10}, 5},   // order-independent
+	}
+	for i, tc := range cases {
+		if got := TrueOverlap(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: TrueOverlap = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestOverlapGraph(t *testing.T) {
+	truth := []SampledRead{
+		{Start: 0, End: 100},
+		{Start: 50, End: 150},
+		{Start: 140, End: 240},
+		{Start: 500, End: 600},
+	}
+	got := OverlapGraph(truth, 10)
+	want := [][2]int{{0, 1}, {1, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// min overlap filters out the 10-base overlap between reads 1,2.
+	got = OverlapGraph(truth, 11)
+	if len(got) != 1 || got[0] != [2]int{0, 1} {
+		t.Errorf("minOverlap=11: got %v, want [[0 1]]", got)
+	}
+}
+
+func TestErrorModelPresets(t *testing.T) {
+	if tot := PacBioCLR().Total(); tot < 0.1 || tot > 0.35 {
+		t.Errorf("PacBioCLR total error %.3f outside the paper's 5-35%% band", tot)
+	}
+	if tot := HiFiCCS().Total(); tot > 0.02 {
+		t.Errorf("HiFiCCS total error %.3f too high for CCS", tot)
+	}
+}
+
+func TestBothStrands(t *testing.T) {
+	g := Generate(Config{Length: 20000, Seed: 21})
+	s, _ := NewSampler(g, ReadConfig{Coverage: 5, MeanLen: 800, Seed: 22, BothStrands: true})
+	_, truth := s.Sample()
+	fwd, rev := 0, 0
+	for _, tr := range truth {
+		if tr.RC {
+			rev++
+		} else {
+			fwd++
+		}
+	}
+	if fwd == 0 || rev == 0 {
+		t.Errorf("BothStrands: fwd=%d rev=%d, want both nonzero", fwd, rev)
+	}
+}

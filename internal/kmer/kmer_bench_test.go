@@ -1,0 +1,62 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnbody/internal/seq"
+)
+
+func benchRead(n int) *seq.Read {
+	rng := rand.New(rand.NewSource(1))
+	s := make(seq.Seq, n)
+	for i := range s {
+		s[i] = seq.Base(rng.Intn(4))
+	}
+	return &seq.Read{ID: 0, Seq: s}
+}
+
+func BenchmarkScan17(b *testing.B) {
+	r := benchRead(10000)
+	b.SetBytes(10000)
+	b.ResetTimer()
+	var sink Code
+	for i := 0; i < b.N; i++ {
+		_ = Scan(r, 17, func(_ int, c Code, _ bool) { sink ^= c })
+	}
+	_ = sink
+}
+
+func BenchmarkCountSet(b *testing.B) {
+	var seqs []seq.Seq
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		s := make(seq.Seq, 2000)
+		for j := range s {
+			s[j] = seq.Base(rng.Intn(4))
+		}
+		seqs = append(seqs, s)
+	}
+	rs := seq.NewReadSet(seqs)
+	b.SetBytes(200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CountSet(rs, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	codes := make([]Code, 1024)
+	for i := range codes {
+		codes[i] = Code(rng.Uint64()) & (1<<34 - 1)
+	}
+	b.ResetTimer()
+	var sink Code
+	for i := 0; i < b.N; i++ {
+		sink ^= Canonical(codes[i&1023], 17)
+	}
+	_ = sink
+}

@@ -1,0 +1,71 @@
+package overlap
+
+import "gnbody/internal/align"
+
+// Kind classifies how a pair of reads overlap (paper Figure 2: "Three ways
+// a pair of reads can overlap"): read A extending past read B on the left
+// (suffix of A matches prefix of B), the mirror case, or containment. A
+// fourth outcome, Internal, marks alignments that stop in the middle of
+// both reads — the signature of a false-positive candidate whose extension
+// died early.
+type Kind int
+
+// Overlap kinds.
+const (
+	// SuffixPrefix: a suffix of A aligns to a prefix of B (A sits left of
+	// B on the genome).
+	SuffixPrefix Kind = iota
+	// PrefixSuffix: a prefix of A aligns to a suffix of B (B sits left).
+	PrefixSuffix
+	// ContainsB: B aligns end-to-end inside A.
+	ContainsB
+	// ContainedInB: A aligns end-to-end inside B.
+	ContainedInB
+	// Internal: the alignment reaches neither end of either read.
+	Internal
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SuffixPrefix:
+		return "suffix-prefix"
+	case PrefixSuffix:
+		return "prefix-suffix"
+	case ContainsB:
+		return "contains-b"
+	case ContainedInB:
+		return "contained-in-b"
+	case Internal:
+		return "internal"
+	}
+	return "unknown"
+}
+
+// Proper reports whether the overlap is a genuine assembly-usable overlap
+// (anything but Internal).
+func (k Kind) Proper() bool { return k != Internal }
+
+// Classify interprets an alignment's extents against the read lengths.
+// slack tolerates unaligned overhangs up to that many bases at each end
+// (sequencing errors rarely let the extension reach the very last base).
+// When the candidate was opposite-strand, pass B's coordinates already
+// mirrored — exactly what AlignTask's results report.
+func Classify(res align.Result, lenA, lenB, slack int) Kind {
+	aAtStart := res.AStart <= slack
+	aAtEnd := res.AEnd >= lenA-slack
+	bAtStart := res.BStart <= slack
+	bAtEnd := res.BEnd >= lenB-slack
+	switch {
+	case bAtStart && bAtEnd:
+		return ContainsB
+	case aAtStart && aAtEnd:
+		return ContainedInB
+	case aAtEnd && bAtStart:
+		return SuffixPrefix
+	case aAtStart && bAtEnd:
+		return PrefixSuffix
+	default:
+		return Internal
+	}
+}

@@ -1,0 +1,79 @@
+package overlap
+
+import (
+	"testing"
+
+	"gnbody/internal/align"
+	"gnbody/internal/seq"
+)
+
+func TestClassify(t *testing.T) {
+	// Reads of length 100 each, slack 5.
+	cases := []struct {
+		name string
+		res  align.Result
+		want Kind
+	}{
+		{"suffix-prefix", align.Result{AStart: 40, AEnd: 98, BStart: 2, BEnd: 60}, SuffixPrefix},
+		{"prefix-suffix", align.Result{AStart: 1, AEnd: 60, BStart: 40, BEnd: 99}, PrefixSuffix},
+		{"contains-b", align.Result{AStart: 20, AEnd: 80, BStart: 0, BEnd: 97}, ContainsB},
+		{"contained-in-a... exact ends", align.Result{AStart: 0, AEnd: 100, BStart: 20, BEnd: 80}, ContainedInB},
+		{"internal", align.Result{AStart: 30, AEnd: 60, BStart: 30, BEnd: 60}, Internal},
+		{"internal one-sided", align.Result{AStart: 30, AEnd: 99, BStart: 30, BEnd: 60}, Internal},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.res, 100, 100, 5); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyContainmentWinsOverDovetail(t *testing.T) {
+	// A full-length B that also touches A's end must classify as
+	// containment, not suffix-prefix.
+	res := align.Result{AStart: 40, AEnd: 100, BStart: 0, BEnd: 100}
+	if got := Classify(res, 100, 100, 0); got != ContainsB {
+		t.Errorf("got %v, want ContainsB", got)
+	}
+}
+
+func TestKindStringAndProper(t *testing.T) {
+	for k, want := range map[Kind]string{
+		SuffixPrefix: "suffix-prefix",
+		PrefixSuffix: "prefix-suffix",
+		ContainsB:    "contains-b",
+		ContainedInB: "contained-in-b",
+		Internal:     "internal",
+		Kind(99):     "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Internal.Proper() || !SuffixPrefix.Proper() {
+		t.Error("Proper misclassifies")
+	}
+}
+
+func mustSeq(t *testing.T, s string) seq.Seq {
+	t.Helper()
+	q, err := seq.FromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestClassifyOnRealOverlap(t *testing.T) {
+	// Planted dovetail: a's suffix == b's prefix, error-free.
+	a := mustSeq(t, "TTTTTTTTTTACGTACGGAACCAGGTTACAGGTACCGTTGGA")
+	b := mustSeq(t, "ACGTACGGAACCAGGTTACAGGTACCGTTGGACCCCCCCCCC")
+	res, err := AlignTask(a, b, Task{A: 0, B: 1, Seed: Seed{PosA: 10, PosB: 0, K: 8}}, align.DefaultScoring(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Classify(res, len(a), len(b), 2); got != SuffixPrefix {
+		t.Errorf("planted dovetail classified as %v (extents a[%d,%d) b[%d,%d))",
+			got, res.AStart, res.AEnd, res.BStart, res.BEnd)
+	}
+}

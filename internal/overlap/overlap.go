@@ -1,0 +1,142 @@
+// Package overlap turns the filtered k-mer index into candidate read pairs
+// ("tasks") for many-to-many alignment.
+//
+// Two reads become a candidate overlap when they share a retained k-mer
+// (paper §2: "only pairs of reads with matching (filtered) k-mers are
+// considered overlap candidates"). The shared k-mer anchors the
+// seed-and-extend alignment. Following the paper's evaluation setup, one
+// seed is kept per candidate pair ("One seed is extended per candidate
+// overlap", §4), and candidates are deduplicated across k-mers.
+//
+// Candidates may join reads on opposite strands: the canonical k-mer index
+// records, per occurrence, whether canonicalisation flipped the strand; a
+// pair whose flags differ aligns read A against the reverse complement of
+// read B, with the seed position mirrored.
+package overlap
+
+import (
+	"fmt"
+	"sort"
+
+	"gnbody/internal/align"
+	"gnbody/internal/kmer"
+	"gnbody/internal/seq"
+)
+
+// Seed anchors a candidate pair: positions of the shared k-mer in each
+// read. When RC is set, PosB is the seed position within the reverse
+// complement of read B (already mirrored), so alignment code can extend
+// against revcomp(B) directly.
+type Seed struct {
+	PosA, PosB int32
+	K          int16
+	RC         bool
+}
+
+// Task is one unit of the generalized N-body computation: align reads A
+// and B from the seed. Tasks always have A < B; self-pairs never occur.
+type Task struct {
+	A, B seq.ReadID
+	Seed Seed
+}
+
+// Key returns a dense unordered-pair key for dedup and set comparison.
+func (t Task) Key() uint64 { return uint64(t.A)<<32 | uint64(t.B) }
+
+// Candidates enumerates deduplicated tasks from a filtered k-mer index.
+// readLen reports the length of each read (needed to mirror opposite-strand
+// seed positions). Iteration is in sorted code order so output is
+// deterministic; within a k-mer, occurrence pairs are enumerated in index
+// order and the first seed seen for a pair wins.
+func Candidates(idx map[kmer.Code][]kmer.Occurrence, k int, readLen func(seq.ReadID) int) []Task {
+	codes := make([]uint64, 0, len(idx))
+	for c := range idx {
+		codes = append(codes, uint64(c))
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+
+	seen := make(map[uint64]struct{})
+	var tasks []Task
+	for _, cu := range codes {
+		occ := idx[kmer.Code(cu)]
+		for i := 0; i < len(occ); i++ {
+			for j := i + 1; j < len(occ); j++ {
+				a, b := occ[i], occ[j]
+				if a.Read == b.Read {
+					continue
+				}
+				if a.Read > b.Read {
+					a, b = b, a
+				}
+				t := Task{A: a.Read, B: b.Read}
+				if _, dup := seen[t.Key()]; dup {
+					continue
+				}
+				seen[t.Key()] = struct{}{}
+				rc := a.RC != b.RC
+				posB := b.Pos
+				if rc {
+					// Mirror the seed into revcomp(B): a window starting at
+					// p with length k starts at len-p-k after revcomp.
+					posB = int32(readLen(b.Read)) - b.Pos - int32(k)
+				}
+				t.Seed = Seed{PosA: a.Pos, PosB: posB, K: int16(k), RC: rc}
+				tasks = append(tasks, t)
+			}
+		}
+	}
+	return tasks
+}
+
+// Config bundles the candidate-generation parameters.
+type Config struct {
+	K        int     // k-mer length (paper: 17)
+	Lo, Hi   int     // reliable-frequency window; Hi<=0 derives via BELLA model
+	Coverage float64 // used when deriving Hi
+	ErrRate  float64 // used when deriving Hi
+	Tail     float64 // binomial tail for the BELLA window (default 1e-4)
+}
+
+// FromReadSet runs histogram → filter → index → candidates on a read set.
+// It returns the tasks and the frequency window used.
+func FromReadSet(rs *seq.ReadSet, cfg Config) ([]Task, int, int, error) {
+	if cfg.K <= 0 || cfg.K > kmer.MaxK {
+		return nil, 0, 0, fmt.Errorf("overlap: k=%d out of range", cfg.K)
+	}
+	lo, hi := cfg.Lo, cfg.Hi
+	if hi <= 0 {
+		lo, hi = kmer.ReliableWindow(cfg.Coverage, cfg.ErrRate, cfg.K, cfg.Tail)
+		if cfg.Lo > 0 {
+			lo = cfg.Lo
+		}
+	}
+	if lo < 2 {
+		lo = 2
+	}
+	idx, err := kmer.Index(rs, cfg.K, lo, hi, 1)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	tasks := Candidates(idx, cfg.K, func(id seq.ReadID) int { return rs.Get(id).Len() })
+	return tasks, lo, hi, nil
+}
+
+// AlignTask runs the seed-and-extend alignment for one task, handling
+// strand orientation. It is the serial reference executor; the BSP and
+// Async drivers call it with whichever read copies they hold.
+func AlignTask(a, b seq.Seq, t Task, sc align.Scoring, x int) (align.Result, error) {
+	if t.Seed.RC {
+		b = b.ReverseComplement()
+	}
+	return align.SeedExtend(a, b, int(t.Seed.PosA), int(t.Seed.PosB), int(t.Seed.K), sc, x)
+}
+
+// SortTasks orders tasks by (A, B) for deterministic comparisons.
+func SortTasks(ts []Task) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].A != ts[j].A {
+			return ts[i].A < ts[j].A
+		}
+		return ts[i].B < ts[j].B
+	})
+}

@@ -1,0 +1,56 @@
+package overlap
+
+import (
+	"testing"
+
+	"gnbody/internal/align"
+	"gnbody/internal/genome"
+	"gnbody/internal/kmer"
+	"gnbody/internal/seq"
+)
+
+func benchReads(b *testing.B) *seq.ReadSet {
+	b.Helper()
+	g := genome.Generate(genome.Config{Length: 100000, Seed: 1})
+	smp, err := genome.NewSampler(g, genome.ReadConfig{Coverage: 8, MeanLen: 2000, SigmaLog: 0.3, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, _ := smp.Sample()
+	return rs
+}
+
+func BenchmarkCandidates(b *testing.B) {
+	rs := benchReads(b)
+	idx, err := kmer.Index(rs, 17, 2, 50, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tasks := Candidates(idx, 17, func(id seq.ReadID) int { return rs.Get(id).Len() })
+		if len(tasks) == 0 {
+			b.Fatal("no tasks")
+		}
+	}
+}
+
+func BenchmarkAlignTask(b *testing.B) {
+	rs := benchReads(b)
+	tasks, _, _, err := FromReadSet(rs, Config{K: 17, Lo: 2, Hi: 50})
+	if err != nil || len(tasks) == 0 {
+		b.Fatalf("tasks=%d err=%v", len(tasks), err)
+	}
+	sc := align.DefaultScoring()
+	b.ResetTimer()
+	var cells int64
+	for i := 0; i < b.N; i++ {
+		t := tasks[i%len(tasks)]
+		res, err := AlignTask(rs.Get(t.A).Seq, rs.Get(t.B).Seq, t, sc, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells += int64(res.Cells)
+	}
+	b.ReportMetric(float64(cells)/float64(b.N), "cells/op")
+}

@@ -1,0 +1,235 @@
+package overlap
+
+import (
+	"testing"
+
+	"gnbody/internal/align"
+	"gnbody/internal/genome"
+	"gnbody/internal/kmer"
+	"gnbody/internal/seq"
+)
+
+func TestCandidatesBasic(t *testing.T) {
+	// Three reads sharing the 5-mer ACGTA; read pairs (0,1), (0,2), (1,2).
+	rs := seq.NewReadSet([]seq.Seq{
+		seq.MustFromString("TTACGTATT"),
+		seq.MustFromString("ACGTAGGGG"),
+		seq.MustFromString("CCCCACGTA"),
+	})
+	idx, err := kmer.Index(rs, 5, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := Candidates(idx, 5, func(id seq.ReadID) int { return rs.Get(id).Len() })
+	if len(tasks) != 3 {
+		t.Fatalf("got %d tasks, want 3: %+v", len(tasks), tasks)
+	}
+	SortTasks(tasks)
+	wantPairs := [][2]seq.ReadID{{0, 1}, {0, 2}, {1, 2}}
+	for i, w := range wantPairs {
+		if tasks[i].A != w[0] || tasks[i].B != w[1] {
+			t.Errorf("task %d = (%d,%d), want %v", i, tasks[i].A, tasks[i].B, w)
+		}
+		if tasks[i].A >= tasks[i].B {
+			t.Errorf("task %d not ordered", i)
+		}
+	}
+	// Seed positions must point at the shared 5-mer up to strand:
+	// canonical(window) must equal canonical(ACGTA). (TACGT in read 0
+	// canonicalises to ACGTA too, so the literal window may differ.)
+	wantCode := kmer.Canonical(kmer.Encode(seq.MustFromString("ACGTA"), 0, 5), 5)
+	for _, task := range tasks {
+		a := rs.Get(task.A).Seq
+		win := a[task.Seed.PosA : task.Seed.PosA+5]
+		if kmer.Canonical(kmer.Encode(win, 0, 5), 5) != wantCode {
+			t.Errorf("seed in A points at %q (canonical mismatch)", win.String())
+		}
+	}
+}
+
+func TestCandidatesDedup(t *testing.T) {
+	// Two reads share two distinct 4-mers; only one task may result.
+	rs := seq.NewReadSet([]seq.Seq{
+		seq.MustFromString("AAAACCCCTTTT"),
+		seq.MustFromString("AAAAGGGGTTTT"),
+	})
+	// AAAA shared and TTTT shared — but canonical(TTTT) == canonical(AAAA)!
+	// Use CCAA / GGAA style instead. Rebuild with genuinely distinct kmers.
+	rs = seq.NewReadSet([]seq.Seq{
+		seq.MustFromString("ACCAGTTGA"),
+		seq.MustFromString("ACCATGTTGA"),
+	})
+	idx, err := kmer.Index(rs, 4, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	for _, occ := range idx {
+		if len(occ) >= 2 {
+			shared++
+		}
+	}
+	if shared < 2 {
+		t.Fatalf("test needs >=2 shared kmers, got %d", shared)
+	}
+	tasks := Candidates(idx, 4, func(id seq.ReadID) int { return rs.Get(id).Len() })
+	if len(tasks) != 1 {
+		t.Errorf("got %d tasks, want 1 (dedup)", len(tasks))
+	}
+}
+
+func TestCandidatesNoSelfPairs(t *testing.T) {
+	// A read containing the same 4-mer twice must not pair with itself.
+	rs := seq.NewReadSet([]seq.Seq{
+		seq.MustFromString("ACCAGGACCA"),
+		seq.MustFromString("TTTTTTTTTT"),
+	})
+	idx, err := kmer.Index(rs, 4, 1, 10, 0) // lo=1 to retain single-read kmers
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := Candidates(idx, 4, func(id seq.ReadID) int { return rs.Get(id).Len() })
+	for _, task := range tasks {
+		if task.A == task.B {
+			t.Errorf("self pair: %+v", task)
+		}
+	}
+}
+
+func TestCandidatesDeterministic(t *testing.T) {
+	g := genome.Generate(genome.Config{Length: 5000, Seed: 31})
+	smp, err := genome.NewSampler(g, genome.ReadConfig{Coverage: 8, MeanLen: 400, SigmaLog: 0.3, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := smp.Sample()
+	run := func() []Task {
+		idx, err := kmer.Index(rs, 13, 2, 40, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Candidates(idx, 13, func(id seq.ReadID) int { return rs.Get(id).Len() })
+	}
+	t1, t2 := run(), run()
+	if len(t1) != len(t2) {
+		t.Fatalf("nondeterministic task count: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("task %d differs: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestFromReadSetSensitivity(t *testing.T) {
+	// Error-free reads from a random genome: every true overlap >= 200bp
+	// must be found (random 17-mers are effectively unique in 20kb).
+	g := genome.Generate(genome.Config{Length: 20000, Seed: 41})
+	smp, err := genome.NewSampler(g, genome.ReadConfig{Coverage: 6, MeanLen: 1000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, truth := smp.Sample()
+	tasks, lo, hi, err := FromReadSet(rs, Config{K: 17, Lo: 2, Hi: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 2 || hi != 1<<20 {
+		t.Errorf("window = [%d,%d]", lo, hi)
+	}
+	got := map[uint64]bool{}
+	for _, task := range tasks {
+		got[task.Key()] = true
+	}
+	want := genome.OverlapGraph(truth, 200)
+	missed := 0
+	for _, p := range want {
+		k := uint64(p[0])<<32 | uint64(p[1])
+		if !got[k] {
+			missed++
+		}
+	}
+	if missed > 0 {
+		t.Errorf("missed %d/%d true overlaps >= 200bp on error-free reads", missed, len(want))
+	}
+}
+
+func TestFromReadSetBELLAWindow(t *testing.T) {
+	g := genome.Generate(genome.Config{Length: 10000, Seed: 51})
+	smp, _ := genome.NewSampler(g, genome.ReadConfig{Coverage: 10, MeanLen: 500, Seed: 52})
+	rs, _ := smp.Sample()
+	_, lo, hi, err := FromReadSet(rs, Config{K: 17, Coverage: 10, ErrRate: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 2 {
+		t.Errorf("lo = %d, want 2", lo)
+	}
+	if hi < 10 || hi > 30 {
+		t.Errorf("hi = %d, want near-ish coverage 10 upper tail", hi)
+	}
+	if _, _, _, err := FromReadSet(rs, Config{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestAlignTaskForwardAndRC(t *testing.T) {
+	sc := align.DefaultScoring()
+	a := seq.MustFromString("TTTTACGTACGTACGGAAAA")
+	bFwd := seq.MustFromString("ACGTACGTACGGCCCC")
+	// Forward task: shared non-palindromic 8-mer ACGTACGG at a[8], bFwd[4].
+	res, err := AlignTask(a, bFwd, Task{A: 0, B: 1, Seed: Seed{PosA: 8, PosB: 4, K: 8}}, sc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < 12-2 { // 12-base common region
+		t.Errorf("forward score = %d, want ≈12", res.Score)
+	}
+	// RC task: the stored read B is the reverse complement of bFwd. Seed.PosB
+	// is, per the Candidates contract, the seed position within
+	// revcomp(stored B) == bFwd — i.e. still 4.
+	bStored := bFwd.ReverseComplement()
+	resRC, err := AlignTask(a, bStored, Task{A: 0, B: 1, Seed: Seed{PosA: 8, PosB: 4, K: 8, RC: true}}, sc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRC.Score != res.Score {
+		t.Errorf("RC score = %d, forward score = %d; strand handling broken", resRC.Score, res.Score)
+	}
+}
+
+func TestOppositeStrandCandidates(t *testing.T) {
+	// Read 1 is the reverse complement of a chunk of read 0; candidates
+	// must carry RC=true and AlignTask must recover the full overlap.
+	core := seq.MustFromString("ACCAGTTGACCATGACGGTACCAGTTGACGGTA")
+	a := append(seq.MustFromString("TTTTT"), core...)
+	b := core.ReverseComplement()
+	rs := seq.NewReadSet([]seq.Seq{a, b})
+	idx, err := kmer.Index(rs, 11, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := Candidates(idx, 11, func(id seq.ReadID) int { return rs.Get(id).Len() })
+	if len(tasks) != 1 {
+		t.Fatalf("got %d tasks, want 1", len(tasks))
+	}
+	task := tasks[0]
+	if !task.Seed.RC {
+		t.Fatal("task not flagged RC")
+	}
+	res, err := AlignTask(rs.Get(task.A).Seq, rs.Get(task.B).Seq, task, align.DefaultScoring(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != len(core) {
+		t.Errorf("RC overlap score = %d, want %d", res.Score, len(core))
+	}
+}
+
+func TestTaskKey(t *testing.T) {
+	a := Task{A: 1, B: 2}
+	b := Task{A: 1, B: 3}
+	if a.Key() == b.Key() {
+		t.Error("distinct pairs share a key")
+	}
+}

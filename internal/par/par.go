@@ -1,0 +1,317 @@
+// Package par is the real parallel back-end of the rt.Runtime interface:
+// ranks are goroutines in one address space, collectives are implemented
+// with sense-reversing barriers over shared staging buffers, and the RPC
+// engine moves messages through per-rank inboxes serviced by
+// application-level polling — the same progress discipline as the paper's
+// UPC++ implementation (§3.2).
+//
+// Times are wall-clock. This back-end produces the genuine intranode
+// results (paper §4.1) and runs the production pipeline in cmd/dibella;
+// multinode projection is package sim's job.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnbody/internal/rt"
+)
+
+// Config parameterises a World.
+type Config struct {
+	P         int   // number of ranks
+	MemBudget int64 // per-rank exchange-memory budget; <=0 unlimited
+	InboxSize int   // RPC inbox capacity (default 4096)
+}
+
+// World owns the shared state of one SPMD execution.
+type World struct {
+	cfg   Config
+	ranks []*Rank
+
+	barCount atomic.Int32
+	barGen   atomic.Uint32
+
+	splitCount atomic.Int32
+	splitGen   atomic.Uint32
+
+	stage   [][][]byte // stage[src][dst]: alltoallv staging
+	redVals []int64    // allreduce staging
+	redOut  []int64
+}
+
+// NewWorld builds a world with P ranks.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("par: P=%d must be positive", cfg.P)
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 4096
+	}
+	w := &World{
+		cfg:     cfg,
+		stage:   make([][][]byte, cfg.P),
+		redVals: make([]int64, cfg.P),
+		redOut:  make([]int64, cfg.P),
+	}
+	w.ranks = make([]*Rank, cfg.P)
+	for i := 0; i < cfg.P; i++ {
+		w.ranks[i] = &Rank{
+			id:      i,
+			w:       w,
+			inbox:   make(chan rpcMsg, cfg.InboxSize),
+			pending: make(map[uint32]func([]byte)),
+		}
+	}
+	return w, nil
+}
+
+// Run executes f as rank body on every rank concurrently and blocks until
+// all ranks return. It may be called repeatedly on the same world.
+func (w *World) Run(f func(r rt.Runtime)) {
+	var wg sync.WaitGroup
+	for _, r := range w.ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			t0 := time.Now()
+			f(r)
+			r.met.Elapsed += time.Since(t0)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Metrics returns the accounting for rank i. Call only between Runs.
+func (w *World) Metrics(i int) *rt.Metrics { return &w.ranks[i].met }
+
+// rpcMsg is one message in a rank's inbox: a request (kind 0) or a
+// response (kind 1).
+type rpcMsg struct {
+	kind byte
+	from int
+	seq  uint32
+	val  []byte // request payload or response payload
+}
+
+// Rank is the per-goroutine runtime handle. All fields except inbox are
+// touched only by the owning goroutine.
+type Rank struct {
+	id      int
+	w       *World
+	inbox   chan rpcMsg
+	pending map[uint32]func([]byte)
+	nextSeq uint32
+	handler func([]byte) []byte
+	met     rt.Metrics
+
+	// nestedWall accumulates wall time attributed through Timed and
+	// service work, so wait loops can subtract it from their own
+	// category (no double counting).
+	nestedWall time.Duration
+}
+
+var _ rt.Runtime = (*Rank)(nil)
+
+// Rank returns the rank id.
+func (r *Rank) Rank() int { return r.id }
+
+// Size returns the number of ranks.
+func (r *Rank) Size() int { return r.w.cfg.P }
+
+// waitLoop polls Progress until cond holds, attributing the unserviced
+// waiting time to cat.
+func (r *Rank) waitLoop(cat rt.Category, cond func() bool) {
+	t0 := time.Now()
+	n0 := r.nestedWall
+	for !cond() {
+		if !r.Progress() {
+			runtime.Gosched()
+		}
+	}
+	if d := time.Since(t0) - (r.nestedWall - n0); d > 0 {
+		r.met.Time[cat] += d
+		r.nestedWall += d
+	}
+}
+
+// Barrier blocks until all ranks arrive, servicing RPCs while waiting.
+func (r *Rank) Barrier() {
+	w := r.w
+	g := w.barGen.Load()
+	if int(w.barCount.Add(1)) == w.cfg.P {
+		w.barCount.Store(0)
+		w.barGen.Add(1)
+		return
+	}
+	r.waitLoop(rt.CatSync, func() bool { return w.barGen.Load() != g })
+}
+
+// SplitBarrier enters phase one and returns the phase-two wait.
+func (r *Rank) SplitBarrier() (wait func()) {
+	w := r.w
+	g := w.splitGen.Load()
+	last := int(w.splitCount.Add(1)) == w.cfg.P
+	if last {
+		w.splitCount.Store(0)
+		w.splitGen.Add(1)
+	}
+	return func() {
+		if last {
+			return
+		}
+		r.waitLoop(rt.CatSync, func() bool { return w.splitGen.Load() != g })
+	}
+}
+
+// Alltoallv exchanges byte messages with every rank via shared staging.
+func (r *Rank) Alltoallv(send [][]byte) [][]byte {
+	w := r.w
+	if len(send) != w.cfg.P {
+		panic(fmt.Sprintf("par: Alltoallv send has %d entries, want %d", len(send), w.cfg.P))
+	}
+	for _, m := range send {
+		r.met.BytesSent += int64(len(m))
+		if len(m) > 0 {
+			r.met.Msgs++
+		}
+	}
+	w.stage[r.id] = send
+	r.Barrier() // all sends staged
+	t0 := time.Now()
+	recv := make([][]byte, w.cfg.P)
+	for src := 0; src < w.cfg.P; src++ {
+		recv[src] = w.stage[src][r.id]
+		r.met.BytesRecv += int64(len(recv[src]))
+	}
+	d := time.Since(t0)
+	r.met.Time[rt.CatComm] += d
+	r.nestedWall += d
+	r.Barrier() // staging may be reused afterwards
+	return recv
+}
+
+// Allreduce combines v across ranks.
+func (r *Rank) Allreduce(v int64, op rt.Op) int64 {
+	w := r.w
+	w.redVals[r.id] = v
+	r.Barrier()
+	acc := w.redVals[0]
+	for i := 1; i < w.cfg.P; i++ {
+		acc = op.Combine(acc, w.redVals[i])
+	}
+	w.redOut[r.id] = acc
+	r.Barrier()
+	return w.redOut[r.id]
+}
+
+// Serve registers the RPC handler for this rank.
+func (r *Rank) Serve(handler func([]byte) []byte) { r.handler = handler }
+
+// AsyncCall issues a request to owner; cb runs during later progress.
+func (r *Rank) AsyncCall(owner int, req []byte, cb func([]byte)) {
+	if cb == nil {
+		panic("par: AsyncCall requires a callback")
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	r.pending[seq] = cb
+	r.met.RPCsSent++
+	r.met.Msgs++
+	r.met.BytesSent += int64(len(req))
+	r.send(owner, rpcMsg{kind: 0, from: r.id, seq: seq, val: req})
+}
+
+// send delivers msg to dst's inbox, servicing our own inbox if dst's is
+// full (prevents mutual-full deadlock).
+func (r *Rank) send(dst int, msg rpcMsg) {
+	in := r.w.ranks[dst].inbox
+	for {
+		select {
+		case in <- msg:
+			return
+		default:
+			if !r.Progress() {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// Progress drains this rank's inbox: requests are answered through the
+// registered handler; responses run their callbacks. Returns whether any
+// message was handled.
+func (r *Rank) Progress() bool {
+	did := false
+	for {
+		select {
+		case m := <-r.inbox:
+			did = true
+			r.handle(m)
+		default:
+			return did
+		}
+	}
+}
+
+func (r *Rank) handle(m rpcMsg) {
+	switch m.kind {
+	case 0: // request
+		if r.handler == nil {
+			panic(fmt.Sprintf("par: rank %d received request before Serve", r.id))
+		}
+		t0 := time.Now()
+		val := r.handler(m.val)
+		d := time.Since(t0)
+		r.met.Time[rt.CatComm] += d // serving lookups is communication work
+		r.nestedWall += d
+		r.met.RPCserved++
+		r.met.BytesSent += int64(len(val))
+		r.met.Msgs++
+		r.send(m.from, rpcMsg{kind: 1, from: r.id, seq: m.seq, val: val})
+	case 1: // response
+		cb, ok := r.pending[m.seq]
+		if !ok {
+			panic(fmt.Sprintf("par: rank %d got response for unknown seq %d", r.id, m.seq))
+		}
+		delete(r.pending, m.seq)
+		r.met.BytesRecv += int64(len(m.val))
+		cb(m.val)
+	}
+}
+
+// Outstanding reports issued requests whose callbacks have not run.
+func (r *Rank) Outstanding() int { return len(r.pending) }
+
+// Drain blocks until Outstanding() <= max; visible time is unhidden
+// communication latency.
+func (r *Rank) Drain(max int) {
+	r.waitLoop(rt.CatComm, func() bool { return len(r.pending) <= max })
+}
+
+// Charge accumulates modeled time without sleeping (real back-end).
+func (r *Rank) Charge(cat rt.Category, d time.Duration) { r.met.Time[cat] += d }
+
+// Timed measures f's wall time into cat. Do not nest Timed calls.
+func (r *Rank) Timed(cat rt.Category, f func()) {
+	t0 := time.Now()
+	f()
+	d := time.Since(t0)
+	r.met.Time[cat] += d
+	r.nestedWall += d
+}
+
+// Alloc tracks n live bytes.
+func (r *Rank) Alloc(n int64) { r.met.Alloc(n) }
+
+// Free releases n tracked bytes.
+func (r *Rank) Free(n int64) { r.met.Free(n) }
+
+// MemBudget returns the configured per-rank exchange budget.
+func (r *Rank) MemBudget() int64 { return r.w.cfg.MemBudget }
+
+// Metrics exposes this rank's accounting.
+func (r *Rank) Metrics() *rt.Metrics { return &r.met }

@@ -1,0 +1,82 @@
+package par
+
+import (
+	"testing"
+
+	"gnbody/internal/rt"
+)
+
+func BenchmarkBarrier8(b *testing.B) {
+	w, err := NewWorld(Config{P: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	w.Run(func(r rt.Runtime) {
+		for i := 0; i < b.N; i++ {
+			r.Barrier()
+		}
+	})
+}
+
+func BenchmarkAlltoallv8x4KB(b *testing.B) {
+	const P = 8
+	w, err := NewWorld(Config{P: P})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(P * 4096)
+	b.ResetTimer()
+	w.Run(func(r rt.Runtime) {
+		send := make([][]byte, P)
+		for dst := range send {
+			send[dst] = make([]byte, 4096)
+		}
+		for i := 0; i < b.N; i++ {
+			r.Alltoallv(send)
+		}
+	})
+}
+
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	w, err := NewWorld(Config{P: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	w.Run(func(r rt.Runtime) {
+		r.Serve(func([]byte) []byte { return payload })
+		r.Barrier()
+		if r.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				asyncGet(r, 1, uint64(i), func([]byte) {})
+				r.Drain(0)
+			}
+		}
+		r.Barrier()
+	})
+}
+
+func BenchmarkRPCPipelined(b *testing.B) {
+	w, err := NewWorld(Config{P: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	w.Run(func(r rt.Runtime) {
+		r.Serve(func([]byte) []byte { return payload })
+		r.Barrier()
+		if r.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				asyncGet(r, 1, uint64(i), func([]byte) {})
+				r.Drain(64)
+			}
+			r.Drain(0)
+		}
+		r.Barrier()
+	})
+}

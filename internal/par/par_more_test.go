@@ -1,0 +1,150 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gnbody/internal/rt"
+)
+
+func TestDrainPartial(t *testing.T) {
+	// Drain(max) must stop as soon as outstanding <= max, not at zero.
+	const P = 3
+	w, _ := NewWorld(Config{P: P})
+	fail := atomic.Bool{}
+	w.Run(func(r rt.Runtime) {
+		serveKV(r, func(key uint64) []byte { return []byte{byte(key)} })
+		r.Barrier()
+		if r.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				asyncGet(r, 1+(i%2), uint64(i), func([]byte) {})
+			}
+			r.Drain(5)
+			if r.Outstanding() > 5 {
+				fail.Store(true)
+			}
+			r.Drain(0)
+			if r.Outstanding() != 0 {
+				fail.Store(true)
+			}
+		}
+		r.Barrier()
+	})
+	if fail.Load() {
+		t.Error("Drain thresholds not honoured")
+	}
+}
+
+func TestSyncTimeExcludesServiceWork(t *testing.T) {
+	// Rank 1 sits in a barrier servicing rank 0's slow-handler lookups;
+	// its CatSync must not double-count the handler time (which lands in
+	// CatComm).
+	const P = 2
+	w, _ := NewWorld(Config{P: P})
+	w.Run(func(r rt.Runtime) {
+		serveKV(r, func(uint64) []byte {
+			time.Sleep(20 * time.Millisecond) // deliberately slow lookup
+			return []byte{1}
+		})
+		r.Barrier()
+		if r.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				asyncGet(r, 1, uint64(i), func([]byte) {})
+			}
+			r.Drain(0)
+		}
+		r.Barrier()
+	})
+	m1 := w.Metrics(1)
+	if m1.Time[rt.CatComm] < 50*time.Millisecond {
+		t.Errorf("rank 1 service time = %v, want >= 60ms-ish", m1.Time[rt.CatComm])
+	}
+	total := m1.Time[rt.CatSync] + m1.Time[rt.CatComm]
+	if total > m1.Elapsed+10*time.Millisecond {
+		t.Errorf("sync (%v) + comm (%v) exceeds elapsed (%v): double counting",
+			m1.Time[rt.CatSync], m1.Time[rt.CatComm], m1.Elapsed)
+	}
+}
+
+func TestAsyncGetNilCallbackPanics(t *testing.T) {
+	w, _ := NewWorld(Config{P: 1})
+	panicked := atomic.Bool{}
+	w.Run(func(r rt.Runtime) {
+		defer func() {
+			if recover() != nil {
+				panicked.Store(true)
+			}
+		}()
+		asyncGet(r, 0, 1, nil)
+	})
+	if !panicked.Load() {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestAlltoallvEmptyMessages(t *testing.T) {
+	const P = 4
+	w, _ := NewWorld(Config{P: P})
+	fail := atomic.Bool{}
+	w.Run(func(r rt.Runtime) {
+		// Everyone sends only to rank 0.
+		send := make([][]byte, P)
+		if r.Rank() != 0 {
+			send[0] = []byte{byte(r.Rank())}
+		}
+		recv := r.Alltoallv(send)
+		if r.Rank() == 0 {
+			for src := 1; src < P; src++ {
+				if len(recv[src]) != 1 || recv[src][0] != byte(src) {
+					fail.Store(true)
+				}
+			}
+		} else {
+			for src := 0; src < P; src++ {
+				if len(recv[src]) != 0 {
+					fail.Store(true)
+				}
+			}
+		}
+	})
+	if fail.Load() {
+		t.Error("sparse alltoallv misdelivered")
+	}
+}
+
+func TestManyBarriers(t *testing.T) {
+	// Generation reuse across thousands of barriers.
+	const P = 4
+	w, _ := NewWorld(Config{P: P})
+	var hits atomic.Int64
+	w.Run(func(r rt.Runtime) {
+		for i := 0; i < 2000; i++ {
+			r.Barrier()
+		}
+		hits.Add(1)
+	})
+	if hits.Load() != P {
+		t.Errorf("only %d ranks finished", hits.Load())
+	}
+}
+
+func TestRPCToSelf(t *testing.T) {
+	w, _ := NewWorld(Config{P: 2})
+	fail := atomic.Bool{}
+	w.Run(func(r rt.Runtime) {
+		me := r.Rank()
+		serveKV(r, func(key uint64) []byte { return []byte{byte(key + uint64(me))} })
+		r.Barrier()
+		got := byte(0)
+		asyncGet(r, me, 10, func(v []byte) { got = v[0] })
+		r.Drain(0)
+		if got != byte(10+me) {
+			fail.Store(true)
+		}
+		r.Barrier()
+	})
+	if fail.Load() {
+		t.Error("self-RPC failed")
+	}
+}

@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"testing"
+
+	"gnbody/internal/par"
+	"gnbody/internal/partition"
+	"gnbody/internal/rt"
+	"gnbody/internal/workload"
+)
+
+func BenchmarkDistributedStages(b *testing.B) {
+	reads, _, _, err := workload.Pipeline(workload.EColi30x, 400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lens := workload.LensOf(reads)
+	lensInt := make([]int, len(lens))
+	for i, l := range lens {
+		lensInt[i] = int(l)
+	}
+	const p = 4
+	pt, err := partition.BySize(lensInt, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		world, err := par.NewWorld(par.Config{P: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total int64
+		outs := make([]*Output, p)
+		world.Run(func(r rt.Runtime) {
+			out, err := Run(r, &Input{Part: pt, Reads: reads, Lens: lens, K: 15, Lo: 2, Hi: 60})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			outs[r.Rank()] = out
+		})
+		for _, out := range outs {
+			total += int64(len(out.Tasks))
+		}
+		b.ReportMetric(float64(total), "tasks")
+	}
+}

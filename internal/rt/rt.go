@@ -1,0 +1,188 @@
+// Package rt defines the SPMD runtime interface that both parallel
+// back-ends implement: the real in-process runtime (package par), where
+// ranks are goroutines and times are wall-clock, and the performance
+// simulator (package sim), where ranks run under a conservative
+// discrete-event scheduler against a LogGP-style cost model.
+//
+// The paper's two coordination strategies — bulk-synchronous with
+// aggregated irregular all-to-alls, and asynchronous with pull RPCs — are
+// written once (package core) against this interface, so the algorithms
+// measured at laptop scale and the algorithms projected to 32K simulated
+// cores are literally the same code.
+package rt
+
+import "time"
+
+// Category labels where a rank's time goes, matching the runtime-breakdown
+// series of Figures 3, 4, 8, 9, 10.
+type Category int
+
+const (
+	// CatAlign is time computing seed-and-extend pairwise alignments
+	// ("Computation (Alignment)") — dominant across all experiments.
+	CatAlign Category = iota
+	// CatOverhead is data-structure traversal, kernel invocation overhead,
+	// and message packing ("Computation (Overhead)").
+	CatOverhead
+	// CatComm is visible (unhidden) communication latency.
+	CatComm
+	// CatSync is barrier and collective waiting time, dominated by
+	// computation load imbalance (§4.2).
+	CatSync
+
+	NumCategories
+)
+
+// String names the category as in the paper's figure legends.
+func (c Category) String() string {
+	switch c {
+	case CatAlign:
+		return "Computation (Alignment)"
+	case CatOverhead:
+		return "Computation (Overhead)"
+	case CatComm:
+		return "Communication"
+	case CatSync:
+		return "Synchronization"
+	}
+	return "Unknown"
+}
+
+// Op selects the combining operator for Allreduce.
+type Op int
+
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+// Combine applies the operator.
+func (op Op) Combine(a, b int64) int64 {
+	switch op {
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// Metrics accumulates one rank's accounting. All fields are owned by the
+// rank's goroutine; read them only after the SPMD program finishes.
+type Metrics struct {
+	Time       [NumCategories]time.Duration
+	Elapsed    time.Duration // total program time for this rank
+	CurMem     int64         // live tracked bytes
+	MaxMem     int64         // high-water mark (Figures 11-12)
+	BytesSent  int64
+	BytesRecv  int64
+	Msgs       int64 // point-to-point and RPC messages sent
+	RPCsSent   int64
+	RPCserved  int64
+	Supersteps int64 // BSP exchange rounds executed
+}
+
+// Alloc records n live bytes (message buffers, retained remote reads).
+func (m *Metrics) Alloc(n int64) {
+	m.CurMem += n
+	if m.CurMem > m.MaxMem {
+		m.MaxMem = m.CurMem
+	}
+}
+
+// Free releases n tracked bytes.
+func (m *Metrics) Free(n int64) {
+	m.CurMem -= n
+	if m.CurMem < 0 {
+		panic("rt: memory accounting underflow")
+	}
+}
+
+// Runtime is the per-rank SPMD execution context.
+//
+// Progress contract: AsyncCall callbacks and inbound request service run
+// only inside Progress, Barrier, SplitBarrier waits, or Drain — never
+// concurrently with user code on the same rank (application-level polling,
+// exactly as the paper's UPC++ implementation requires, §3.2).
+type Runtime interface {
+	// Rank returns this rank's id in [0, Size()).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+
+	// Barrier blocks until all ranks arrive. While blocked, this rank
+	// continues to service inbound RPC requests (needed by the async
+	// driver's single exit barrier: partitioned reads must stay available
+	// until all tasks complete). Waiting time accrues to CatSync.
+	Barrier()
+
+	// SplitBarrier enters phase one of a split-phase barrier and returns
+	// the phase-two wait. Work performed between the two phases overlaps
+	// other ranks' arrival (the async driver computes local-local tasks
+	// there). wait() services RPCs while blocked; accrues CatSync.
+	SplitBarrier() (wait func())
+
+	// Alltoallv sends send[r] to rank r and returns recv where recv[r] is
+	// the message from rank r. Collective. nil entries mean empty.
+	// The irregular all-to-all of the BSP driver. Accrues CatComm for the
+	// transfer and CatSync for arrival skew.
+	Alltoallv(send [][]byte) [][]byte
+
+	// Allreduce combines v across all ranks. Collective; accrues CatSync.
+	Allreduce(v int64, op Op) int64
+
+	// Serve registers the handler answering AsyncCall requests directed at
+	// this rank. Must be registered (and a barrier crossed) before peers
+	// may call in — the async driver's split-phase barrier provides
+	// exactly that synchronisation. The handler runs during this rank's
+	// polling; it must not block.
+	Serve(handler func(req []byte) []byte)
+
+	// AsyncCall sends req to owner's handler; cb receives the response on
+	// this rank during a later Progress/Barrier. The injection overhead
+	// accrues to CatComm; round-trip latency is hidden unless the rank
+	// runs dry. Single-read lookups, batched fetches and work-steal
+	// requests all ride this one primitive.
+	AsyncCall(owner int, req []byte, cb func(resp []byte))
+
+	// Progress services inbound requests and runs ready callbacks,
+	// returning whether any work was done.
+	Progress() bool
+
+	// Outstanding reports issued AsyncCalls whose callbacks have not run.
+	Outstanding() int
+
+	// Drain blocks until Outstanding() reaches max, servicing inbound
+	// requests meanwhile; the visible waiting accrues to CatComm (it is
+	// unhidden communication latency, not synchronisation).
+	Drain(max int)
+
+	// Charge adds modeled compute time: the simulator advances the
+	// virtual clock; the real runtime only accumulates it for reporting.
+	Charge(cat Category, d time.Duration)
+
+	// Timed runs f, attributing its wall-clock time to cat in the real
+	// runtime. The simulator executes f but attributes nothing — model
+	// back-ends must Charge explicitly.
+	Timed(cat Category, f func())
+
+	// Alloc and Free track the memory the driver holds for exchange
+	// buffers and retained remote reads (Figures 11-12).
+	Alloc(n int64)
+	Free(n int64)
+
+	// MemBudget is the per-rank exchange-memory budget in bytes; the BSP
+	// driver sizes its supersteps against it. <= 0 means unlimited.
+	MemBudget() int64
+
+	// Metrics exposes this rank's accounting.
+	Metrics() *Metrics
+}

@@ -1,0 +1,56 @@
+package rt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOpCombine(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{OpSum, 2, 3, 5},
+		{OpMin, 2, 3, 2},
+		{OpMin, 3, 2, 2},
+		{OpMax, 2, 3, 3},
+		{OpMax, 3, 2, 3},
+		{OpSum, -1, 1, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.op.Combine(tc.a, tc.b); got != tc.want {
+			t.Errorf("op %v Combine(%d,%d) = %d, want %d", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{
+		CatAlign:    "Computation (Alignment)",
+		CatOverhead: "Computation (Overhead)",
+		CatComm:     "Communication",
+		CatSync:     "Synchronization",
+		Category(9): "Unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Category(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestMetricsMemory(t *testing.T) {
+	var m Metrics
+	m.Alloc(10)
+	m.Alloc(20)
+	m.Free(5)
+	m.Alloc(1)
+	if m.CurMem != 26 || m.MaxMem != 30 {
+		t.Errorf("CurMem=%d MaxMem=%d, want 26/30", m.CurMem, m.MaxMem)
+	}
+	m.Time[CatAlign] = time.Second
+	if m.Time[CatAlign] != time.Second {
+		t.Error("time array broken")
+	}
+}

@@ -1,0 +1,198 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadFASTA parses FASTA records from r into a ReadSet with dense IDs.
+// Multi-line sequences are concatenated; blank lines are skipped; invalid
+// characters are rejected with a position-bearing error.
+func ReadFASTA(r io.Reader) (*ReadSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	rs := &ReadSet{}
+	var name string
+	var body []Base
+	var inRecord bool
+	line := 0
+	flush := func() {
+		if inRecord {
+			rs.Reads = append(rs.Reads, Read{
+				ID:   ReadID(len(rs.Reads)),
+				Name: name,
+				Seq:  append(Seq(nil), body...),
+			})
+			body = body[:0]
+		}
+	}
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		if text[0] == '>' {
+			flush()
+			inRecord = true
+			name = strings.Fields(string(text[1:]) + " ")[0]
+			if name == "" {
+				name = fmt.Sprintf("read%d", len(rs.Reads))
+			}
+			continue
+		}
+		if !inRecord {
+			return nil, fmt.Errorf("fasta: line %d: sequence data before first header", line)
+		}
+		for i := 0; i < len(text); i++ {
+			b, ok := BaseFromChar(text[i])
+			if !ok {
+				return nil, fmt.Errorf("fasta: line %d: invalid character %q", line, text[i])
+			}
+			body = append(body, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fasta: %w", err)
+	}
+	flush()
+	return rs, nil
+}
+
+// WriteFASTA writes the read set as FASTA with lines wrapped at width
+// characters (width <= 0 means no wrapping).
+func WriteFASTA(w io.Writer, rs *ReadSet, width int) error {
+	bw := bufio.NewWriter(w)
+	for i := range rs.Reads {
+		r := &rs.Reads[i]
+		if _, err := fmt.Fprintf(bw, ">%s\n", r.Name); err != nil {
+			return err
+		}
+		s := r.Seq
+		if width <= 0 {
+			width = len(s)
+		}
+		for off := 0; off < len(s); off += width {
+			end := off + width
+			if end > len(s) {
+				end = len(s)
+			}
+			for _, b := range s[off:end] {
+				if err := bw.WriteByte(b.Char()); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		if len(s) == 0 {
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTQ parses FASTQ records (4-line form) into a ReadSet.
+// Quality strings are validated for length but discarded: the alignment
+// pipeline in this library is quality-agnostic, as in the paper.
+func ReadFASTQ(r io.Reader) (*ReadSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	rs := &ReadSet{}
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			t := strings.TrimSpace(sc.Text())
+			if t != "" {
+				return t, true
+			}
+		}
+		return "", false
+	}
+	for {
+		hdr, ok := next()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(hdr, "@") {
+			return nil, fmt.Errorf("fastq: line %d: expected @header, got %q", line, hdr)
+		}
+		body, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("fastq: line %d: truncated record (missing sequence)", line)
+		}
+		plus, ok := next()
+		if !ok || !strings.HasPrefix(plus, "+") {
+			return nil, fmt.Errorf("fastq: line %d: expected + separator", line)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("fastq: line %d: truncated record (missing quality)", line)
+		}
+		if len(qual) != len(body) {
+			return nil, fmt.Errorf("fastq: line %d: quality length %d != sequence length %d", line, len(qual), len(body))
+		}
+		s, err := FromString(body)
+		if err != nil {
+			return nil, fmt.Errorf("fastq: line %d: %v", line, err)
+		}
+		name := strings.Fields(hdr[1:] + " ")[0]
+		if name == "" {
+			name = fmt.Sprintf("read%d", len(rs.Reads))
+		}
+		rs.Reads = append(rs.Reads, Read{ID: ReadID(len(rs.Reads)), Name: name, Seq: s})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fastq: %w", err)
+	}
+	return rs, nil
+}
+
+// LoadFile reads a FASTA or FASTQ file, transparently gunzipping
+// (by magic bytes, not extension) and dispatching on the first non-blank
+// byte ('>' vs '@').
+func LoadFile(path string) (*ReadSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("seq: %s: %w", path, err)
+		}
+		defer gz.Close()
+		br = bufio.NewReader(gz)
+	}
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("seq: %s: empty input", path)
+		}
+		if c == '\n' || c == '\r' || c == ' ' || c == '\t' {
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		switch c {
+		case '>':
+			return ReadFASTA(br)
+		case '@':
+			return ReadFASTQ(br)
+		default:
+			return nil, fmt.Errorf("seq: %s: unrecognised format (starts with %q)", path, c)
+		}
+	}
+}

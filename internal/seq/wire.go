@@ -1,0 +1,64 @@
+package seq
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire encoding for reads exchanged between ranks. A read on the wire is
+//
+//	[4 bytes little-endian ID][4 bytes little-endian length][length base codes]
+//
+// which matches Read.WireSize. The BSP driver packs many reads per message
+// (aggregation); the Async driver ships one per RPC response. Both sides of
+// the exchange use these helpers so exchange-load accounting (Figure 6) and
+// memory budgeting (Figures 9, 11) are exact.
+
+// AppendWire appends the wire encoding of r to dst and returns the
+// extended slice.
+func AppendWire(dst []byte, r *Read) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(r.ID))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(r.Seq)))
+	dst = append(dst, hdr[:]...)
+	for _, b := range r.Seq {
+		dst = append(dst, byte(b))
+	}
+	return dst
+}
+
+// DecodeWire decodes one read from the front of buf, returning the read and
+// the number of bytes consumed.
+func DecodeWire(buf []byte) (Read, int, error) {
+	if len(buf) < 8 {
+		return Read{}, 0, fmt.Errorf("seq: wire: short header (%d bytes)", len(buf))
+	}
+	id := binary.LittleEndian.Uint32(buf[0:4])
+	n := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if len(buf) < 8+n {
+		return Read{}, 0, fmt.Errorf("seq: wire: short body: need %d bytes, have %d", 8+n, len(buf))
+	}
+	s := make(Seq, n)
+	for i := 0; i < n; i++ {
+		b := buf[8+i]
+		if b >= NumBases {
+			return Read{}, 0, fmt.Errorf("seq: wire: invalid base code %d at offset %d", b, 8+i)
+		}
+		s[i] = Base(b)
+	}
+	return Read{ID: ReadID(id), Seq: s}, 8 + n, nil
+}
+
+// DecodeWireAll decodes a whole message of concatenated reads.
+func DecodeWireAll(buf []byte) ([]Read, error) {
+	var out []Read
+	for len(buf) > 0 {
+		r, n, err := DecodeWire(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		buf = buf[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package sim
+
+import (
+	"encoding/binary"
+
+	"gnbody/internal/rt"
+)
+
+// serveKV adapts a key-value handler onto the byte-payload RPC protocol
+// for tests.
+func serveKV(r rt.Runtime, f func(key uint64) []byte) {
+	r.Serve(func(req []byte) []byte {
+		return f(binary.LittleEndian.Uint64(req))
+	})
+}
+
+// asyncGet issues a single-key lookup for tests.
+func asyncGet(r rt.Runtime, owner int, key uint64, cb func([]byte)) {
+	var req [8]byte
+	binary.LittleEndian.PutUint64(req[:], key)
+	r.AsyncCall(owner, req[:], cb)
+}

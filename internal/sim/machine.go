@@ -1,0 +1,143 @@
+// Package sim is the performance-model back-end of rt.Runtime: a
+// conservative, process-oriented discrete-event simulator. Rank programs
+// run as goroutines under a scheduler that always resumes the rank with the
+// minimum virtual time, so event delivery is causal and every run is
+// bit-reproducible. Communication costs follow a LogGP-style model
+// parameterised to the paper's platform (Cori KNL with the Cray Aries
+// dragonfly interconnect).
+//
+// The simulator exists because the paper's 1-512 node scaling experiments
+// are a hardware gate for this reproduction (no MPI/UPC++, no Cray): the
+// BSP and Async drivers issue exactly the same messages with the same sizes
+// in the same dependency order as they would on the real machine, and the
+// model only prices them.
+package sim
+
+import "time"
+
+// Machine describes the simulated cluster hardware.
+type Machine struct {
+	Name string
+
+	// CoresPerNode is the number of application cores available per node
+	// (Cori KNL: 68 physical, 64 used with 4 isolating system overhead).
+	CoresPerNode int
+
+	// AppMemPerCore is the application-available memory per core when all
+	// CoresPerNode run ranks (paper Figure 11: just under 1.4 GB).
+	AppMemPerCore int64
+
+	// Alpha is the one-way small-message network latency.
+	Alpha time.Duration
+
+	// ByteTime is the per-byte streaming cost on a rank's injection path
+	// (1/bandwidth-per-rank).
+	ByteTime time.Duration
+
+	// BisectByteTime prices each byte of *global* all-to-all volume
+	// crossing the bisection, amortised over ranks: an Alltoallv of total
+	// volume V on P ranks adds V·BisectByteTime/P to every rank.
+	BisectByteTime time.Duration
+
+	// A2AMsgOverhead is the per-destination software cost of the pairwise
+	// irregular all-to-all, expressed per *core*: on the real machine an
+	// Alltoallv over R ranks costs every rank (R−1)·A2AMsgOverhead of
+	// message software. When the simulator runs fewer, fatter ranks (each
+	// standing for CoresPerNode/RanksPerNode cores) it scales the per-peer
+	// cost up by that factor so the wall-clock software time matches the
+	// machine being modeled. This P-linear term is what makes
+	// bulk-synchronous communication latency scale sublinearly down while
+	// volumes shrink (paper §4.3).
+	A2AMsgOverhead time.Duration
+
+	// RPCOverhead is the CPU injection overhead per RPC (the o of LogGP).
+	RPCOverhead time.Duration
+
+	// ServeOverhead is the CPU time for the target to service one RPC
+	// request (dequeue, index lookup, response injection).
+	ServeOverhead time.Duration
+
+	// IntraAlpha and IntraByteTime are the latency and per-byte cost for
+	// ranks on the same node (shared-memory transport). Zero values fall
+	// back to Alpha/ByteTime. Intranode peers also pay only a tenth of
+	// A2AMsgOverhead. This is why the paper's two codes are
+	// indistinguishable on one node (Figures 3-4) yet diverge at scale.
+	IntraAlpha    time.Duration
+	IntraByteTime time.Duration
+
+	// Noise is the OS-noise factor: every compute charge is stretched by
+	// up to Noise (uniformly at random). Zero when system cores are
+	// isolated; positive for the 68-core no-isolation runs of Figure 3.
+	Noise float64
+}
+
+// intraAlpha returns the intranode latency (falling back to Alpha).
+func (m *Machine) intraAlpha() time.Duration {
+	if m.IntraAlpha > 0 {
+		return m.IntraAlpha
+	}
+	return m.Alpha
+}
+
+// intraByteTime returns the intranode per-byte cost (falling back to
+// ByteTime).
+func (m *Machine) intraByteTime() time.Duration {
+	if m.IntraByteTime > 0 {
+		return m.IntraByteTime
+	}
+	return m.ByteTime
+}
+
+// CoriKNL returns the evaluation platform of the paper: Cray XC40 "Cori",
+// single-socket 68-core Xeon Phi 7250 nodes, 96 GB DDR4 + 16 GB MCDRAM,
+// Aries dragonfly. Constants follow published Aries microbenchmarks
+// (≈1.5 µs one-way latency; ≈10 GB/s injection per node shared by the
+// node's ranks) and the paper's own memory figure (<1.4 GB/core available).
+func CoriKNL() Machine {
+	return Machine{
+		Name:           "Cori-KNL",
+		CoresPerNode:   64,
+		AppMemPerCore:  1400 << 20, // 1.4 GB
+		Alpha:          1500 * time.Nanosecond,
+		ByteTime:       6 * time.Nanosecond,   // ≈160 MB/s per rank (10 GB/s ÷ 64)
+		BisectByteTime: 3 * time.Nanosecond,   // dragonfly global bandwidth share
+		A2AMsgOverhead: 4 * time.Microsecond,  // per-peer MPI software cost per KNL core
+		RPCOverhead:    5 * time.Microsecond,  // UPC++/GASNet-EX injection on a KNL core
+		ServeOverhead:  15 * time.Microsecond, // AM dispatch + lookup + reply on a slow in-order core
+		IntraAlpha:     500 * time.Nanosecond, // shared-memory transport on node
+		IntraByteTime:  1 * time.Nanosecond,   // per-core memcpy under contention
+		Noise:          0,
+	}
+}
+
+// CoriKNLNoIsolation is Cori KNL running application ranks on all 68 cores
+// with no system-overhead isolation: slightly more compute throughput, paid
+// for by OS noise perturbing every rank (Figure 3, left).
+func CoriKNLNoIsolation() Machine {
+	m := CoriKNL()
+	m.Name = "Cori-KNL-68"
+	m.CoresPerNode = 68
+	m.Noise = 0.08
+	return m
+}
+
+// HighLatencyCloud models an ethernet-class cluster (≈30 µs latency,
+// similar bandwidth): the environment §5 predicts would force the
+// asynchronous approach toward more aggregation. Used by the ablation
+// benchmarks.
+func HighLatencyCloud() Machine {
+	return Machine{
+		Name:           "HighLatency-Cloud",
+		CoresPerNode:   64,
+		AppMemPerCore:  4 << 30,
+		Alpha:          30 * time.Microsecond,
+		ByteTime:       8 * time.Nanosecond,
+		BisectByteTime: 8 * time.Nanosecond,
+		A2AMsgOverhead: 10 * time.Microsecond,
+		RPCOverhead:    2 * time.Microsecond,
+		ServeOverhead:  3 * time.Microsecond,
+		IntraAlpha:     1 * time.Microsecond,
+		IntraByteTime:  1 * time.Nanosecond,
+		Noise:          0,
+	}
+}

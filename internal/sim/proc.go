@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gnbody/internal/rt"
+)
+
+// proc states observed by the scheduler after a yield.
+const (
+	stateReady   = iota // runnable at p.clock
+	stateWaiting        // runnable at its earliest inbound event
+)
+
+// proc is one simulated rank: an rt.Runtime whose clock is virtual.
+type proc struct {
+	id  int
+	eng *Engine
+
+	clock    int64 // virtual ns
+	state    int
+	parked   bool
+	finished bool
+	pqStamp  int64
+
+	events   eventHeap
+	releases []*event // collective releases awaiting their wait call
+	pending  map[uint32]func([]byte)
+	nextSeq  uint32
+	handler  func([]byte) []byte
+	rng      *rand.Rand
+
+	met rt.Metrics
+
+	resume chan struct{}
+}
+
+var _ rt.Runtime = (*proc)(nil)
+
+func (p *proc) stateParked() bool { return p.parked }
+
+func (p *proc) main(body func(rt.Runtime)) {
+	<-p.resume
+	body(p)
+	p.finished = true
+	p.met.Elapsed = time.Duration(p.clock)
+	p.eng.back <- struct{}{}
+}
+
+// yield hands control back to the scheduler and blocks until resumed.
+func (p *proc) yield(state int) {
+	p.state = state
+	p.eng.back <- struct{}{}
+	<-p.resume
+}
+
+// advance moves this rank's clock forward by d, yielding so virtual-time
+// order is preserved across ranks.
+//
+// Fast path: the scheduler queue's minimum wake time is a lower bound on
+// when any other runnable rank can act (stale entries only understate it),
+// and parked ranks act only when this rank posts to them — so if the new
+// clock does not overtake that bound, no event can be generated before it
+// and the yield is skipped.
+func (p *proc) advance(d int64) {
+	if d < 0 {
+		panic("sim: negative time advance")
+	}
+	p.clock += d
+	e := p.eng
+	if len(e.pq) == 0 || p.clock <= e.pq[0].wake {
+		return
+	}
+	p.yield(stateReady)
+}
+
+// waitEvent parks until the earliest inbound event, charging the idle gap
+// to cat. The caller must have drained all ready events first.
+func (p *proc) waitEvent(cat rt.Category) {
+	p.yield(stateWaiting)
+	if len(p.events) == 0 {
+		panic(fmt.Sprintf("sim: rank %d resumed from waitEvent with no events", p.id))
+	}
+	if a := p.events[0].arrival; a > p.clock {
+		p.met.Time[cat] += time.Duration(a - p.clock)
+		p.clock = a
+	}
+}
+
+// handleReady processes every inbound event that has already arrived.
+// Collective releases are stashed for their wait call (a rank polling
+// between split-barrier entry and wait must not consume its own release).
+func (p *proc) handleReady() bool {
+	did := false
+	for len(p.events) > 0 && p.events[0].arrival <= p.clock {
+		ev := heap.Pop(&p.events).(*event)
+		if ev.kind >= evBarRel {
+			p.releases = append(p.releases, ev)
+			continue
+		}
+		p.dispatch(ev)
+		did = true
+	}
+	return did
+}
+
+// dispatch handles one request or response event.
+func (p *proc) dispatch(ev *event) {
+	switch ev.kind {
+	case evRequest:
+		p.serve(ev)
+	case evResponse:
+		cb, ok := p.pending[ev.seq]
+		if !ok {
+			panic(fmt.Sprintf("sim: rank %d got response for unknown seq %d", p.id, ev.seq))
+		}
+		delete(p.pending, ev.seq)
+		p.met.BytesRecv += int64(len(ev.val))
+		// Receive-side processing (rendezvous copy, payload landing) is
+		// CPU time proportional to the payload — unhidden communication.
+		// Intranode responses arrive through the shared-memory segment at
+		// negligible per-byte cost.
+		if !p.sameNode(ev.from) {
+			if d := int64(len(ev.val)) * int64(p.eng.cfg.Machine.ByteTime); d > 0 {
+				p.met.Time[rt.CatComm] += time.Duration(d)
+				p.advance(d)
+			}
+		}
+		cb(ev.val)
+	default:
+		panic(fmt.Sprintf("sim: rank %d cannot dispatch event kind %d", p.id, ev.kind))
+	}
+}
+
+// takeRelease removes and returns a stashed release of the given kind.
+func (p *proc) takeRelease(relKind int) *event {
+	for i, ev := range p.releases {
+		if ev.kind == relKind {
+			p.releases = append(p.releases[:i], p.releases[i+1:]...)
+			return ev
+		}
+	}
+	return nil
+}
+
+// serve answers one inbound RPC request: service overhead on this rank's
+// CPU (a yielding advance, so virtual-time order is preserved), then the
+// response wings its way back.
+func (p *proc) serve(ev *event) {
+	if p.handler == nil {
+		panic(fmt.Sprintf("sim: rank %d received request before Serve", p.id))
+	}
+	val := p.handler(ev.val)
+	m := &p.eng.cfg.Machine
+	// Service occupancy: dequeue + lookup + injecting the payload. The
+	// per-byte term (NIC injection — internode only; intranode RPCs ride
+	// the shared-memory segment) makes hot owners a genuine serialization
+	// point — the queueing behind "high numbers of outgoing and incoming
+	// RPCs" the paper observes at 8-16 nodes (§4.3). It is
+	// communication-engine work, so it accrues to CatComm on the server.
+	occ := int64(m.ServeOverhead)
+	if !p.sameNode(ev.from) {
+		occ += int64(len(val)) * int64(m.ByteTime)
+	}
+	d := p.noisy(occ)
+	p.met.Time[rt.CatComm] += time.Duration(d)
+	p.advance(d)
+	p.met.RPCserved++
+	p.met.BytesSent += int64(len(val))
+	p.met.Msgs++
+	arr := p.clock + p.linkAlpha(ev.from) + int64(len(val))*p.linkByteTime(ev.from)
+	p.eng.post(ev.from, &event{arrival: arr, kind: evResponse, from: p.id, seq: ev.seq, val: val})
+}
+
+// sameNode reports whether rank q shares this rank's node.
+func (p *proc) sameNode(q int) bool {
+	rpn := p.eng.cfg.RanksPerNode
+	return p.id/rpn == q/rpn
+}
+
+// linkAlpha returns the one-way latency to rank q.
+func (p *proc) linkAlpha(q int) int64 {
+	m := &p.eng.cfg.Machine
+	if p.sameNode(q) {
+		return int64(m.intraAlpha())
+	}
+	return int64(m.Alpha)
+}
+
+// linkByteTime returns the per-byte cost to rank q.
+func (p *proc) linkByteTime(q int) int64 {
+	m := &p.eng.cfg.Machine
+	if p.sameNode(q) {
+		return int64(m.intraByteTime())
+	}
+	return int64(m.ByteTime)
+}
+
+// noisy stretches a compute duration by the machine's OS-noise factor.
+func (p *proc) noisy(d int64) int64 {
+	n := p.eng.cfg.Machine.Noise
+	if n <= 0 || d <= 0 {
+		return d
+	}
+	return d + int64(float64(d)*n*p.rng.Float64())
+}
+
+// --- rt.Runtime ---
+
+// Rank returns this rank's id.
+func (p *proc) Rank() int { return p.id }
+
+// Size returns the simulated rank count.
+func (p *proc) Size() int { return p.eng.p }
+
+// collectiveWait drains ready events until a release of kind relKind is
+// consumed; idle gaps accrue to cat. Returns the release event.
+func (p *proc) collectiveWait(relKind int, cat rt.Category) *event {
+	for {
+		if ev := p.takeRelease(relKind); ev != nil {
+			return ev
+		}
+		for len(p.events) > 0 && p.events[0].arrival <= p.clock {
+			ev := heap.Pop(&p.events).(*event)
+			if ev.kind == relKind {
+				return ev
+			}
+			if ev.kind >= evBarRel {
+				p.releases = append(p.releases, ev)
+				continue
+			}
+			p.dispatch(ev)
+		}
+		if ev := p.takeRelease(relKind); ev != nil {
+			return ev
+		}
+		p.waitEvent(cat)
+	}
+}
+
+// barrierArrive registers arrival at collective c; the last arriver runs
+// release(t0) with t0 = the synchronisation point (max arrival), which must
+// post the release events.
+func (p *proc) barrierArrive(c *collective, release func(t0 int64)) {
+	c.arriveAt[p.id] = p.clock
+	if p.clock > c.maxT {
+		c.maxT = p.clock
+	}
+	c.arrived++
+	if c.arrived == p.eng.p {
+		t0 := c.maxT
+		c.arrived = 0
+		c.maxT = 0
+		release(t0)
+	}
+}
+
+// Barrier blocks until all ranks arrive, servicing RPCs while waiting.
+func (p *proc) Barrier() {
+	e := p.eng
+	p.barrierArrive(&e.bar, func(t0 int64) {
+		for q := 0; q < e.p; q++ {
+			e.post(q, &event{arrival: t0 + e.alphaLog(), kind: evBarRel, t0: t0})
+		}
+	})
+	ev := p.collectiveWait(evBarRel, rt.CatSync)
+	if ev.arrival > p.clock {
+		p.met.Time[rt.CatSync] += time.Duration(ev.arrival - p.clock)
+		p.clock = ev.arrival
+	}
+}
+
+// SplitBarrier enters phase one; the returned wait performs phase two.
+func (p *proc) SplitBarrier() (wait func()) {
+	e := p.eng
+	p.barrierArrive(&e.split, func(t0 int64) {
+		for q := 0; q < e.p; q++ {
+			e.post(q, &event{arrival: t0 + e.alphaLog(), kind: evSplitRel, t0: t0})
+		}
+	})
+	return func() {
+		ev := p.collectiveWait(evSplitRel, rt.CatSync)
+		if ev.arrival > p.clock {
+			p.met.Time[rt.CatSync] += time.Duration(ev.arrival - p.clock)
+			p.clock = ev.arrival
+		}
+	}
+}
+
+// Alltoallv performs the irregular all-to-all under the LogGP model:
+// arrival skew accrues to CatSync; the priced transfer accrues to CatComm.
+// Each rank's transfer costs tree latency + the larger of its send and
+// receive volumes at injection bandwidth + its share of the global volume
+// crossing the bisection.
+func (p *proc) Alltoallv(send [][]byte) [][]byte {
+	e := p.eng
+	if len(send) != e.p {
+		panic(fmt.Sprintf("sim: Alltoallv send has %d entries, want %d", len(send), e.p))
+	}
+	for _, mbuf := range send {
+		p.met.BytesSent += int64(len(mbuf))
+		if len(mbuf) > 0 {
+			p.met.Msgs++
+		}
+	}
+	c := &e.a2a
+	if c.store == nil {
+		c.store = make([][][]byte, e.p)
+	}
+	c.store[p.id] = send
+	m := &e.cfg.Machine
+	p.barrierArrive(c, func(t0 int64) {
+		// One O(P²) pass prices the exchange. The pairwise-exchange
+		// algorithm proceeds in lockstep, so every rank completes together:
+		// tree latency + the most-loaded rank's volume at injection
+		// bandwidth + the global volume's bisection share + one software
+		// send/recv pair per peer. The skew term is why the exchange-load
+		// imbalance of Figure 6 translates into everyone's communication
+		// latency.
+		rpn := e.cfg.RanksPerNode
+		interSend := make([]int64, e.p)
+		interRecv := make([]int64, e.p)
+		intraSend := make([]int64, e.p)
+		intraRecv := make([]int64, e.p)
+		recvs := make([][][]byte, e.p)
+		var interTot int64
+		for q := 0; q < e.p; q++ {
+			recvs[q] = make([][]byte, e.p)
+		}
+		for src := 0; src < e.p; src++ {
+			row := c.store[src]
+			for dst := 0; dst < e.p; dst++ {
+				n := int64(len(row[dst]))
+				if src/rpn == dst/rpn { // shared-memory peers
+					intraSend[src] += n
+					intraRecv[dst] += n
+				} else {
+					interSend[src] += n
+					interRecv[dst] += n
+					interTot += n
+				}
+				recvs[dst][src] = row[dst]
+			}
+		}
+		max2 := func(xs, ys []int64) int64 {
+			var v int64
+			for q := range xs {
+				if xs[q] > v {
+					v = xs[q]
+				}
+				if ys[q] > v {
+					v = ys[q]
+				}
+			}
+			return v
+		}
+		interPeers := int64(e.p - rpn)
+		intraPeers := int64(rpn - 1)
+		if interPeers < 0 {
+			interPeers = 0
+		}
+		// Per-peer software cost, rescaled from per-core to per-sim-rank
+		// (each sim rank stands for CoresPerNode/rpn cores, and the real
+		// exchange has that many times more peers).
+		msgOv := int64(m.A2AMsgOverhead)
+		if m.CoresPerNode > rpn {
+			msgOv *= int64(m.CoresPerNode / rpn)
+		}
+		done := t0 + e.alphaLog() +
+			max2(interSend, interRecv)*int64(m.ByteTime) +
+			max2(intraSend, intraRecv)*int64(m.intraByteTime()) +
+			interTot*int64(m.BisectByteTime)/int64(e.p) +
+			interPeers*msgOv +
+			intraPeers*msgOv/10
+		for q := 0; q < e.p; q++ {
+			// The release lands at the sync point t0 so the wait loop
+			// charges only skew to CatSync; the transfer window
+			// [t0, done] is charged to CatComm below.
+			e.post(q, &event{arrival: t0, kind: evA2ARel, t0: t0, done: done, recv: recvs[q]})
+		}
+	})
+	ev := p.collectiveWait(evA2ARel, rt.CatSync)
+	if ev.t0 > p.clock {
+		p.met.Time[rt.CatSync] += time.Duration(ev.t0 - p.clock)
+		p.clock = ev.t0
+	}
+	if ev.done > p.clock {
+		p.met.Time[rt.CatComm] += time.Duration(ev.done - p.clock)
+		p.clock = ev.done
+	}
+	for _, mbuf := range ev.recv {
+		p.met.BytesRecv += int64(len(mbuf))
+	}
+	return ev.recv
+}
+
+// Allreduce combines v across ranks at tree-latency cost (CatSync).
+func (p *proc) Allreduce(v int64, op rt.Op) int64 {
+	e := p.eng
+	c := &e.red
+	c.vals[p.id] = v
+	p.barrierArrive(c, func(t0 int64) {
+		acc := c.vals[0]
+		for i := 1; i < e.p; i++ {
+			acc = op.Combine(acc, c.vals[i])
+		}
+		for q := 0; q < e.p; q++ {
+			e.post(q, &event{arrival: t0 + 2*e.alphaLog(), kind: evRedRel, t0: t0, red: acc})
+		}
+	})
+	ev := p.collectiveWait(evRedRel, rt.CatSync)
+	if ev.arrival > p.clock {
+		p.met.Time[rt.CatSync] += time.Duration(ev.arrival - p.clock)
+		p.clock = ev.arrival
+	}
+	return ev.red
+}
+
+// Serve registers the RPC handler.
+func (p *proc) Serve(handler func([]byte) []byte) { p.handler = handler }
+
+// requestEnvelope is the on-wire overhead of a request (headers).
+const requestEnvelope = 8
+
+// AsyncCall issues an RPC: injection overhead now, response later.
+func (p *proc) AsyncCall(owner int, req []byte, cb func([]byte)) {
+	if cb == nil {
+		panic("sim: AsyncCall requires a callback")
+	}
+	m := &p.eng.cfg.Machine
+	seq := p.nextSeq
+	p.nextSeq++
+	p.pending[seq] = cb
+	p.met.RPCsSent++
+	p.met.Msgs++
+	wire := int64(len(req)) + requestEnvelope
+	p.met.BytesSent += wire
+	d := p.noisy(int64(m.RPCOverhead))
+	p.met.Time[rt.CatComm] += time.Duration(d)
+	arr := p.clock + d + p.linkAlpha(owner) + wire*p.linkByteTime(owner)
+	p.eng.post(owner, &event{arrival: arr, kind: evRequest, from: p.id, seq: seq, val: req})
+	p.advance(d)
+}
+
+// Progress services arrived requests and runs ready callbacks.
+func (p *proc) Progress() bool {
+	// Yield first so peers with earlier clocks can post events that are
+	// due before our current time.
+	p.advance(0)
+	return p.handleReady()
+}
+
+// Outstanding reports in-flight AsyncCalls.
+func (p *proc) Outstanding() int { return len(p.pending) }
+
+// Drain blocks until Outstanding() <= max; idle time is unhidden
+// communication latency (CatComm).
+func (p *proc) Drain(max int) {
+	for len(p.pending) > max {
+		if p.handleReady() {
+			continue
+		}
+		p.waitEvent(rt.CatComm)
+	}
+}
+
+// Charge advances virtual time (with OS noise applied to compute).
+func (p *proc) Charge(cat rt.Category, d time.Duration) {
+	dd := int64(d)
+	if cat == rt.CatAlign || cat == rt.CatOverhead {
+		dd = p.noisy(dd)
+	}
+	p.met.Time[cat] += time.Duration(dd)
+	p.advance(dd)
+}
+
+// Timed executes f with no virtual-time attribution: model back-ends
+// charge explicitly.
+func (p *proc) Timed(_ rt.Category, f func()) { f() }
+
+// Alloc tracks n live bytes.
+func (p *proc) Alloc(n int64) { p.met.Alloc(n) }
+
+// Free releases n tracked bytes.
+func (p *proc) Free(n int64) { p.met.Free(n) }
+
+// MemBudget returns the per-rank exchange budget.
+func (p *proc) MemBudget() int64 { return p.eng.cfg.MemBudget }
+
+// Metrics exposes this rank's accounting.
+func (p *proc) Metrics() *rt.Metrics { return &p.met }

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"gnbody/internal/rt"
+)
+
+// BenchmarkEngineEvents measures DES throughput: charge+RPC mix across
+// 32 ranks (reported as simulated events per wall second via ns/op).
+func BenchmarkEngineEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(Config{Machine: CoriKNL(), Nodes: 4, RanksPerNode: 8, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(func(r rt.Runtime) {
+			r.Serve(func([]byte) []byte { return make([]byte, 256) })
+			wait := r.SplitBarrier()
+			wait()
+			for k := 0; k < 100; k++ {
+				r.Charge(rt.CatAlign, 50*time.Microsecond)
+				asyncGet(r, (r.Rank()+1)%r.Size(), uint64(k), func([]byte) {})
+				r.Drain(8)
+			}
+			r.Drain(0)
+			r.Barrier()
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(32*100*3), "events/op")
+}
+
+func BenchmarkAlltoallvRelease(b *testing.B) {
+	// The O(P²) pricing pass at a mid-size rank count.
+	const nodes, rpn = 64, 4
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(Config{Machine: CoriKNL(), Nodes: nodes, RanksPerNode: rpn, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(func(r rt.Runtime) {
+			send := make([][]byte, r.Size())
+			send[(r.Rank()+1)%r.Size()] = make([]byte, 1000)
+			r.Alltoallv(send)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

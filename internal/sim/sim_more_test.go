@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"gnbody/internal/rt"
+)
+
+// Clock monotonicity and causality under a random-ish RPC/compute mix:
+// every callback must observe a response that could not have been
+// generated before the request existed (round-trip >= 2·IntraAlpha).
+func TestCausalityRoundTripFloor(t *testing.T) {
+	m := CoriKNL()
+	e, err := NewEngine(Config{Machine: m, Nodes: 1, RanksPerNode: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := false
+	if err := e.Run(func(r rt.Runtime) {
+		p := r.(*proc)
+		serveKV(r, func(uint64) []byte { return make([]byte, 64) })
+		wait := r.SplitBarrier()
+		wait()
+		for i := 0; i < 30; i++ {
+			dst := (r.Rank() + 1) % r.Size()
+			issued := p.clock
+			asyncGet(r, dst, uint64(i), func([]byte) {
+				if p.clock-issued < 2*int64(m.intraAlpha()) {
+					bad = true
+				}
+			})
+			r.Charge(rt.CatAlign, time.Duration(i%7)*100*time.Microsecond)
+			r.Drain(4)
+		}
+		r.Drain(0)
+		r.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("a response arrived faster than the round-trip latency floor")
+	}
+}
+
+// The fast-path advance must not reorder delivery: a rank that computes in
+// many tiny steps and one that computes in one big step see identical
+// request service counts.
+func TestFastPathEquivalentAccounting(t *testing.T) {
+	run := func(steps int) time.Duration {
+		e, err := NewEngine(Config{Machine: CoriKNL(), Nodes: 1, RanksPerNode: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(func(r rt.Runtime) {
+			serveKV(r, func(uint64) []byte { return make([]byte, 10) })
+			wait := r.SplitBarrier()
+			wait()
+			if r.Rank() == 0 {
+				total := 10 * time.Millisecond
+				for i := 0; i < steps; i++ {
+					r.Charge(rt.CatAlign, total/time.Duration(steps))
+				}
+				asyncGet(r, 1, 1, func([]byte) {})
+				r.Drain(0)
+			}
+			r.Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Clock(0)
+	}
+	if a, b := run(1), run(1000); a != b {
+		t.Errorf("final clock differs with charge granularity: %v vs %v", a, b)
+	}
+}
+
+func TestAlltoallvIntranodeCheaperThanInter(t *testing.T) {
+	cost := func(nodes, rpn int) time.Duration {
+		e, err := NewEngine(Config{Machine: CoriKNL(), Nodes: nodes, RanksPerNode: rpn, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(func(r rt.Runtime) {
+			send := make([][]byte, r.Size())
+			for dst := range send {
+				send[dst] = make([]byte, 100000)
+			}
+			r.Alltoallv(send)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Metrics(0).Time[rt.CatComm]
+	}
+	// 4 ranks on one node vs 4 ranks on 4 nodes, same volume.
+	if intra, inter := cost(1, 4), cost(4, 1); intra >= inter {
+		t.Errorf("intranode exchange (%v) not cheaper than internode (%v)", intra, inter)
+	}
+}
+
+func TestRPCIntranodeCheaperThanInter(t *testing.T) {
+	latency := func(nodes, rpn int) time.Duration {
+		e, err := NewEngine(Config{Machine: CoriKNL(), Nodes: nodes, RanksPerNode: rpn, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(func(r rt.Runtime) {
+			serveKV(r, func(uint64) []byte { return make([]byte, 50000) })
+			wait := r.SplitBarrier()
+			wait()
+			if r.Rank() == 0 {
+				for i := 0; i < 20; i++ {
+					asyncGet(r, 1, uint64(i), func([]byte) {})
+					r.Drain(0)
+				}
+			}
+			r.Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Metrics(0).Time[rt.CatComm]
+	}
+	if intra, inter := latency(1, 2), latency(2, 1); intra >= inter {
+		t.Errorf("intranode RPC latency (%v) not below internode (%v)", intra, inter)
+	}
+}
+
+func TestA2AMsgOverheadScalesWithRanks(t *testing.T) {
+	cost := func(nodes int) time.Duration {
+		e, err := NewEngine(Config{Machine: CoriKNL(), Nodes: nodes, RanksPerNode: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(func(r rt.Runtime) {
+			send := make([][]byte, r.Size())
+			r.Alltoallv(send) // zero volume: pure software cost
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Metrics(0).Time[rt.CatComm]
+	}
+	c4, c16 := cost(4), cost(16)
+	if c16 <= c4 {
+		t.Errorf("empty alltoallv on 16 nodes (%v) not costlier than on 4 (%v)", c16, c4)
+	}
+}
+
+func TestReleaseStashing(t *testing.T) {
+	// A rank that polls between split-barrier entry and wait must not
+	// consume its own release; wait() must still return correctly.
+	e := newTestEngine(t, 1, 3)
+	order := make([]int, 0, 3)
+	if err := e.Run(func(r rt.Runtime) {
+		serveKV(r, func(uint64) []byte { return nil })
+		wait := r.SplitBarrier()
+		for i := 0; i < 50; i++ {
+			r.Progress() // releases must be stashed, not dispatched
+			r.Charge(rt.CatOverhead, 10*time.Microsecond)
+		}
+		wait()
+		order = append(order, r.Rank())
+		r.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Errorf("only %d ranks passed the split barrier", len(order))
+	}
+}
+
+func TestChargeNegativePanics(t *testing.T) {
+	e := newTestEngine(t, 1, 1)
+	panicked := false
+	_ = e.Run(func(r rt.Runtime) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.Charge(rt.CatAlign, -time.Second)
+	})
+	if !panicked {
+		t.Error("negative charge accepted")
+	}
+}

@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"gnbody/internal/rt"
+)
+
+func newTestEngine(t *testing.T, nodes, rpn int) *Engine {
+	t.Helper()
+	m := CoriKNL()
+	e, err := NewEngine(Config{Machine: m, Nodes: nodes, RanksPerNode: rpn, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Config{Machine: CoriKNL(), Nodes: 0}); err == nil {
+		t.Error("nodes=0 accepted")
+	}
+	m := CoriKNL()
+	m.CoresPerNode = 0
+	if _, err := NewEngine(Config{Machine: m, Nodes: 1}); err == nil {
+		t.Error("coreless machine accepted")
+	}
+	e, err := NewEngine(Config{Machine: CoriKNL(), Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Ranks() != 128 {
+		t.Errorf("Ranks = %d, want 128 (2 nodes × 64)", e.Ranks())
+	}
+}
+
+func TestRunOnlyOnce(t *testing.T) {
+	e := newTestEngine(t, 1, 2)
+	if err := e.Run(func(r rt.Runtime) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(func(r rt.Runtime) {}); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+func TestChargeAdvancesClock(t *testing.T) {
+	e := newTestEngine(t, 1, 2)
+	if err := e.Run(func(r rt.Runtime) {
+		r.Charge(rt.CatAlign, 5*time.Millisecond)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if got := e.Clock(i); got != 5*time.Millisecond {
+			t.Errorf("rank %d clock = %v, want 5ms", i, got)
+		}
+		if got := e.Metrics(i).Time[rt.CatAlign]; got != 5*time.Millisecond {
+			t.Errorf("rank %d align time = %v", i, got)
+		}
+	}
+}
+
+func TestBarrierSkewAccountsAsSync(t *testing.T) {
+	e := newTestEngine(t, 1, 2)
+	if err := e.Run(func(r rt.Runtime) {
+		if r.Rank() == 0 {
+			r.Charge(rt.CatAlign, 10*time.Millisecond)
+		}
+		r.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// After the barrier both clocks must be equal (release is global).
+	if e.Clock(0) != e.Clock(1) {
+		t.Errorf("clocks diverge after barrier: %v vs %v", e.Clock(0), e.Clock(1))
+	}
+	s0 := e.Metrics(0).Time[rt.CatSync]
+	s1 := e.Metrics(1).Time[rt.CatSync]
+	if s1 < 9*time.Millisecond {
+		t.Errorf("idle rank sync = %v, want ≈10ms of skew", s1)
+	}
+	if s0 > time.Millisecond {
+		t.Errorf("busy rank sync = %v, want ≈0", s0)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		m := CoriKNL()
+		m.Noise = 0.05 // exercise the RNG path too
+		e, err := NewEngine(Config{Machine: m, Nodes: 1, RanksPerNode: 8, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = e.Run(func(r rt.Runtime) {
+			me := r.Rank()
+			serveKV(r, func(key uint64) []byte { return make([]byte, int(key%100)+1) })
+			wait := r.SplitBarrier()
+			r.Charge(rt.CatAlign, time.Duration(me+1)*time.Millisecond)
+			wait()
+			for i := 0; i < 20; i++ {
+				dst := (me + 1 + i) % r.Size()
+				if dst == me {
+					continue
+				}
+				asyncGet(r, dst, uint64(me*100+i), func([]byte) {})
+				r.Drain(4)
+			}
+			r.Drain(0)
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]time.Duration, e.Ranks())
+		for i := range out {
+			out[i] = e.Clock(i)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d clock differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAlltoallvDeliveryAndCost(t *testing.T) {
+	const rpn = 4
+	e := newTestEngine(t, 1, rpn)
+	bad := false
+	if err := e.Run(func(r rt.Runtime) {
+		me := r.Rank()
+		send := make([][]byte, rpn)
+		for dst := 0; dst < rpn; dst++ {
+			m := make([]byte, 8)
+			binary.LittleEndian.PutUint32(m[0:], uint32(me))
+			binary.LittleEndian.PutUint32(m[4:], uint32(dst))
+			send[dst] = m
+		}
+		recv := r.Alltoallv(send)
+		for src := 0; src < rpn; src++ {
+			if binary.LittleEndian.Uint32(recv[src][0:]) != uint32(src) ||
+				binary.LittleEndian.Uint32(recv[src][4:]) != uint32(me) {
+				bad = true
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("alltoallv delivered wrong data")
+	}
+	if e.Metrics(0).Time[rt.CatComm] <= 0 {
+		t.Error("alltoallv charged no communication time")
+	}
+}
+
+func TestAlltoallvVolumeScalesCost(t *testing.T) {
+	cost := func(volume int) time.Duration {
+		e := newTestEngine(t, 1, 4)
+		if err := e.Run(func(r rt.Runtime) {
+			send := make([][]byte, 4)
+			for dst := range send {
+				send[dst] = make([]byte, volume)
+			}
+			r.Alltoallv(send)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Metrics(0).Time[rt.CatComm]
+	}
+	small, large := cost(1000), cost(1000000)
+	if large <= small {
+		t.Errorf("1MB exchange (%v) not costlier than 1KB (%v)", large, small)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	e := newTestEngine(t, 1, 5)
+	bad := false
+	if err := e.Run(func(r rt.Runtime) {
+		if got := r.Allreduce(int64(r.Rank()+1), rt.OpSum); got != 15 {
+			bad = true
+		}
+		if got := r.Allreduce(int64(r.Rank()), rt.OpMax); got != 4 {
+			bad = true
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("allreduce wrong")
+	}
+}
+
+func TestRPCRoundTripValue(t *testing.T) {
+	e := newTestEngine(t, 1, 3)
+	bad := false
+	if err := e.Run(func(r rt.Runtime) {
+		me := r.Rank()
+		serveKV(r, func(key uint64) []byte {
+			v := make([]byte, 8)
+			binary.LittleEndian.PutUint64(v, key+uint64(me))
+			return v
+		})
+		wait := r.SplitBarrier()
+		wait()
+		if me == 0 {
+			var got uint64
+			asyncGet(r, 1, 41, func(val []byte) { got = binary.LittleEndian.Uint64(val) })
+			r.Drain(0)
+			if got != 42 {
+				bad = true
+			}
+		}
+		r.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("RPC returned wrong value")
+	}
+	if e.Metrics(0).RPCsSent != 1 || e.Metrics(1).RPCserved != 1 {
+		t.Error("RPC counters wrong")
+	}
+}
+
+// The core mechanism of the paper's async approach: latency that is exposed
+// when the rank sits in Drain becomes hidden when enough computation runs
+// between issue and drain (§3.2, §4.4).
+func TestCommunicationComputationOverlap(t *testing.T) {
+	visible := func(compute time.Duration) time.Duration {
+		e := newTestEngine(t, 1, 2)
+		if err := e.Run(func(r rt.Runtime) {
+			serveKV(r, func(uint64) []byte { return make([]byte, 1000) })
+			wait := r.SplitBarrier()
+			wait()
+			if r.Rank() == 0 {
+				asyncGet(r, 1, 7, func([]byte) {})
+				if compute > 0 {
+					r.Charge(rt.CatAlign, compute)
+				}
+				r.Drain(0)
+			}
+			r.Barrier()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Metrics(0).Time[rt.CatComm]
+	}
+	exposed := visible(0)
+	hidden := visible(10 * time.Millisecond)
+	if exposed < CoriKNL().Alpha { // at least a round trip's latency visible
+		t.Errorf("exposed latency %v below one-way alpha", exposed)
+	}
+	if hidden >= exposed/2 {
+		t.Errorf("latency not hidden by compute: visible %v (vs %v exposed)", hidden, exposed)
+	}
+}
+
+func TestNoiseStretchesCompute(t *testing.T) {
+	m := CoriKNLNoIsolation()
+	e, err := NewEngine(Config{Machine: m, Nodes: 1, RanksPerNode: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(func(r rt.Runtime) {
+		r.Charge(rt.CatAlign, 100*time.Millisecond)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stretched := false
+	for i := 0; i < e.Ranks(); i++ {
+		d := e.Metrics(i).Time[rt.CatAlign]
+		if d < 100*time.Millisecond {
+			t.Errorf("rank %d compute %v below charge", i, d)
+		}
+		if d > 100*time.Millisecond {
+			stretched = true
+		}
+		if d > time.Duration(float64(100*time.Millisecond)*(1+m.Noise)) {
+			t.Errorf("rank %d compute %v beyond noise bound", i, d)
+		}
+	}
+	if !stretched {
+		t.Error("noise model stretched no rank")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := newTestEngine(t, 1, 2)
+	err := e.Run(func(r rt.Runtime) {
+		if r.Rank() == 0 {
+			serveKV(r, func(uint64) []byte { return nil })
+			asyncGet(r, 1, 1, func([]byte) {})
+			r.Drain(0) // rank 1 exits without serving: hangs forever
+		}
+		// rank 1 returns immediately
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestMemBudgetDefaults(t *testing.T) {
+	e := newTestEngine(t, 1, 2)
+	if err := e.Run(func(r rt.Runtime) {
+		if r.MemBudget() != CoriKNL().AppMemPerCore {
+			t.Errorf("MemBudget = %d", r.MemBudget())
+		}
+		r.Alloc(100)
+		r.Free(40)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics(0).MaxMem != 100 || e.Metrics(0).CurMem != 60 {
+		t.Errorf("memory meters = %+v", e.Metrics(0))
+	}
+}
+
+func TestMaxClock(t *testing.T) {
+	e := newTestEngine(t, 1, 3)
+	if err := e.Run(func(r rt.Runtime) {
+		r.Charge(rt.CatAlign, time.Duration(r.Rank()+1)*time.Second)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxClock() != 3*time.Second {
+		t.Errorf("MaxClock = %v, want 3s", e.MaxClock())
+	}
+}
+
+func TestSplitBarrierOverlapsWork(t *testing.T) {
+	// Split-phase semantics: wait() returns once all ranks have *entered*
+	// (phase one), not once they have all waited. Work done between enter
+	// and wait therefore overlaps other ranks' arrival, and a late
+	// *entry* is what produces sync time in the others.
+	e := newTestEngine(t, 1, 2)
+	if err := e.Run(func(r rt.Runtime) {
+		if r.Rank() == 0 {
+			r.Charge(rt.CatAlign, 10*time.Millisecond) // enters 10ms late
+		}
+		wait := r.SplitBarrier()
+		if r.Rank() == 1 {
+			r.Charge(rt.CatAlign, 8*time.Millisecond) // overlapped work
+		}
+		wait()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Metrics(0).Time[rt.CatSync]; s > time.Millisecond {
+		t.Errorf("late-entering rank sync = %v, want ≈0", s)
+	}
+	// Rank 1 entered at 0, worked 8ms, then waited for rank 0's entry at
+	// 10ms: only ≈2ms of residual sync despite a 10ms skew.
+	s := e.Metrics(1).Time[rt.CatSync]
+	if s < time.Millisecond || s > 3*time.Millisecond {
+		t.Errorf("overlapping rank sync = %v, want ≈2ms", s)
+	}
+}
+
+func TestServiceDuringExitBarrier(t *testing.T) {
+	// Rank 1 reaches the exit barrier first; rank 0 still needs a lookup
+	// from it. The paper's single exit barrier guarantees reads remain
+	// available (§3.2): the parked rank must answer.
+	e := newTestEngine(t, 1, 2)
+	ok := false
+	if err := e.Run(func(r rt.Runtime) {
+		serveKV(r, func(uint64) []byte { return []byte{9} })
+		wait := r.SplitBarrier()
+		wait()
+		if r.Rank() == 0 {
+			r.Charge(rt.CatAlign, 5*time.Millisecond) // rank 1 is long in the barrier by now
+			asyncGet(r, 1, 0, func(val []byte) { ok = val[0] == 9 })
+			r.Drain(0)
+		}
+		r.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("request not serviced while target waited in exit barrier")
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	if CoriKNL().CoresPerNode != 64 || CoriKNLNoIsolation().CoresPerNode != 68 {
+		t.Error("Cori presets wrong core counts")
+	}
+	if CoriKNLNoIsolation().Noise <= 0 {
+		t.Error("no-isolation preset must have OS noise")
+	}
+	if HighLatencyCloud().Alpha <= CoriKNL().Alpha {
+		t.Error("cloud preset should have higher latency than Aries")
+	}
+}

@@ -1,0 +1,183 @@
+// Package stats provides the cross-rank reductions (minimum, maximum,
+// average, sum — §4: "statistics ... are computed via global reductions")
+// and the fixed-width table rendering shared by every experiment binary.
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Summary holds the reduction of one per-rank series.
+type Summary struct {
+	N   int
+	Min float64
+	Max float64
+	Sum float64
+}
+
+// Summarize reduces vals.
+func Summarize(vals []float64) Summary {
+	s := Summary{N: len(vals)}
+	for i, v := range vals {
+		if i == 0 || v < s.Min {
+			s.Min = v
+		}
+		if i == 0 || v > s.Max {
+			s.Max = v
+		}
+		s.Sum += v
+	}
+	return s
+}
+
+// SummarizeDurations reduces a series of durations as seconds.
+func SummarizeDurations(ds []time.Duration) Summary {
+	vals := make([]float64, len(ds))
+	for i, d := range ds {
+		vals[i] = d.Seconds()
+	}
+	return Summarize(vals)
+}
+
+// SummarizeInt64 reduces an int64 series.
+func SummarizeInt64(xs []int64) Summary {
+	vals := make([]float64, len(xs))
+	for i, x := range xs {
+		vals[i] = float64(x)
+	}
+	return Summarize(vals)
+}
+
+// Mean returns the average (0 for an empty series).
+func (s Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Imbalance returns max/mean, the paper's load-imbalance metric
+// (1.0 = perfect balance).
+func (s Summary) Imbalance() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 1
+	}
+	return s.Max / m
+}
+
+// Table renders fixed-width text tables, right-aligning numeric-looking
+// cells, in the style of the paper's result presentation.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// AddRow appends one row of rendered cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// RenderCSV writes the table as CSV (headers first; the title is omitted).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FmtDur renders a duration with 3 significant-ish digits (e.g. "12.3s",
+// "456ms", "7.89us").
+func FmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fus", float64(d)/1e3)
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+// FmtBytes renders a byte count in binary units.
+func FmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// FmtPct renders a ratio as a percentage.
+func FmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// FmtCount renders large counts with thousands separators.
+func FmtCount(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if n < 0 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

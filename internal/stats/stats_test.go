@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Sum != 6 || s.N != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean() != 2 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Imbalance() != 1.5 {
+		t.Errorf("imbalance = %v", s.Imbalance())
+	}
+	empty := Summarize(nil)
+	if empty.Mean() != 0 || empty.Imbalance() != 1 {
+		t.Errorf("empty summary: mean=%v imb=%v", empty.Mean(), empty.Imbalance())
+	}
+}
+
+func TestSummarizeVariants(t *testing.T) {
+	d := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if d.Max != 3 || d.Min != 1 {
+		t.Errorf("durations = %+v", d)
+	}
+	i := SummarizeInt64([]int64{5, 10})
+	if i.Sum != 15 {
+		t.Errorf("int64 = %+v", i)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "T", Headers: []string{"a", "long-col"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333333", "4")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "long-col") {
+		t.Errorf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, headers, sep, 2 rows -> 5? title+header+sep+2 = 5
+		if len(lines) != 5 {
+			t.Errorf("got %d lines:\n%s", len(lines), out)
+		}
+	}
+	// All data lines equal width.
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Errorf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{FmtDur(2500 * time.Millisecond), "2.50s"},
+		{FmtDur(3500 * time.Microsecond), "3.5ms"},
+		{FmtDur(1500 * time.Nanosecond), "1.5us"},
+		{FmtDur(999), "999ns"},
+		{FmtBytes(3 << 30), "3.00GB"},
+		{FmtBytes(5 << 20), "5.0MB"},
+		{FmtBytes(2048), "2.0KB"},
+		{FmtBytes(17), "17B"},
+		{FmtPct(0.125), "12.5%"},
+		{FmtCount(1234567), "1,234,567"},
+		{FmtCount(12), "12"},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("got %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := Table{Title: "ignored", Headers: []string{"a", "b"}}
+	tab.AddRow("1", "x,y")
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"testing"
+
+	"gnbody/internal/genome"
+)
+
+func TestPresetsMatchTable1(t *testing.T) {
+	// Table 1 of the paper, verbatim.
+	if EColi30x.PaperReads != 16890 || EColi30x.PaperTasks != 2270260 {
+		t.Error("E. coli 30x counts drifted from Table 1")
+	}
+	if EColi100x.PaperReads != 91394 || EColi100x.PaperTasks != 24869171 {
+		t.Error("E. coli 100x counts drifted from Table 1")
+	}
+	if HumanCCS.PaperReads != 1148839 || HumanCCS.PaperTasks != 87621409 {
+		t.Error("Human CCS counts drifted from Table 1")
+	}
+	// §4.4: E. coli 100x raw input is over 3x larger than 30x; tasks
+	// nearly 11x larger; Human CCS roughly 28x larger than 100x raw.
+	r30 := float64(EColi30x.PaperReads) * float64(EColi30x.MeanLen)
+	r100 := float64(EColi100x.PaperReads) * float64(EColi100x.MeanLen)
+	rCCS := float64(HumanCCS.PaperReads) * float64(HumanCCS.MeanLen)
+	if ratio := r100 / r30; ratio < 3 || ratio > 4 {
+		t.Errorf("100x/30x raw ratio = %.1f, paper says just over 3x", ratio)
+	}
+	if ratio := float64(EColi100x.PaperTasks) / float64(EColi30x.PaperTasks); ratio < 10 || ratio > 12 {
+		t.Errorf("task ratio = %.1f, paper says nearly 11x", ratio)
+	}
+	if ratio := rCCS / r100; ratio < 22 || ratio > 34 {
+		t.Errorf("CCS/100x raw ratio = %.1f, paper says roughly 28x", ratio)
+	}
+}
+
+func TestSynthesizeCounts(t *testing.T) {
+	w, err := Synthesize(EColi30x, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReads := EColi30x.PaperReads / 16
+	if len(w.Lens) != wantReads {
+		t.Errorf("reads = %d, want %d", len(w.Lens), wantReads)
+	}
+	wantTasks := EColi30x.PaperTasks / 16
+	got := int64(len(w.Tasks))
+	if got < wantTasks*8/10 || got > wantTasks+wantTasks/10 {
+		t.Errorf("tasks = %d, want ≈ %d", got, wantTasks)
+	}
+	if w.TrueTasks+w.FalseTasks < len(w.Tasks)-w.TrueTasks {
+		t.Errorf("TP/FP accounting broken: true=%d false=%d total=%d", w.TrueTasks, w.FalseTasks, len(w.Tasks))
+	}
+	if w.TrueTasks == 0 {
+		t.Error("no true overlaps synthesized")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, err := Synthesize(EColi30x, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(EColi30x, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("nondeterministic: %d vs %d tasks", len(a.Tasks), len(b.Tasks))
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs", i)
+		}
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(EColi30x, 0, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := Synthesize(EColi30x, 20000, 1); err == nil {
+		t.Error("scale leaving <2 reads accepted")
+	}
+}
+
+func TestMetaLabelsConsistent(t *testing.T) {
+	w, err := Synthesize(EColi30x, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := w.Meta()
+	trueN, falseN := 0, 0
+	for _, task := range w.Tasks {
+		ov, fp := meta(task)
+		truthOv := genome.TrueOverlap(w.Truth[task.A], w.Truth[task.B])
+		if fp != (truthOv == 0) {
+			t.Fatalf("meta inconsistent for %v: truth=%d fp=%v", task, truthOv, fp)
+		}
+		if fp {
+			falseN++
+			// FP extent is the pseudo-repeat length: bounded, positive,
+			// and deterministic.
+			if max := w.Preset.RepeatMax; ov < 100 || ov >= max {
+				t.Fatalf("FP extent %d outside [100,%d)", ov, max)
+			}
+			if ov2, _ := meta(task); ov2 != ov {
+				t.Fatalf("FP extent nondeterministic: %d vs %d", ov, ov2)
+			}
+		} else {
+			trueN++
+			wantOv := truthOv
+			if cap := w.Preset.ExtensionCap(); wantOv > cap {
+				wantOv = cap
+			}
+			if wantOv != ov {
+				t.Fatalf("overlap mismatch: %d vs %d (truth %d)", wantOv, ov, truthOv)
+			}
+		}
+	}
+	if trueN != w.TrueTasks || falseN != w.FalseTasks {
+		t.Errorf("counts: meta says %d/%d, workload says %d/%d", trueN, falseN, w.TrueTasks, w.FalseTasks)
+	}
+}
+
+func TestTasksPerReadDensity(t *testing.T) {
+	// The scaled graph must roughly preserve the Table 1 density (at a
+	// scale where the pair-count cap does not bind).
+	w, err := Synthesize(EColi100x, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	density := float64(len(w.Tasks)) / float64(len(w.Lens))
+	paper := EColi100x.TasksPerRead()
+	if density < paper*0.8 || density > paper*1.2 {
+		t.Errorf("tasks/read = %.1f, paper = %.1f", density, paper)
+	}
+}
+
+func TestPipelineForm(t *testing.T) {
+	reads, tasks, truth, err := Pipeline(EColi30x, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads.Len() < 10 || len(tasks) == 0 {
+		t.Fatalf("pipeline produced %d reads, %d tasks", reads.Len(), len(tasks))
+	}
+	if len(truth) != reads.Len() {
+		t.Errorf("truth misaligned: %d vs %d", len(truth), reads.Len())
+	}
+	lens := LensOf(reads)
+	for i := range lens {
+		if int(lens[i]) != reads.Reads[i].Len() {
+			t.Errorf("LensOf wrong at %d", i)
+		}
+	}
+	if _, _, _, err := Pipeline(EColi30x, 0, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestSortedTaskCounts(t *testing.T) {
+	w, err := Synthesize(EColi30x, 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := SortedTaskCounts(w)
+	if len(counts) != len(w.Lens) {
+		t.Fatalf("counts length %d", len(counts))
+	}
+	sum := 0
+	for i, c := range counts {
+		sum += c
+		if i > 0 && counts[i-1] < c {
+			t.Fatal("not sorted descending")
+		}
+	}
+	if sum != 2*len(w.Tasks) {
+		t.Errorf("participation sum %d != 2×tasks %d", sum, 2*len(w.Tasks))
+	}
+}
+
+func TestTotalBases(t *testing.T) {
+	w, err := Synthesize(EColi30x, 64, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, l := range w.Lens {
+		want += int64(l)
+	}
+	if w.TotalBases() != want {
+		t.Errorf("TotalBases = %d, want %d", w.TotalBases(), want)
+	}
+}
