@@ -1,0 +1,46 @@
+# gnbody — build, test, and fuzz gates. Pure Go, no external tools.
+#
+#   make check   fast gate: vet + gofmt + build + full test suite
+#   make race    full suite under the race detector (what CI runs)
+#   make fuzz    10s smoke per fuzz target (go fuzzing allows one -fuzz
+#                target per invocation, hence three runs)
+#   make golden  regenerate the exporter golden fixtures after an
+#                intentional trace/metrics schema change
+
+GO      ?= go
+FUZZT   ?= 10s
+
+.PHONY: check vet fmtcheck build test race fuzz golden ci
+
+check: vet fmtcheck build test
+
+vet:
+	$(GO) vet ./...
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The wall-clock experiments in internal/expt run ~10x slower under the
+# race detector; the default 10m per-package test timeout is not enough.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzFASTA -fuzztime $(FUZZT) ./internal/seq/
+	$(GO) test -fuzz=FuzzFASTQ -fuzztime $(FUZZT) ./internal/seq/
+	$(GO) test -fuzz=FuzzXDrop -fuzztime $(FUZZT) ./internal/align/
+
+golden:
+	$(GO) test -run TestGolden ./internal/trace/ -update
+	$(GO) test -run TestGolden ./internal/trace/
+
+ci: check race fuzz

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"gnbody/internal/align"
@@ -35,6 +36,7 @@ import (
 	"gnbody/internal/rt"
 	"gnbody/internal/seq"
 	"gnbody/internal/stats"
+	"gnbody/internal/trace"
 	"gnbody/internal/workload"
 )
 
@@ -56,6 +58,9 @@ func main() {
 		distrib  = flag.Bool("distributed", false, "run k-mer analysis and candidate discovery as a distributed SPMD stage (DiBELLA stages 1-2) instead of serially")
 		steal    = flag.Bool("steal", false, "async mode with dynamic load balancing (work stealing)")
 		packed   = flag.Bool("packed", false, "2-bit-pack N-free reads on the wire (≈4x smaller exchanges)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run (load in Perfetto)")
+		metrics  = flag.String("metrics", "", "write per-rank metrics (CSV, or JSON if path ends in .json)")
+		sample   = flag.Int("sample", 1, "trace sampling: keep every Nth high-volume event")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -84,7 +89,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	world, err := par.NewWorld(par.Config{P: *procs, MemBudget: *mem})
+	var tracer *trace.Tracer
+	if *traceOut != "" || *metrics != "" {
+		tracer = trace.New(*procs, trace.Config{Sample: *sample})
+	}
+	world, err := par.NewWorld(par.Config{P: *procs, MemBudget: *mem, Tracer: tracer})
 	if err != nil {
 		fail(err)
 	}
@@ -212,6 +221,42 @@ func main() {
 			stats.FmtBytes(m.MaxMem), fmt.Sprint(m.Supersteps))
 	}
 	table.Render(os.Stderr)
+
+	if *traceOut != "" {
+		label := fmt.Sprintf("dibella %s procs=%d", *mode, *procs)
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = trace.WriteChromeTrace(f, tracer, label)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fail(fmt.Errorf("-trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "dibella: trace -> %s\n", *traceOut)
+	}
+	if *metrics != "" {
+		rows := make([]trace.RankMetrics, *procs)
+		for rk := 0; rk < *procs; rk++ {
+			rows[rk] = rt.TraceRow(rk, world.Metrics(rk), tracer.Rank(rk))
+		}
+		f, err := os.Create(*metrics)
+		if err == nil {
+			if strings.HasSuffix(*metrics, ".json") {
+				err = trace.WriteMetricsJSON(f, rows)
+			} else {
+				err = trace.WriteMetricsCSV(f, rows)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fail(fmt.Errorf("-metrics: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "dibella: metrics -> %s\n", *metrics)
+	}
 }
 
 // writePAF renders one saved alignment as a PAF record (the de-facto

@@ -11,15 +11,24 @@
 //	        [-rpn N]                                   simulated ranks per node
 //	        [-nodes 8,16,32]                           node counts for sweeps
 //	        [-seed N]
+//	        [-csv DIR] [-json DIR]                     table exports
+//	        [-trace FILE] [-metrics FILE]              runtime trace exports
 //
 // Multinode experiments run under the discrete-event simulator with the
 // Cori KNL/Aries cost model; "intranode" runs the full real pipeline with
 // wall-clock timing on the host cores.
+//
+// -trace writes a Chrome trace_event JSON (load in Perfetto / about:tracing)
+// and -metrics a per-rank metrics table (CSV, or JSON if the path ends in
+// .json) for the LAST simulated run of the selected experiment — pick a
+// single-run experiment or narrow -nodes to trace a specific configuration.
+// -sample N keeps every Nth high-volume event (alignments, RPCs).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -28,6 +37,7 @@ import (
 
 	"gnbody/internal/expt"
 	"gnbody/internal/stats"
+	"gnbody/internal/trace"
 )
 
 func main() {
@@ -41,6 +51,10 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload and noise seed")
 		intrascale = flag.Int("intrascale", 0, "intranode pipeline scale divisor (default 150)")
 		csvDir     = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+		jsonDir    = flag.String("json", "", "also write each experiment's table as JSON into this directory")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the last simulated run")
+		metricsOut = flag.String("metrics", "", "write per-rank metrics of the last simulated run (CSV, or JSON if path ends in .json)")
+		sample     = flag.Int("sample", 1, "trace sampling: keep every Nth high-volume event")
 	)
 	flag.Parse()
 
@@ -61,23 +75,35 @@ func main() {
 			p.Nodes = append(p.Nodes, n)
 		}
 	}
-
-	type runner func() (*stats.Table, error)
-	wrap2 := func(f func(expt.Params) (*stats.Table, []*expt.Row, error)) runner {
-		return func() (*stats.Table, error) { t, _, err := f(p); return t, err }
+	if *traceOut != "" || *metricsOut != "" {
+		p.NewTracer = func(ranks int) *trace.Tracer {
+			return trace.New(ranks, trace.Config{Sample: *sample})
+		}
 	}
+
+	// Every runner yields the rendered table plus the rows behind it (nil
+	// for experiments without simulated rows); the trace exporters consume
+	// the last traced row.
+	type runner func() (*stats.Table, []*expt.Row, error)
 	wrapM := func(f func(expt.Params) (*stats.Table, map[expt.Mode][]*expt.Row, error)) runner {
-		return func() (*stats.Table, error) { t, _, err := f(p); return t, err }
+		return func() (*stats.Table, []*expt.Row, error) {
+			t, byMode, err := f(p)
+			var rows []*expt.Row
+			for _, m := range []expt.Mode{expt.BSP, expt.Async, expt.AsyncSteal} {
+				rows = append(rows, byMode[m]...)
+			}
+			return t, rows, err
+		}
 	}
 	experiments := []struct {
 		id  string
 		run runner
 	}{
-		{"table1", func() (*stats.Table, error) { t, _, err := expt.Table1(p); return t, err }},
-		{"fig3", wrap2(expt.Fig3)},
-		{"fig4", wrap2(expt.Fig4)},
-		{"fig5", wrap2(expt.Fig5)},
-		{"fig6", wrap2(expt.Fig6)},
+		{"table1", func() (*stats.Table, []*expt.Row, error) { t, _, err := expt.Table1(p); return t, nil, err }},
+		{"fig3", func() (*stats.Table, []*expt.Row, error) { return expt.Fig3(p) }},
+		{"fig4", func() (*stats.Table, []*expt.Row, error) { return expt.Fig4(p) }},
+		{"fig5", func() (*stats.Table, []*expt.Row, error) { return expt.Fig5(p) }},
+		{"fig6", func() (*stats.Table, []*expt.Row, error) { return expt.Fig6(p) }},
 		{"fig7", wrapM(expt.Fig7)},
 		{"fig8", wrapM(expt.Fig8)},
 		{"fig9", wrapM(expt.Fig9)},
@@ -85,40 +111,71 @@ func main() {
 		{"fig11", wrapM(expt.Fig11)},
 		{"fig12", wrapM(expt.Fig12)},
 		{"fig13", wrapM(expt.Fig13)},
-		{"intranode", func() (*stats.Table, error) {
+		{"intranode", func() (*stats.Table, []*expt.Row, error) {
 			t, _, err := expt.Intranode(expt.IntranodeParams{Scale: *intrascale, Seed: *seed})
-			return t, err
+			return t, nil, err
 		}},
-		{"ablations", func() (*stats.Table, error) {
-			t1, _, err := expt.AblationOutstanding(p, nil)
+		{"ablations", func() (*stats.Table, []*expt.Row, error) {
+			var rows []*expt.Row
+			t1, r1, err := expt.AblationOutstanding(p, nil)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			t1.Render(os.Stdout)
 			fmt.Println()
-			t2, _, err := expt.AblationAggregation(p, nil)
+			rows = append(rows, r1...)
+			t2, r2, err := expt.AblationAggregation(p, nil)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			t2.Render(os.Stdout)
 			fmt.Println()
-			t3, _, err := expt.AblationNetwork(p)
+			rows = append(rows, r2...)
+			t3, m3, err := expt.AblationNetwork(p)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			t3.Render(os.Stdout)
 			fmt.Println()
-			t4, _, err := expt.AblationFetchBatch(p, nil)
+			for _, m := range []expt.Mode{expt.BSP, expt.Async} {
+				rows = append(rows, m3[m]...)
+			}
+			t4, r4, err := expt.AblationFetchBatch(p, nil)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			t4.Render(os.Stdout)
 			fmt.Println()
-			t5, _, err := expt.AblationDynamicBalance(p)
-			return t5, err
+			rows = append(rows, r4...)
+			t5, m5, err := expt.AblationDynamicBalance(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, m := range []expt.Mode{expt.Async, expt.AsyncSteal} {
+				rows = append(rows, m5[m]...)
+			}
+			return t5, rows, nil
 		}},
 	}
 
+	writeTable := func(dir, name string, render func(io.Writer) error) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+			os.Exit(1)
+		}
+		if err := render(f); err != nil {
+			fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	var traced *expt.Row // last traced run across selected experiments
 	ran := false
 	for _, e := range experiments {
 		if *experiment != "all" && *experiment != e.id {
@@ -126,32 +183,65 @@ func main() {
 		}
 		ran = true
 		t0 := time.Now()
-		table, err := e.run()
+		table, rows, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scaling: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
 		table.Render(os.Stdout)
 		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
-				os.Exit(1)
+			writeTable(*csvDir, e.id+".csv", table.RenderCSV)
+		}
+		if *jsonDir != "" {
+			writeTable(*jsonDir, e.id+".json", table.RenderJSON)
+		}
+		for _, r := range rows {
+			if r != nil && r.Trace != nil {
+				traced = r
 			}
-			f, err := os.Create(filepath.Join(*csvDir, e.id+".csv"))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
-				os.Exit(1)
-			}
-			if err := table.RenderCSV(f); err != nil {
-				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
-				os.Exit(1)
-			}
-			f.Close()
 		}
 		fmt.Printf("  [%s completed in %s]\n\n", e.id, time.Since(t0).Round(time.Millisecond))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "scaling: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+
+	if (*traceOut != "" || *metricsOut != "") && traced == nil {
+		fmt.Fprintf(os.Stderr, "scaling: -trace/-metrics: the selected experiment produced no simulated runs\n")
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		label := fmt.Sprintf("%s %s nodes=%d ranks=%d", traced.Workload, traced.Mode, traced.Nodes, traced.Ranks)
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = trace.WriteChromeTrace(f, traced.Trace, label)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaling: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [trace of %s -> %s]\n", label, *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			if strings.HasSuffix(*metricsOut, ".json") {
+				err = trace.WriteMetricsJSON(f, traced.TraceRows)
+			} else {
+				err = trace.WriteMetricsCSV(f, traced.TraceRows)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaling: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [metrics of %s %s nodes=%d -> %s]\n", traced.Workload, traced.Mode, traced.Nodes, *metricsOut)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"gnbody/internal/rt"
 	"gnbody/internal/seq"
+	"gnbody/internal/trace"
 )
 
 // RunAsync executes the asynchronous driver on one rank (§3.2): tasks are
@@ -60,12 +61,15 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	// "pull" direction keeps peak memory at MaxOutstanding batches: no
 	// unsolicited pushes can pile up (§3.2). Reads are batched per owner
 	// when FetchBatch > 1.
+	tb := r.Tracer()
 	issue := func(ids []seq.ReadID) {
 		batch := append([]seq.ReadID(nil), ids...)
 		r.AsyncCall(in.Part.Owner(batch[0]), encodeReadReq(batch...), func(val []byte) {
 			n := int64(len(val))
 			r.Alloc(n)
 			defer r.Free(n)
+			tBatch := tb.Now()
+			tasksRun := 0
 			buf := val
 			for _, rid := range batch {
 				read, used, err := in.Codec.Decode(buf)
@@ -76,6 +80,7 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 				buf = buf[used:]
 				for i, t := range store.byRemote[rid] {
 					execTask(r, in, &cfg, *t, read.Seq, t.A == rid, out)
+					tasksRun++
 					// Application-level polling (§3.2): answer inbound
 					// requests between alignments so peers are not starved
 					// while this rank chews a long task batch.
@@ -84,6 +89,7 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 					}
 				}
 			}
+			tb.Span(trace.KindBatch, tBatch, int64(tasksRun))
 			if len(buf) != 0 {
 				cbErr = fmt.Errorf("core: rank %d: %d trailing payload bytes", r.Rank(), len(buf))
 			}

@@ -9,6 +9,7 @@ import (
 	"gnbody/internal/overlap"
 	"gnbody/internal/rt"
 	"gnbody/internal/seq"
+	"gnbody/internal/trace"
 )
 
 // Config tunes the drivers.
@@ -117,6 +118,7 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	// the memory budget, exchange, compute while unpacking, repeat until no
 	// rank has reads left to fetch.
 	next := 0
+	tb := r.Tracer()
 	budget := r.MemBudget()
 	if budget > 0 {
 		budget -= base // the input partition occupies part of the budget
@@ -128,6 +130,7 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		}
 	}
 	for {
+		tStep := tb.Now()
 		end := next
 		var planned int64
 		for end < len(store.groups) {
@@ -204,7 +207,9 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		r.Free(recvBytes)
 
 		next = end
-		if r.Allreduce(int64(len(store.groups)-next), rt.OpSum) == 0 {
+		remaining := r.Allreduce(int64(len(store.groups)-next), rt.OpSum)
+		tb.Span(trace.KindSuperstep, tStep, int64(len(chunk)))
+		if remaining == 0 {
 			break
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"gnbody/internal/overlap"
 	"gnbody/internal/rt"
 	"gnbody/internal/seq"
+	"gnbody/internal/trace"
 )
 
 // RunAsyncStealing is the asynchronous driver extended with dynamic load
@@ -106,6 +107,7 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	// Phase 2: steal. Sweep the other ranks; stop after a full sweep
 	// yields nothing anywhere.
 	pendingWork := 0
+	tb := r.Tracer()
 	if r.Size() > 1 {
 		for {
 			gotAny := false
@@ -116,12 +118,14 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 				binary.LittleEndian.PutUint32(req[1:], uint32(cfg.StealBatch))
 				var bundle []byte
 				got := false
+				tProbe := tb.Now()
 				r.AsyncCall(victim, req[:], func(val []byte) {
 					bundle = val
 					got = true
 				})
 				r.Drain(0)
 				if !got || len(bundle) == 0 {
+					tb.Span(trace.KindSteal, tProbe, 0) // failed probe
 					continue
 				}
 				gotAny = true
@@ -129,6 +133,7 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("core: rank %d: bad steal bundle from %d: %v", r.Rank(), victim, err)
 				}
+				tb.Span(trace.KindSteal, tProbe, int64(len(groups)))
 				for _, g := range groups {
 					out.TasksStolen += len(g.tasks)
 					pendingWork++

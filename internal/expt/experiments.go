@@ -7,6 +7,7 @@ import (
 	"gnbody/internal/rt"
 	"gnbody/internal/sim"
 	"gnbody/internal/stats"
+	"gnbody/internal/trace"
 	"gnbody/internal/workload"
 )
 
@@ -19,6 +20,10 @@ type Params struct {
 	RanksPerNode   int   // simulated ranks per node (each stands for 64/rpn cores)
 	Nodes          []int // node counts for strong-scaling sweeps
 	Seed           int64
+
+	// NewTracer, when set, is passed to every RunSim so each simulated run
+	// records structured events; cmd/scaling exports the last traced run.
+	NewTracer func(ranks int) *trace.Tracer
 }
 
 func (p Params) defaults() Params {
@@ -87,7 +92,8 @@ func Fig3(p Params) (*stats.Table, []*Row, error) {
 	for _, m := range []sim.Machine{sim.CoriKNLNoIsolation(), sim.CoriKNL()} {
 		for _, mode := range []Mode{BSP, Async} {
 			row, err := RunSim(SimSpec{Workload: w, Machine: m, Nodes: 1,
-				RanksPerNode: m.CoresPerNode, Mode: mode, Seed: p.Seed})
+				RanksPerNode: m.CoresPerNode, Mode: mode, Seed: p.Seed,
+				NewTracer: p.NewTracer})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -114,7 +120,8 @@ func Fig4(p Params) (*stats.Table, []*Row, error) {
 		m := sim.CoriKNL()
 		for _, mode := range []Mode{BSP, Async} {
 			row, err := RunSim(SimSpec{Workload: w, Machine: m, Nodes: 1,
-				RanksPerNode: m.CoresPerNode, Mode: mode, Seed: p.Seed})
+				RanksPerNode: m.CoresPerNode, Mode: mode, Seed: p.Seed,
+				NewTracer: p.NewTracer})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -134,7 +141,8 @@ func ccsSweep(p Params, nodes []int, mode Mode, skipCompute bool) ([]*Row, error
 	var rows []*Row
 	for _, n := range nodes {
 		row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: n,
-			RanksPerNode: p.RanksPerNode, Mode: mode, SkipCompute: skipCompute, Seed: p.Seed})
+			RanksPerNode: p.RanksPerNode, Mode: mode, SkipCompute: skipCompute, Seed: p.Seed,
+			NewTracer: p.NewTracer})
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +241,8 @@ func Fig8(p Params) (*stats.Table, map[Mode][]*Row, error) {
 	for _, n := range nodes {
 		for _, mode := range []Mode{BSP, Async} {
 			row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: n,
-				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed})
+				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed,
+				NewTracer: p.NewTracer})
 			if err != nil {
 				return nil, nil, err
 			}

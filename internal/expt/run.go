@@ -15,6 +15,7 @@ import (
 	"gnbody/internal/rt"
 	"gnbody/internal/sim"
 	"gnbody/internal/stats"
+	"gnbody/internal/trace"
 	"gnbody/internal/workload"
 )
 
@@ -67,6 +68,12 @@ type SimSpec struct {
 	MaxOutstanding int
 	FetchBatch     int // async reads per RPC (§5 aggregation knob)
 	Seed           int64
+
+	// NewTracer, when set, builds the structured-event tracer for the run
+	// (ranks = total simulated ranks). Traced runs bypass the row cache —
+	// the trace buffers belong to one execution — and fill Row.Trace and
+	// Row.TraceRows for export.
+	NewTracer func(ranks int) *trace.Tracer
 }
 
 // Row is the measured outcome of one simulated run — the numbers behind
@@ -91,6 +98,12 @@ type Row struct {
 	RPCsSent    int64         // total RPCs issued (async)
 	Hits        int64
 	TasksStolen int64 // dynamic-balance ablation
+
+	// Trace and TraceRows are set only when SimSpec.NewTracer was given:
+	// the run's event buffers (for the Chrome exporter) and the flattened
+	// per-rank metrics rows (for the CSV/JSON exporters).
+	Trace     *trace.Tracer
+	TraceRows []trace.RankMetrics
 }
 
 // CommShare returns visible communication as a fraction of runtime.
@@ -138,8 +151,10 @@ func RunSim(spec SimSpec) (*Row, error) {
 		spec.MaxOutstanding = 256
 	}
 	key := cacheKey(spec)
-	if v, ok := rowCache.Load(key); ok {
-		return v.(*Row), nil
+	if spec.NewTracer == nil { // traced runs are never memoised
+		if v, ok := rowCache.Load(key); ok {
+			return v.(*Row), nil
+		}
 	}
 	ranks := spec.Nodes * spec.RanksPerNode
 	lensInt := make([]int, len(w.Lens))
@@ -153,12 +168,17 @@ func RunSim(spec SimSpec) (*Row, error) {
 	byRank := partition.AssignTasks(w.Tasks, pt)
 
 	budget := budgetFor(spec.Machine, spec.RanksPerNode, w.Scale)
+	var tracer *trace.Tracer
+	if spec.NewTracer != nil {
+		tracer = spec.NewTracer(ranks)
+	}
 	eng, err := sim.NewEngine(sim.Config{
 		Machine:      spec.Machine,
 		Nodes:        spec.Nodes,
 		RanksPerNode: spec.RanksPerNode,
 		MemBudget:    budget,
 		Seed:         spec.Seed,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -231,6 +251,14 @@ func RunSim(spec SimSpec) (*Row, error) {
 	}
 	row.AlignTimes = stats.SummarizeDurations(alignT)
 	row.RecvBytes = stats.SummarizeInt64(recvB)
+	if tracer != nil {
+		row.Trace = tracer
+		row.TraceRows = make([]trace.RankMetrics, ranks)
+		for rk := 0; rk < ranks; rk++ {
+			row.TraceRows[rk] = rt.TraceRow(rk, eng.Metrics(rk), tracer.Rank(rk))
+		}
+		return row, nil
+	}
 	rowCache.Store(key, row)
 	return row, nil
 }

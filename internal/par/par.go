@@ -18,13 +18,15 @@ import (
 	"time"
 
 	"gnbody/internal/rt"
+	"gnbody/internal/trace"
 )
 
 // Config parameterises a World.
 type Config struct {
-	P         int   // number of ranks
-	MemBudget int64 // per-rank exchange-memory budget; <=0 unlimited
-	InboxSize int   // RPC inbox capacity (default 4096)
+	P         int           // number of ranks
+	MemBudget int64         // per-rank exchange-memory budget; <=0 unlimited
+	InboxSize int           // RPC inbox capacity (default 4096)
+	Tracer    *trace.Tracer // structured-event layer; nil disables tracing
 }
 
 // World owns the shared state of one SPMD execution.
@@ -64,6 +66,10 @@ func NewWorld(cfg Config) (*World, error) {
 			w:       w,
 			inbox:   make(chan rpcMsg, cfg.InboxSize),
 			pending: make(map[uint32]func([]byte)),
+			tr:      cfg.Tracer.Rank(i),
+		}
+		if w.ranks[i].tr != nil {
+			w.ranks[i].pendT0 = make(map[uint32]int64)
 		}
 	}
 	return w, nil
@@ -108,6 +114,12 @@ type Rank struct {
 	handler func([]byte) []byte
 	met     rt.Metrics
 
+	// tr is this rank's trace buffer (nil when tracing is disabled);
+	// pendT0 holds per-RPC issue timestamps, allocated only when tracing
+	// so the disabled hot path stays a single nil check.
+	tr     *trace.Buf
+	pendT0 map[uint32]int64
+
 	// nestedWall accumulates wall time attributed through Timed and
 	// service work, so wait loops can subtract it from their own
 	// category (no double counting).
@@ -141,13 +153,16 @@ func (r *Rank) waitLoop(cat rt.Category, cond func() bool) {
 // Barrier blocks until all ranks arrive, servicing RPCs while waiting.
 func (r *Rank) Barrier() {
 	w := r.w
+	t0 := r.tr.Now()
 	g := w.barGen.Load()
 	if int(w.barCount.Add(1)) == w.cfg.P {
 		w.barCount.Store(0)
 		w.barGen.Add(1)
+		r.tr.Span(trace.KindBarrier, t0, 0)
 		return
 	}
 	r.waitLoop(rt.CatSync, func() bool { return w.barGen.Load() != g })
+	r.tr.Span(trace.KindBarrier, t0, 0)
 }
 
 // SplitBarrier enters phase one and returns the phase-two wait.
@@ -160,10 +175,11 @@ func (r *Rank) SplitBarrier() (wait func()) {
 		w.splitGen.Add(1)
 	}
 	return func() {
-		if last {
-			return
+		t0 := r.tr.Now()
+		if !last {
+			r.waitLoop(rt.CatSync, func() bool { return w.splitGen.Load() != g })
 		}
-		r.waitLoop(rt.CatSync, func() bool { return w.splitGen.Load() != g })
+		r.tr.Span(trace.KindSplitBarrier, t0, 0)
 	}
 }
 
@@ -173,6 +189,7 @@ func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 	if len(send) != w.cfg.P {
 		panic(fmt.Sprintf("par: Alltoallv send has %d entries, want %d", len(send), w.cfg.P))
 	}
+	tEnter := r.tr.Now()
 	for _, m := range send {
 		r.met.BytesSent += int64(len(m))
 		if len(m) > 0 {
@@ -191,6 +208,13 @@ func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 	r.met.Time[rt.CatComm] += d
 	r.nestedWall += d
 	r.Barrier() // staging may be reused afterwards
+	if r.tr != nil {
+		var rb int64
+		for _, m := range recv {
+			rb += int64(len(m))
+		}
+		r.tr.Span(trace.KindExchange, tEnter, rb)
+	}
 	return recv
 }
 
@@ -222,6 +246,10 @@ func (r *Rank) AsyncCall(owner int, req []byte, cb func([]byte)) {
 	r.met.RPCsSent++
 	r.met.Msgs++
 	r.met.BytesSent += int64(len(req))
+	if r.tr != nil {
+		r.pendT0[seq] = r.tr.Now()
+		r.tr.Outstanding(len(r.pending))
+	}
 	r.send(owner, rpcMsg{kind: 0, from: r.id, seq: seq, val: req})
 }
 
@@ -263,6 +291,7 @@ func (r *Rank) handle(m rpcMsg) {
 		if r.handler == nil {
 			panic(fmt.Sprintf("par: rank %d received request before Serve", r.id))
 		}
+		tEnter := r.tr.Now()
 		t0 := time.Now()
 		val := r.handler(m.val)
 		d := time.Since(t0)
@@ -271,6 +300,7 @@ func (r *Rank) handle(m rpcMsg) {
 		r.met.RPCserved++
 		r.met.BytesSent += int64(len(val))
 		r.met.Msgs++
+		r.tr.Span(trace.KindServe, tEnter, int64(len(val)))
 		r.send(m.from, rpcMsg{kind: 1, from: r.id, seq: m.seq, val: val})
 	case 1: // response
 		cb, ok := r.pending[m.seq]
@@ -279,6 +309,10 @@ func (r *Rank) handle(m rpcMsg) {
 		}
 		delete(r.pending, m.seq)
 		r.met.BytesRecv += int64(len(m.val))
+		if r.tr != nil {
+			r.tr.Span(trace.KindRPC, r.pendT0[m.seq], int64(len(m.val)))
+			delete(r.pendT0, m.seq)
+		}
 		cb(m.val)
 	}
 }
@@ -289,7 +323,9 @@ func (r *Rank) Outstanding() int { return len(r.pending) }
 // Drain blocks until Outstanding() <= max; visible time is unhidden
 // communication latency.
 func (r *Rank) Drain(max int) {
+	t0 := r.tr.Now()
 	r.waitLoop(rt.CatComm, func() bool { return len(r.pending) <= max })
+	r.tr.Span(trace.KindDrain, t0, int64(max))
 }
 
 // Charge accumulates modeled time without sleeping (real back-end).
@@ -297,11 +333,13 @@ func (r *Rank) Charge(cat rt.Category, d time.Duration) { r.met.Time[cat] += d }
 
 // Timed measures f's wall time into cat. Do not nest Timed calls.
 func (r *Rank) Timed(cat rt.Category, f func()) {
+	tEnter := r.tr.Now()
 	t0 := time.Now()
 	f()
 	d := time.Since(t0)
 	r.met.Time[cat] += d
 	r.nestedWall += d
+	rt.TraceCompute(r.tr, cat, tEnter, tEnter+int64(d))
 }
 
 // Alloc tracks n live bytes.
@@ -315,3 +353,6 @@ func (r *Rank) MemBudget() int64 { return r.w.cfg.MemBudget }
 
 // Metrics exposes this rank's accounting.
 func (r *Rank) Metrics() *rt.Metrics { return &r.met }
+
+// Tracer returns this rank's trace buffer (nil when tracing is disabled).
+func (r *Rank) Tracer() *trace.Buf { return r.tr }

@@ -1,0 +1,161 @@
+package par
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/trace"
+)
+
+// cell is the deterministic payload byte stream for (src, dst, i): both the
+// sender and the receiver can derive it independently, so Alltoallv content
+// is verified without shared expectation tables.
+func cell(src, dst, i int) byte {
+	return byte(src*31 + dst*17 + i)
+}
+
+// TestCollectivesProperty drives randomized rank counts and message sizes
+// through Alltoallv, Allreduce, SplitBarrier and the RPC engine — with
+// tracing enabled so the instrumentation itself runs under -race — and
+// checks the results rank-locally. A watchdog converts deadlock into
+// failure instead of a test-suite hang.
+func TestCollectivesProperty(t *testing.T) {
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			p := 1 + rng.Intn(8)
+			rounds := 1 + rng.Intn(3)
+			// Per-rank RNG seeds drawn up front: each rank's goroutine gets
+			// its own generator (math/rand sources are not goroutine-safe).
+			seeds := make([]int64, p)
+			for i := range seeds {
+				seeds[i] = rng.Int63()
+			}
+			maxMsg := 1 + rng.Intn(2000)
+
+			w, err := NewWorld(Config{P: p, Tracer: trace.New(p, trace.Config{})})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			errs := make(chan error, p*rounds*4)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				w.Run(func(r rt.Runtime) {
+					rg := rand.New(rand.NewSource(seeds[r.Rank()]))
+					// Echo server: the response carries the request back,
+					// prefixed with the serving rank.
+					r.Serve(func(req []byte) []byte {
+						resp := make([]byte, 1+len(req))
+						resp[0] = byte(r.Rank())
+						copy(resp[1:], req)
+						return resp
+					})
+					wait := r.SplitBarrier()
+					wait() // handlers registered everywhere beyond this point
+
+					for round := 0; round < rounds; round++ {
+						// Alltoallv with deterministic per-pair payloads.
+						send := make([][]byte, p)
+						for dst := 0; dst < p; dst++ {
+							n := rg.Intn(maxMsg)
+							m := make([]byte, n)
+							for i := range m {
+								m[i] = cell(r.Rank(), dst, i)
+							}
+							send[dst] = m
+						}
+						recv := r.Alltoallv(send)
+						for src := 0; src < p; src++ {
+							for i, b := range recv[src] {
+								if b != cell(src, r.Rank(), i) {
+									errs <- fmt.Errorf("rank %d round %d: recv[%d][%d] = %d, want %d",
+										r.Rank(), round, src, i, b, cell(src, r.Rank(), i))
+									return
+								}
+							}
+						}
+
+						// Allreduce over values every rank can recompute.
+						val := func(rk int) int64 { return int64((rk+1)*(round+1)) * 7 }
+						var sum, min, max int64
+						for rk := 0; rk < p; rk++ {
+							v := val(rk)
+							sum += v
+							if rk == 0 || v < min {
+								min = v
+							}
+							if rk == 0 || v > max {
+								max = v
+							}
+						}
+						for _, c := range []struct {
+							op   rt.Op
+							want int64
+						}{{rt.OpSum, sum}, {rt.OpMin, min}, {rt.OpMax, max}} {
+							if got := r.Allreduce(val(r.Rank()), c.op); got != c.want {
+								errs <- fmt.Errorf("rank %d round %d: Allreduce op %d = %d, want %d",
+									r.Rank(), round, c.op, got, c.want)
+								return
+							}
+						}
+
+						// Random RPC fan-out with interleaved Progress; the
+						// echo responses must match their requests.
+						nCalls := rg.Intn(64)
+						outstanding := 0
+						for c := 0; c < nCalls; c++ {
+							owner := rg.Intn(p)
+							var req [9]byte
+							req[0] = byte(r.Rank())
+							binary.LittleEndian.PutUint64(req[1:], rg.Uint64())
+							want := append([]byte{byte(owner)}, req[:]...)
+							r.AsyncCall(owner, req[:], func(resp []byte) {
+								outstanding--
+								if !bytes.Equal(resp, want) {
+									errs <- fmt.Errorf("rank %d round %d: echo mismatch: got %x want %x",
+										r.Rank(), round, resp, want)
+								}
+							})
+							outstanding++
+							if rg.Intn(3) == 0 {
+								r.Progress()
+							}
+						}
+						r.Drain(0)
+						if outstanding != 0 {
+							errs <- fmt.Errorf("rank %d round %d: %d callbacks missing after Drain(0)",
+								r.Rank(), round, outstanding)
+							return
+						}
+
+						// Split-phase barrier with work (and polling) between
+						// the phases.
+						wait := r.SplitBarrier()
+						r.Progress()
+						wait()
+					}
+					r.Barrier()
+				})
+			}()
+
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatalf("P=%d rounds=%d: deadlock (watchdog fired)", p, rounds)
+			}
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -11,7 +11,11 @@
 // cores are literally the same code.
 package rt
 
-import "time"
+import (
+	"time"
+
+	"gnbody/internal/trace"
+)
 
 // Category labels where a rank's time goes, matching the runtime-breakdown
 // series of Figures 3, 4, 8, 9, 10.
@@ -185,4 +189,52 @@ type Runtime interface {
 
 	// Metrics exposes this rank's accounting.
 	Metrics() *Metrics
+
+	// Tracer returns this rank's structured-event buffer, or nil when
+	// tracing is disabled. All trace.Buf methods no-op on nil, so drivers
+	// emit spans unconditionally; the disabled cost is one nil check.
+	Tracer() *trace.Buf
+}
+
+// traceKind maps a breakdown category onto the trace span kind that
+// Charge/Timed emit.
+func traceKind(c Category) trace.Kind {
+	if c == CatAlign {
+		return trace.KindAlign
+	}
+	return trace.KindOverhead
+}
+
+// TraceCompute emits the compute span for a Charge/Timed attribution:
+// CatAlign and CatOverhead become timeline spans (communication and
+// synchronization spans are emitted by the primitives themselves, with
+// their own kinds). Nil-safe.
+func TraceCompute(b *trace.Buf, c Category, start, end int64) {
+	if b == nil || (c != CatAlign && c != CatOverhead) {
+		return
+	}
+	b.Event(traceKind(c), start, end, 0)
+}
+
+// TraceRow flattens one rank's accounting into the metrics-export row.
+// b may be nil (no tracer): the trace-derived fields stay zero.
+func TraceRow(rank int, m *Metrics, b *trace.Buf) trace.RankMetrics {
+	return trace.RankMetrics{
+		Rank:        rank,
+		AlignSec:    m.Time[CatAlign].Seconds(),
+		OverheadSec: m.Time[CatOverhead].Seconds(),
+		CommSec:     m.Time[CatComm].Seconds(),
+		SyncSec:     m.Time[CatSync].Seconds(),
+		ElapsedSec:  m.Elapsed.Seconds(),
+		BytesSent:   m.BytesSent,
+		BytesRecv:   m.BytesRecv,
+		Msgs:        m.Msgs,
+		RPCsSent:    m.RPCsSent,
+		RPCsServed:  m.RPCserved,
+		Supersteps:  m.Supersteps,
+		MaxMem:      m.MaxMem,
+		RPCPeak:     b.RPCHighWater(),
+		Events:      int64(b.Len()) + b.Dropped(),
+		Dropped:     b.Dropped(),
+	}
 }

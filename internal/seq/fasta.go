@@ -40,7 +40,7 @@ func ReadFASTA(r io.Reader) (*ReadSet, error) {
 		if text[0] == '>' {
 			flush()
 			inRecord = true
-			name = strings.Fields(string(text[1:]) + " ")[0]
+			name = firstField(string(text[1:]))
 			if name == "" {
 				name = fmt.Sprintf("read%d", len(rs.Reads))
 			}
@@ -62,6 +62,15 @@ func ReadFASTA(r io.Reader) (*ReadSet, error) {
 	}
 	flush()
 	return rs, nil
+}
+
+// firstField returns the first whitespace-separated token of s, or "" for
+// a blank string (a bare ">"/"@" header line has no name).
+func firstField(s string) string {
+	if fs := strings.Fields(s); len(fs) > 0 {
+		return fs[0]
+	}
+	return ""
 }
 
 // WriteFASTA writes the read set as FASTA with lines wrapped at width
@@ -145,7 +154,7 @@ func ReadFASTQ(r io.Reader) (*ReadSet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fastq: line %d: %v", line, err)
 		}
-		name := strings.Fields(hdr[1:] + " ")[0]
+		name := firstField(hdr[1:])
 		if name == "" {
 			name = fmt.Sprintf("read%d", len(rs.Reads))
 		}
@@ -166,11 +175,21 @@ func LoadFile(path string) (*ReadSet, error) {
 		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	rs, err := LoadReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("seq: %s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// LoadReader is LoadFile on an arbitrary stream: gunzip by magic bytes,
+// then dispatch on the first non-blank byte ('>' FASTA vs '@' FASTQ).
+func LoadReader(r io.Reader) (*ReadSet, error) {
+	br := bufio.NewReader(r)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		gz, err := gzip.NewReader(br)
 		if err != nil {
-			return nil, fmt.Errorf("seq: %s: %w", path, err)
+			return nil, err
 		}
 		defer gz.Close()
 		br = bufio.NewReader(gz)
@@ -178,7 +197,7 @@ func LoadFile(path string) (*ReadSet, error) {
 	for {
 		c, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("seq: %s: empty input", path)
+			return nil, fmt.Errorf("empty input")
 		}
 		if c == '\n' || c == '\r' || c == ' ' || c == '\t' {
 			continue
@@ -192,7 +211,7 @@ func LoadFile(path string) (*ReadSet, error) {
 		case '@':
 			return ReadFASTQ(br)
 		default:
-			return nil, fmt.Errorf("seq: %s: unrecognised format (starts with %q)", path, c)
+			return nil, fmt.Errorf("unrecognised format (starts with %q)", c)
 		}
 	}
 }

@@ -8,15 +8,17 @@ import (
 	"time"
 
 	"gnbody/internal/rt"
+	"gnbody/internal/trace"
 )
 
 // Config parameterises one simulated execution.
 type Config struct {
 	Machine      Machine
 	Nodes        int
-	RanksPerNode int   // defaults to Machine.CoresPerNode
-	MemBudget    int64 // per-rank exchange budget; <=0 → Machine.AppMemPerCore
-	Seed         int64 // noise RNG seed
+	RanksPerNode int           // defaults to Machine.CoresPerNode
+	MemBudget    int64         // per-rank exchange budget; <=0 → Machine.AppMemPerCore
+	Seed         int64         // noise RNG seed
+	Tracer       *trace.Tracer // structured-event layer (virtual-clock stamps); nil disables
 }
 
 // Ranks returns the total simulated rank count.
@@ -143,13 +145,20 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, p: p, back: make(chan struct{})}
 	e.procs = make([]*proc, p)
 	for i := 0; i < p; i++ {
-		e.procs[i] = &proc{
+		pr := &proc{
 			id:      i,
 			eng:     e,
 			pending: make(map[uint32]func([]byte)),
 			rng:     rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
 			resume:  make(chan struct{}),
+			tr:      cfg.Tracer.Rank(i),
 		}
+		// Trace events are stamped on this rank's virtual clock.
+		pr.tr.SetClock(func() int64 { return pr.clock })
+		if pr.tr != nil {
+			pr.pendT0 = make(map[uint32]int64)
+		}
+		e.procs[i] = pr
 	}
 	e.bar.arriveAt = make([]int64, p)
 	e.split.arriveAt = make([]int64, p)

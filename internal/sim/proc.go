@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gnbody/internal/rt"
+	"gnbody/internal/trace"
 )
 
 // proc states observed by the scheduler after a yield.
@@ -34,6 +35,12 @@ type proc struct {
 	rng      *rand.Rand
 
 	met rt.Metrics
+
+	// tr is this rank's trace buffer (virtual-clock stamps; nil when
+	// tracing is disabled); pendT0 holds per-RPC issue times, allocated
+	// only when tracing.
+	tr     *trace.Buf
+	pendT0 map[uint32]int64
 
 	resume chan struct{}
 }
@@ -129,6 +136,10 @@ func (p *proc) dispatch(ev *event) {
 				p.advance(d)
 			}
 		}
+		if p.tr != nil {
+			p.tr.Event(trace.KindRPC, p.pendT0[ev.seq], p.clock, int64(len(ev.val)))
+			delete(p.pendT0, ev.seq)
+		}
 		cb(ev.val)
 	default:
 		panic(fmt.Sprintf("sim: rank %d cannot dispatch event kind %d", p.id, ev.kind))
@@ -153,6 +164,7 @@ func (p *proc) serve(ev *event) {
 	if p.handler == nil {
 		panic(fmt.Sprintf("sim: rank %d received request before Serve", p.id))
 	}
+	tEnter := p.clock
 	val := p.handler(ev.val)
 	m := &p.eng.cfg.Machine
 	// Service occupancy: dequeue + lookup + injecting the payload. The
@@ -171,6 +183,7 @@ func (p *proc) serve(ev *event) {
 	p.met.RPCserved++
 	p.met.BytesSent += int64(len(val))
 	p.met.Msgs++
+	p.tr.Event(trace.KindServe, tEnter, p.clock, int64(len(val)))
 	arr := p.clock + p.linkAlpha(ev.from) + int64(len(val))*p.linkByteTime(ev.from)
 	p.eng.post(ev.from, &event{arrival: arr, kind: evResponse, from: p.id, seq: ev.seq, val: val})
 }
@@ -261,6 +274,7 @@ func (p *proc) barrierArrive(c *collective, release func(t0 int64)) {
 // Barrier blocks until all ranks arrive, servicing RPCs while waiting.
 func (p *proc) Barrier() {
 	e := p.eng
+	tEnter := p.clock
 	p.barrierArrive(&e.bar, func(t0 int64) {
 		for q := 0; q < e.p; q++ {
 			e.post(q, &event{arrival: t0 + e.alphaLog(), kind: evBarRel, t0: t0})
@@ -271,6 +285,7 @@ func (p *proc) Barrier() {
 		p.met.Time[rt.CatSync] += time.Duration(ev.arrival - p.clock)
 		p.clock = ev.arrival
 	}
+	p.tr.Event(trace.KindBarrier, tEnter, p.clock, 0)
 }
 
 // SplitBarrier enters phase one; the returned wait performs phase two.
@@ -282,11 +297,13 @@ func (p *proc) SplitBarrier() (wait func()) {
 		}
 	})
 	return func() {
+		tEnter := p.clock
 		ev := p.collectiveWait(evSplitRel, rt.CatSync)
 		if ev.arrival > p.clock {
 			p.met.Time[rt.CatSync] += time.Duration(ev.arrival - p.clock)
 			p.clock = ev.arrival
 		}
+		p.tr.Event(trace.KindSplitBarrier, tEnter, p.clock, 0)
 	}
 }
 
@@ -300,6 +317,7 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 	if len(send) != e.p {
 		panic(fmt.Sprintf("sim: Alltoallv send has %d entries, want %d", len(send), e.p))
 	}
+	tEnter := p.clock
 	for _, mbuf := range send {
 		p.met.BytesSent += int64(len(mbuf))
 		if len(mbuf) > 0 {
@@ -391,9 +409,12 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 		p.met.Time[rt.CatComm] += time.Duration(ev.done - p.clock)
 		p.clock = ev.done
 	}
+	var rb int64
 	for _, mbuf := range ev.recv {
-		p.met.BytesRecv += int64(len(mbuf))
+		rb += int64(len(mbuf))
 	}
+	p.met.BytesRecv += rb
+	p.tr.Event(trace.KindExchange, tEnter, p.clock, rb)
 	return ev.recv
 }
 
@@ -434,6 +455,10 @@ func (p *proc) AsyncCall(owner int, req []byte, cb func([]byte)) {
 	seq := p.nextSeq
 	p.nextSeq++
 	p.pending[seq] = cb
+	if p.tr != nil {
+		p.pendT0[seq] = p.clock
+		p.tr.Outstanding(len(p.pending))
+	}
 	p.met.RPCsSent++
 	p.met.Msgs++
 	wire := int64(len(req)) + requestEnvelope
@@ -459,12 +484,14 @@ func (p *proc) Outstanding() int { return len(p.pending) }
 // Drain blocks until Outstanding() <= max; idle time is unhidden
 // communication latency (CatComm).
 func (p *proc) Drain(max int) {
+	tEnter := p.clock
 	for len(p.pending) > max {
 		if p.handleReady() {
 			continue
 		}
 		p.waitEvent(rt.CatComm)
 	}
+	p.tr.Event(trace.KindDrain, tEnter, p.clock, int64(max))
 }
 
 // Charge advances virtual time (with OS noise applied to compute).
@@ -474,6 +501,7 @@ func (p *proc) Charge(cat rt.Category, d time.Duration) {
 		dd = p.noisy(dd)
 	}
 	p.met.Time[cat] += time.Duration(dd)
+	rt.TraceCompute(p.tr, cat, p.clock, p.clock+dd)
 	p.advance(dd)
 }
 
@@ -492,3 +520,6 @@ func (p *proc) MemBudget() int64 { return p.eng.cfg.MemBudget }
 
 // Metrics exposes this rank's accounting.
 func (p *proc) Metrics() *rt.Metrics { return &p.met }
+
+// Tracer returns this rank's trace buffer (nil when tracing is disabled).
+func (p *proc) Tracer() *trace.Buf { return p.tr }

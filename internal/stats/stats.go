@@ -5,6 +5,7 @@ package stats
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -132,6 +133,50 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// RenderJSON writes the table as one JSON object — the figure's underlying
+// data in machine-readable form. Rows are objects keyed by header, emitted
+// in header order (hand-built so the key order is stable; encoding/json
+// would sort map keys alphabetically).
+func (t *Table) RenderJSON(w io.Writer) error {
+	var b strings.Builder
+	enc := func(s string) string {
+		j, _ := json.Marshal(s)
+		return string(j)
+	}
+	b.WriteString("{\n  \"title\": ")
+	b.WriteString(enc(t.Title))
+	b.WriteString(",\n  \"headers\": [")
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(enc(h))
+	}
+	b.WriteString("],\n  \"rows\": [")
+	for ri, row := range t.rows {
+		if ri > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n    {")
+		for i, h := range t.Headers {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(enc(h))
+			b.WriteString(": ")
+			b.WriteString(enc(c))
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("\n  ]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // FmtDur renders a duration with 3 significant-ish digits (e.g. "12.3s",

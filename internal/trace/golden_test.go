@@ -1,0 +1,136 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/sim"
+	"gnbody/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures in testdata/")
+
+// goldenRun drives a tiny fixed SPMD program under the simulator: virtual
+// clocks plus a deterministic event schedule make the exporters' output
+// byte-stable across machines, so the fixtures pin the export schemas.
+func goldenRun(t *testing.T) (*trace.Tracer, []trace.RankMetrics) {
+	t.Helper()
+	const ranks = 2
+	tr := trace.New(ranks, trace.Config{})
+	eng, err := sim.NewEngine(sim.Config{
+		Machine: sim.CoriKNL(), Nodes: 1, RanksPerNode: ranks,
+		MemBudget: 1 << 20, Seed: 42, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.Run(func(r rt.Runtime) {
+		r.Serve(func(req []byte) []byte {
+			return append([]byte{byte(r.Rank())}, req...)
+		})
+		wait := r.SplitBarrier()
+		r.Charge(rt.CatOverhead, 50*time.Microsecond)
+		wait()
+
+		send := make([][]byte, r.Size())
+		for dst := 0; dst < r.Size(); dst++ {
+			send[dst] = bytes.Repeat([]byte{byte(r.Rank())}, 64*(dst+1))
+		}
+		r.Alltoallv(send)
+
+		r.Charge(rt.CatAlign, 200*time.Microsecond)
+		r.Alloc(4096)
+		r.AsyncCall((r.Rank()+1)%r.Size(), []byte{1, 2, 3}, func(resp []byte) {})
+		r.Drain(0)
+		r.Free(4096)
+		r.Allreduce(int64(r.Rank()), rt.OpSum)
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]trace.RankMetrics, ranks)
+	for rk := 0; rk < ranks; rk++ {
+		rows[rk] = rt.TraceRow(rk, eng.Metrics(rk), tr.Rank(rk))
+	}
+	return tr, rows
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (run go test ./internal/trace -run Golden -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden fixture (%d vs %d bytes).\n"+
+			"If the schema change is intentional, re-run with -update and review the diff.",
+			name, len(got), len(want))
+	}
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	tr, _ := goldenRun(t)
+	var out bytes.Buffer
+	if err := trace.WriteChromeTrace(&out, tr, "golden fixture"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.json", out.Bytes())
+}
+
+func TestGoldenMetricsCSV(t *testing.T) {
+	_, rows := goldenRun(t)
+	var out bytes.Buffer
+	if err := trace.WriteMetricsCSV(&out, rows); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.csv", out.Bytes())
+}
+
+func TestGoldenMetricsJSON(t *testing.T) {
+	_, rows := goldenRun(t)
+	var out bytes.Buffer
+	if err := trace.WriteMetricsJSON(&out, rows); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", out.Bytes())
+}
+
+// TestGoldenRunDeterminism guards the premise of the fixtures: two
+// executions of the fixture program produce identical exports.
+func TestGoldenRunDeterminism(t *testing.T) {
+	render := func() (string, string) {
+		tr, rows := goldenRun(t)
+		var a, b bytes.Buffer
+		if err := trace.WriteChromeTrace(&a, tr, "golden fixture"); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteMetricsCSV(&b, rows); err != nil {
+			t.Fatal(err)
+		}
+		return a.String(), b.String()
+	}
+	c1, m1 := render()
+	c2, m2 := render()
+	if c1 != c2 {
+		t.Error("Chrome trace export is nondeterministic across identical runs")
+	}
+	if m1 != m2 {
+		t.Error("metrics export is nondeterministic across identical runs")
+	}
+}

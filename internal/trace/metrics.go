@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RankMetrics is the flat per-rank accounting row the metrics exporters
+// emit — the machine-readable form of the figures' stacked bars. Package
+// rt converts its Metrics into this shape (TraceRow), keeping this
+// package dependency-free so both back-ends can import it.
+type RankMetrics struct {
+	Rank        int     `json:"rank"`
+	AlignSec    float64 `json:"align_sec"`
+	OverheadSec float64 `json:"overhead_sec"`
+	CommSec     float64 `json:"comm_sec"`
+	SyncSec     float64 `json:"sync_sec"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	BytesSent   int64   `json:"bytes_sent"`
+	BytesRecv   int64   `json:"bytes_recv"`
+	Msgs        int64   `json:"msgs"`
+	RPCsSent    int64   `json:"rpcs_sent"`
+	RPCsServed  int64   `json:"rpcs_served"`
+	Supersteps  int64   `json:"supersteps"`
+	MaxMem      int64   `json:"max_mem_bytes"`
+	RPCPeak     int     `json:"rpc_outstanding_peak"`
+	Events      int64   `json:"trace_events"`
+	Dropped     int64   `json:"trace_events_dropped"`
+}
+
+// MetricsSummary reduces the per-rank rows: totals plus the paper's
+// load-imbalance metric (max/mean) for the dominant series.
+type MetricsSummary struct {
+	Ranks            int     `json:"ranks"`
+	AlignImbalance   float64 `json:"align_imbalance"`
+	ElapsedImbalance float64 `json:"elapsed_imbalance"`
+	RecvImbalance    float64 `json:"recv_bytes_imbalance"`
+	TotalMsgs        int64   `json:"total_msgs"`
+	TotalBytesSent   int64   `json:"total_bytes_sent"`
+	MaxMem           int64   `json:"max_mem_bytes"`
+	RPCPeak          int     `json:"rpc_outstanding_peak"`
+}
+
+// imbalance is max/mean (1.0 = perfect balance, 0-mean series report 1).
+func imbalance(vals []float64) float64 {
+	var max, sum float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if len(vals) == 0 || sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(vals)))
+}
+
+// Summarize reduces rows to a MetricsSummary.
+func Summarize(rows []RankMetrics) MetricsSummary {
+	s := MetricsSummary{Ranks: len(rows)}
+	align := make([]float64, len(rows))
+	elapsed := make([]float64, len(rows))
+	recv := make([]float64, len(rows))
+	for i, r := range rows {
+		align[i], elapsed[i], recv[i] = r.AlignSec, r.ElapsedSec, float64(r.BytesRecv)
+		s.TotalMsgs += r.Msgs
+		s.TotalBytesSent += r.BytesSent
+		if r.MaxMem > s.MaxMem {
+			s.MaxMem = r.MaxMem
+		}
+		if r.RPCPeak > s.RPCPeak {
+			s.RPCPeak = r.RPCPeak
+		}
+	}
+	s.AlignImbalance = imbalance(align)
+	s.ElapsedImbalance = imbalance(elapsed)
+	s.RecvImbalance = imbalance(recv)
+	return s
+}
+
+// metricsHeader is the stable CSV schema; EXPERIMENTS tooling and the
+// golden tests depend on the order.
+var metricsHeader = []string{
+	"rank", "align_sec", "overhead_sec", "comm_sec", "sync_sec", "elapsed_sec",
+	"bytes_sent", "bytes_recv", "msgs", "rpcs_sent", "rpcs_served",
+	"supersteps", "max_mem_bytes", "rpc_outstanding_peak",
+	"trace_events", "trace_events_dropped",
+}
+
+func fsec(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+// WriteMetricsCSV writes one row per rank followed by an "imbalance"
+// footer row (align, elapsed and recv-bytes max/mean in their columns).
+func WriteMetricsCSV(w io.Writer, rows []RankMetrics) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(metricsHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Rank), fsec(r.AlignSec), fsec(r.OverheadSec),
+			fsec(r.CommSec), fsec(r.SyncSec), fsec(r.ElapsedSec),
+			strconv.FormatInt(r.BytesSent, 10), strconv.FormatInt(r.BytesRecv, 10),
+			strconv.FormatInt(r.Msgs, 10), strconv.FormatInt(r.RPCsSent, 10),
+			strconv.FormatInt(r.RPCsServed, 10), strconv.FormatInt(r.Supersteps, 10),
+			strconv.FormatInt(r.MaxMem, 10), strconv.Itoa(r.RPCPeak),
+			strconv.FormatInt(r.Events, 10), strconv.FormatInt(r.Dropped, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	s := Summarize(rows)
+	foot := make([]string, len(metricsHeader))
+	foot[0] = "imbalance"
+	foot[1] = fmt.Sprintf("%.4f", s.AlignImbalance)
+	foot[5] = fmt.Sprintf("%.4f", s.ElapsedImbalance)
+	foot[7] = fmt.Sprintf("%.4f", s.RecvImbalance)
+	if err := cw.Write(foot); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMetricsJSON writes {"ranks": [...], "summary": {...}} with stable
+// field order (struct-tag order).
+func WriteMetricsJSON(w io.Writer, rows []RankMetrics) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Ranks   []RankMetrics  `json:"ranks"`
+		Summary MetricsSummary `json:"summary"`
+	}{rows, Summarize(rows)}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
