@@ -3,14 +3,16 @@
 #   make check   fast gate: vet + gofmt + build + full test suite
 #   make race    full suite under the race detector (what CI runs)
 #   make fuzz    10s smoke per fuzz target (go fuzzing allows one -fuzz
-#                target per invocation, hence three runs)
+#                target per invocation, hence one run per target)
 #   make golden  regenerate the exporter golden fixtures after an
 #                intentional trace/metrics schema change
+#   make dist-smoke  end-to-end multi-process check: a 4-process TCP
+#                dibella run must byte-match the single-process output
 
 GO      ?= go
 FUZZT   ?= 10s
 
-.PHONY: check vet fmtcheck build test race fuzz golden ci
+.PHONY: check vet fmtcheck build test race fuzz golden dist-smoke ci
 
 check: vet fmtcheck build test
 
@@ -38,9 +40,24 @@ fuzz:
 	$(GO) test -fuzz=FuzzFASTA -fuzztime $(FUZZT) ./internal/seq/
 	$(GO) test -fuzz=FuzzFASTQ -fuzztime $(FUZZT) ./internal/seq/
 	$(GO) test -fuzz=FuzzXDrop -fuzztime $(FUZZT) ./internal/align/
+	$(GO) test -fuzz=FuzzFrame -fuzztime $(FUZZT) ./internal/transport/
 
 golden:
 	$(GO) test -run TestGolden ./internal/trace/ -update
 	$(GO) test -run TestGolden ./internal/trace/
 
-ci: check race fuzz
+# True multi-process smoke: fork 4 dibella worker processes over localhost
+# TCP and require byte-identical output to the 1-process in-memory run, for
+# both coordination strategies.
+dist-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/genreads ./cmd/genreads && \
+	$(GO) build -o $$tmp/dibella ./cmd/dibella && \
+	$$tmp/genreads -genome 60000 -coverage 8 -meanlen 3000 -seed 3 -out $$tmp/reads.fa && \
+	for mode in bsp async; do \
+		$$tmp/dibella -in $$tmp/reads.fa -mode $$mode -procs 1 -coverage 8 -out $$tmp/ref.tsv 2>/dev/null && \
+		$$tmp/dibella -in $$tmp/reads.fa -mode $$mode -dist -procs 4 -coverage 8 -out $$tmp/dist.tsv 2>/dev/null && \
+		cmp $$tmp/ref.tsv $$tmp/dist.tsv && echo "dist-smoke $$mode: OK ($$(wc -l < $$tmp/ref.tsv) hits)" || exit 1; \
+	done
+
+ci: check race fuzz dist-smoke

@@ -8,13 +8,22 @@
 //	-mode async  asynchronous pull RPCs with overlap (§3.2)
 //
 // Ranks are host goroutines (the real runtime); -procs sets how many.
+// With -dist, ranks are separate OS processes connected by the TCP
+// transport instead: `dibella -dist -procs 4 ...` self-forks 4 local worker
+// processes that rendezvous on a free localhost port, run the identical
+// pipeline over the message-passing backend, gather hits to rank 0, and
+// write the same output. For multi-host launches start each worker by hand
+// with explicit coordinates: `-dist -rank R -peers P -addr host:port`
+// (rank 0's host listens on -addr).
+//
 // Output: one line per saved alignment — readA readB score — plus a
 // per-rank runtime breakdown on stderr.
 //
 // Usage:
 //
 //	dibella -in reads.fa -mode async -procs 8 -k 17 -x 15 -minscore 100 \
-//	        [-coverage 30 -error 0.15 | -lofreq 2 -hifreq 40] [-mem BYTES]
+//	        [-coverage 30 -error 0.15 | -lofreq 2 -hifreq 40] [-mem BYTES] \
+//	        [-dist [-rank R -peers P -addr HOST:PORT]]
 package main
 
 import (
@@ -28,7 +37,9 @@ import (
 
 	"gnbody/internal/align"
 	"gnbody/internal/core"
+	"gnbody/internal/dist"
 	"gnbody/internal/kmer"
+	"gnbody/internal/launch"
 	"gnbody/internal/overlap"
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
@@ -37,8 +48,30 @@ import (
 	"gnbody/internal/seq"
 	"gnbody/internal/stats"
 	"gnbody/internal/trace"
+	"gnbody/internal/transport"
 	"gnbody/internal/workload"
 )
+
+// backendWorld is the slice of the backend API dibella drives: par.World
+// for the in-process runtime, distRankWorld for one rank of a -dist job.
+type backendWorld interface {
+	Run(func(rt.Runtime))
+	Metrics(i int) *rt.Metrics
+	ResetMetrics()
+}
+
+// distRankWorld adapts a single dist.Rank (this process's rank) to the
+// backendWorld interface. Metrics is only meaningful for the local rank.
+type distRankWorld struct{ r *dist.Rank }
+
+func (d distRankWorld) Run(f func(rt.Runtime)) { d.r.Run(f) }
+func (d distRankWorld) Metrics(i int) *rt.Metrics {
+	if i != d.r.Rank() {
+		panic(fmt.Sprintf("dibella: metrics for rank %d unavailable in process of rank %d", i, d.r.Rank()))
+	}
+	return d.r.Metrics()
+}
+func (d distRankWorld) ResetMetrics() { d.r.ResetMetrics() }
 
 func main() {
 	var (
@@ -61,6 +94,10 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run (load in Perfetto)")
 		metrics  = flag.String("metrics", "", "write per-rank metrics (CSV, or JSON if path ends in .json)")
 		sample   = flag.Int("sample", 1, "trace sampling: keep every Nth high-volume event")
+		distMode = flag.Bool("dist", false, "run ranks as separate OS processes over the TCP transport (self-forks -procs workers unless -rank is set)")
+		rankFlag = flag.Int("rank", -1, "this worker's rank in a -dist job (set by the self-fork launcher, or by hand for multi-host runs)")
+		peers    = flag.Int("peers", 0, "total rank count of a -dist job (defaults to -procs)")
+		addr     = flag.String("addr", "", "rendezvous address host:port of rank 0 in a -dist job (auto-picked when self-forking)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -73,12 +110,56 @@ func main() {
 		os.Exit(2)
 	}
 
+	isDist, myRank := *distMode, 0
+	if isDist {
+		if *paf {
+			fail(fmt.Errorf("-paf needs every rank's task table and is not supported with -dist"))
+		}
+		if *peers <= 0 {
+			*peers = *procs
+		}
+		*procs = *peers
+		if *rankFlag < 0 {
+			// Coordinator: pick a rendezvous port and re-exec one worker
+			// process per rank with explicit coordinates appended (later
+			// flags override the ones already on the command line).
+			a := *addr
+			if a == "" {
+				var err error
+				if a, err = launch.FreeLocalAddr(); err != nil {
+					fail(err)
+				}
+			}
+			base := append([]string{}, os.Args[1:]...)
+			if err := launch.SelfFork(*peers, func(rank int) []string {
+				return append(append([]string{}, base...),
+					"-rank", fmt.Sprint(rank), "-peers", fmt.Sprint(*peers), "-addr", a)
+			}); err != nil {
+				fail(err)
+			}
+			return
+		}
+		if *rankFlag >= *peers {
+			fail(fmt.Errorf("-rank %d out of range for -peers %d", *rankFlag, *peers))
+		}
+		if *addr == "" {
+			fail(fmt.Errorf("a -dist worker needs -addr (rank 0's rendezvous address)"))
+		}
+		myRank = *rankFlag
+	}
+	// Informational stderr output comes from one process only in -dist mode.
+	logf := func(format string, args ...any) {
+		if !isDist || myRank == 0 {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+
 	t0 := time.Now()
 	reads, err := seq.LoadFile(*in)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "dibella: loaded %s in %s\n", reads.ComputeStats(), time.Since(t0).Round(time.Millisecond))
+	logf("dibella: loaded %s in %s\n", reads.ComputeStats(), time.Since(t0).Round(time.Millisecond))
 
 	lens := workload.LensOf(reads)
 	lensInt := make([]int, len(lens))
@@ -93,9 +174,22 @@ func main() {
 	if *traceOut != "" || *metrics != "" {
 		tracer = trace.New(*procs, trace.Config{Sample: *sample})
 	}
-	world, err := par.NewWorld(par.Config{P: *procs, MemBudget: *mem, Tracer: tracer})
-	if err != nil {
-		fail(err)
+	var world backendWorld
+	var distRank *dist.Rank
+	if isDist {
+		tp, err := transport.Rendezvous(myRank, *procs, transport.TCPConfig{
+			Addr: *addr, Timeout: 60 * time.Second})
+		if err != nil {
+			fail(fmt.Errorf("rank %d rendezvous at %s: %w", myRank, *addr, err))
+		}
+		distRank = dist.NewRank(tp, dist.Config{MemBudget: *mem, Tracer: tracer})
+		world = distRankWorld{distRank}
+	} else {
+		pw, err := par.NewWorld(par.Config{P: *procs, MemBudget: *mem, Tracer: tracer})
+		if err != nil {
+			fail(err)
+		}
+		world = pw
 	}
 
 	// Stage 1-2: k-mer analysis and candidate discovery — serial reference
@@ -119,15 +213,34 @@ func main() {
 			})
 		})
 		byRank = make([][]overlap.Task, *procs)
-		for rk := 0; rk < *procs; rk++ {
-			if errs[rk] != nil {
-				fail(fmt.Errorf("pipeline rank %d: %w", rk, errs[rk]))
+		if isDist {
+			// Each process only knows (and only needs) its own rank's tasks;
+			// report the global count via the runtime.
+			if errs[myRank] != nil {
+				fail(fmt.Errorf("pipeline rank %d: %w", myRank, errs[myRank]))
 			}
-			byRank[rk] = outs[rk].Tasks
-			tasks = append(tasks, outs[rk].Tasks...)
+			byRank[myRank] = outs[myRank].Tasks
+			tasks = outs[myRank].Tasks
+			var total int64
+			world.Run(func(r rt.Runtime) {
+				total = r.Allreduce(int64(len(tasks)), rt.OpSum)
+			})
+			logf("dibella: %d candidate tasks (distributed, k=%d, window [%d,%d]) in %s\n",
+				total, *k, lo, hi, time.Since(t1).Round(time.Millisecond))
+		} else {
+			for rk := 0; rk < *procs; rk++ {
+				if errs[rk] != nil {
+					fail(fmt.Errorf("pipeline rank %d: %w", rk, errs[rk]))
+				}
+				byRank[rk] = outs[rk].Tasks
+				tasks = append(tasks, outs[rk].Tasks...)
+			}
+			logf("dibella: %d candidate tasks (distributed, k=%d, window [%d,%d]) in %s\n",
+				len(tasks), *k, lo, hi, time.Since(t1).Round(time.Millisecond))
 		}
-		fmt.Fprintf(os.Stderr, "dibella: %d candidate tasks (distributed, k=%d, window [%d,%d]) in %s\n",
-			len(tasks), *k, lo, hi, time.Since(t1).Round(time.Millisecond))
+		// The reported breakdown should cover the align phase alone, not the
+		// k-mer pipeline that just ran.
+		world.ResetMetrics()
 	} else {
 		var lo, hi int
 		tasks, lo, hi, err = overlap.FromReadSet(reads, overlap.Config{
@@ -137,7 +250,7 @@ func main() {
 			fail(err)
 		}
 		byRank = partition.AssignTasks(tasks, pt)
-		fmt.Fprintf(os.Stderr, "dibella: %d candidate tasks (k=%d, reliable window [%d,%d]) in %s\n",
+		logf("dibella: %d candidate tasks (k=%d, reliable window [%d,%d]) in %s\n",
 			len(tasks), *k, lo, hi, time.Since(t1).Round(time.Millisecond))
 	}
 	var codec core.Codec = core.RealCodec{Reads: reads}
@@ -163,68 +276,107 @@ func main() {
 	})
 	alignWall := time.Since(t2)
 	var hits []core.Hit
-	for rk := 0; rk < *procs; rk++ {
-		if errs[rk] != nil {
-			fail(fmt.Errorf("rank %d: %w", rk, errs[rk]))
+	var distMet rt.Metrics // align-phase snapshot, before the hit gather
+	if isDist {
+		if errs[myRank] != nil {
+			fail(fmt.Errorf("rank %d: %w", myRank, errs[myRank]))
 		}
-		hits = append(hits, results[rk].Hits...)
+		distMet = *world.Metrics(myRank)
+		world.Run(func(r rt.Runtime) {
+			hits = core.GatherHits(r, results[r.Rank()].Hits)
+		})
+		// Graceful departure: ranks finish the gather at different times,
+		// and the bye handshake keeps our exit from looking like a crash
+		// to peers still polling.
+		distRank.Close()
+	} else {
+		for rk := 0; rk < *procs; rk++ {
+			if errs[rk] != nil {
+				fail(fmt.Errorf("rank %d: %w", rk, errs[rk]))
+			}
+			hits = append(hits, results[rk].Hits...)
+		}
+		core.SortHits(hits)
 	}
-	core.SortHits(hits)
 
-	w := bufio.NewWriter(os.Stdout)
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	// Rank 0 (or the sole process) writes the results and the report;
+	// -dist workers skip straight to their per-rank trace/metrics export.
+	if !isDist || myRank == 0 {
+		w := bufio.NewWriter(os.Stdout)
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = bufio.NewWriter(f)
+		}
+		kinds := map[overlap.Kind]int{}
+		taskOf := make(map[uint64]overlap.Task, len(tasks))
+		for _, t := range tasks {
+			taskOf[t.Key()] = t
+		}
+		for _, h := range hits {
+			ra, rb := reads.Get(h.A), reads.Get(h.B)
+			res := align.Result{Score: int(h.Score),
+				AStart: int(h.AStart), AEnd: int(h.AEnd),
+				BStart: int(h.BStart), BEnd: int(h.BEnd)}
+			kinds[overlap.Classify(res, ra.Len(), rb.Len(), 50)]++
+			if !*paf {
+				fmt.Fprintf(w, "%s\t%s\t%d\n", ra.Name, rb.Name, h.Score)
+				continue
+			}
+			if err := writePAF(w, reads, taskOf[uint64(h.A)<<32|uint64(h.B)], h, *x); err != nil {
+				fail(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
 			fail(err)
 		}
-		defer f.Close()
-		w = bufio.NewWriter(f)
-	}
-	kinds := map[overlap.Kind]int{}
-	taskOf := make(map[uint64]overlap.Task, len(tasks))
-	for _, t := range tasks {
-		taskOf[t.Key()] = t
-	}
-	for _, h := range hits {
-		ra, rb := reads.Get(h.A), reads.Get(h.B)
-		res := align.Result{Score: int(h.Score),
-			AStart: int(h.AStart), AEnd: int(h.AEnd),
-			BStart: int(h.BStart), BEnd: int(h.BEnd)}
-		kinds[overlap.Classify(res, ra.Len(), rb.Len(), 50)]++
-		if !*paf {
-			fmt.Fprintf(w, "%s\t%s\t%d\n", ra.Name, rb.Name, h.Score)
-			continue
+		fmt.Fprintf(os.Stderr, "dibella: overlap kinds:")
+		for _, k := range []overlap.Kind{overlap.SuffixPrefix, overlap.PrefixSuffix,
+			overlap.ContainsB, overlap.ContainedInB, overlap.Internal} {
+			fmt.Fprintf(os.Stderr, " %s=%d", k, kinds[k])
 		}
-		if err := writePAF(w, reads, taskOf[uint64(h.A)<<32|uint64(h.B)], h, *x); err != nil {
-			fail(err)
+		fmt.Fprintln(os.Stderr)
+
+		table := &stats.Table{
+			Title:   fmt.Sprintf("dibella: %s, %d ranks, %d hits, align phase %s", *mode, *procs, len(hits), alignWall.Round(time.Millisecond)),
+			Headers: []string{"rank", "align", "overhead", "comm", "sync", "maxmem", "steps"},
+		}
+		if isDist {
+			m := &distMet
+			table.Title += fmt.Sprintf(" (rank %d of %d processes)", myRank, *procs)
+			table.AddRow(fmt.Sprint(myRank),
+				stats.FmtDur(m.Time[rt.CatAlign]), stats.FmtDur(m.Time[rt.CatOverhead]),
+				stats.FmtDur(m.Time[rt.CatComm]), stats.FmtDur(m.Time[rt.CatSync]),
+				stats.FmtBytes(m.MaxMem), fmt.Sprint(m.Supersteps))
+		} else {
+			for rk := 0; rk < *procs; rk++ {
+				m := world.Metrics(rk)
+				table.AddRow(fmt.Sprint(rk),
+					stats.FmtDur(m.Time[rt.CatAlign]), stats.FmtDur(m.Time[rt.CatOverhead]),
+					stats.FmtDur(m.Time[rt.CatComm]), stats.FmtDur(m.Time[rt.CatSync]),
+					stats.FmtBytes(m.MaxMem), fmt.Sprint(m.Supersteps))
+			}
+		}
+		table.Render(os.Stderr)
+	}
+
+	// In -dist mode every worker exports its own rank's slice into a
+	// rank-suffixed file; in-process mode writes one file with all ranks.
+	tracePath, metricsPath := *traceOut, *metrics
+	if isDist {
+		if tracePath != "" {
+			tracePath += fmt.Sprintf(".rank%d", myRank)
+		}
+		if metricsPath != "" {
+			metricsPath += fmt.Sprintf(".rank%d", myRank)
 		}
 	}
-	if err := w.Flush(); err != nil {
-		fail(err)
-	}
-	fmt.Fprintf(os.Stderr, "dibella: overlap kinds:")
-	for _, k := range []overlap.Kind{overlap.SuffixPrefix, overlap.PrefixSuffix,
-		overlap.ContainsB, overlap.ContainedInB, overlap.Internal} {
-		fmt.Fprintf(os.Stderr, " %s=%d", k, kinds[k])
-	}
-	fmt.Fprintln(os.Stderr)
-
-	table := &stats.Table{
-		Title:   fmt.Sprintf("dibella: %s, %d ranks, %d hits, align phase %s", *mode, *procs, len(hits), alignWall.Round(time.Millisecond)),
-		Headers: []string{"rank", "align", "overhead", "comm", "sync", "maxmem", "steps"},
-	}
-	for rk := 0; rk < *procs; rk++ {
-		m := world.Metrics(rk)
-		table.AddRow(fmt.Sprint(rk),
-			stats.FmtDur(m.Time[rt.CatAlign]), stats.FmtDur(m.Time[rt.CatOverhead]),
-			stats.FmtDur(m.Time[rt.CatComm]), stats.FmtDur(m.Time[rt.CatSync]),
-			stats.FmtBytes(m.MaxMem), fmt.Sprint(m.Supersteps))
-	}
-	table.Render(os.Stderr)
-
-	if *traceOut != "" {
+	if tracePath != "" {
 		label := fmt.Sprintf("dibella %s procs=%d", *mode, *procs)
-		f, err := os.Create(*traceOut)
+		f, err := os.Create(tracePath)
 		if err == nil {
 			err = trace.WriteChromeTrace(f, tracer, label)
 			if cerr := f.Close(); err == nil {
@@ -234,14 +386,19 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("-trace: %w", err))
 		}
-		fmt.Fprintf(os.Stderr, "dibella: trace -> %s\n", *traceOut)
+		logf("dibella: trace -> %s\n", tracePath)
 	}
-	if *metrics != "" {
-		rows := make([]trace.RankMetrics, *procs)
-		for rk := 0; rk < *procs; rk++ {
-			rows[rk] = rt.TraceRow(rk, world.Metrics(rk), tracer.Rank(rk))
+	if metricsPath != "" {
+		var rows []trace.RankMetrics
+		if isDist {
+			rows = []trace.RankMetrics{rt.TraceRow(myRank, &distMet, tracer.Rank(myRank))}
+		} else {
+			rows = make([]trace.RankMetrics, *procs)
+			for rk := 0; rk < *procs; rk++ {
+				rows[rk] = rt.TraceRow(rk, world.Metrics(rk), tracer.Rank(rk))
+			}
 		}
-		f, err := os.Create(*metrics)
+		f, err := os.Create(metricsPath)
 		if err == nil {
 			if strings.HasSuffix(*metrics, ".json") {
 				err = trace.WriteMetricsJSON(f, rows)
@@ -255,7 +412,7 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("-metrics: %w", err))
 		}
-		fmt.Fprintf(os.Stderr, "dibella: metrics -> %s\n", *metrics)
+		logf("dibella: metrics -> %s\n", metricsPath)
 	}
 }
 

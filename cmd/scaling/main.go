@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|all
+//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|dist|all
 //	        [-scale30 N] [-scale100 N] [-scaleccs N]   workload scale divisors
 //	        [-rpn N]                                   simulated ranks per node
 //	        [-nodes 8,16,32]                           node counts for sweeps
@@ -42,7 +42,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, ablations, all)")
+		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, dist, ablations, all)")
 		scale30    = flag.Int("scale30", 0, "E. coli 30x scale divisor (default 8)")
 		scale100   = flag.Int("scale100", 0, "E. coli 100x scale divisor (default 64)")
 		scaleccs   = flag.Int("scaleccs", 0, "Human CCS scale divisor (default 256)")
@@ -50,6 +50,9 @@ func main() {
 		nodesFlag  = flag.String("nodes", "", "comma-separated node counts (default per experiment)")
 		seed       = flag.Int64("seed", 1, "workload and noise seed")
 		intrascale = flag.Int("intrascale", 0, "intranode pipeline scale divisor (default 150)")
+		distscale  = flag.Int("distscale", 0, "dist experiment pipeline scale divisor (default 300)")
+		distranks  = flag.Int("distranks", 0, "dist experiment rank count (default 4)")
+		disttrans  = flag.String("disttransport", "", "dist experiment fabric: loopback, tcp or both (default both)")
 		csvDir     = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 		jsonDir    = flag.String("json", "", "also write each experiment's table as JSON into this directory")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the last simulated run")
@@ -113,6 +116,11 @@ func main() {
 		{"fig13", wrapM(expt.Fig13)},
 		{"intranode", func() (*stats.Table, []*expt.Row, error) {
 			t, _, err := expt.Intranode(expt.IntranodeParams{Scale: *intrascale, Seed: *seed})
+			return t, nil, err
+		}},
+		{"dist", func() (*stats.Table, []*expt.Row, error) {
+			t, _, err := expt.Dist(expt.DistParams{Scale: *distscale, Ranks: *distranks,
+				Transport: *disttrans, Seed: *seed})
 			return t, nil, err
 		}},
 		{"ablations", func() (*stats.Table, []*expt.Row, error) {

@@ -1,25 +1,32 @@
 package core
 
 import (
+	"net"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"gnbody/internal/align"
+	"gnbody/internal/dist"
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
 	"gnbody/internal/rt"
 	"gnbody/internal/sim"
 	"gnbody/internal/trace"
+	"gnbody/internal/transport"
 )
 
 // The cross-backend conformance battery: one workload, every execution
-// configuration — serial reference, real runtime (par) and simulator (sim),
-// each under BSP, Async and Async+steal — must produce byte-identical
-// sorted hit sets, and par and sim must agree exactly on message counts for
-// the deterministic drivers. Model mode (PhantomCodec + ModelExecutor) makes
-// the alignment outcome backend-independent, so any divergence is a
-// coordination bug, not a kernel difference. Tracing is enabled everywhere:
-// the instrumentation must not perturb results on either back-end.
+// configuration — serial reference, real runtime (par), simulator (sim) and
+// the message-passing backend (dist, over both the loopback and the TCP
+// fabric), each under BSP, Async and Async+steal — must produce
+// byte-identical sorted hit sets; par and sim must agree exactly on message
+// counts for the deterministic drivers, and dist must agree with par. Model
+// mode (PhantomCodec + ModelExecutor) makes the alignment outcome
+// backend-independent, so any divergence is a coordination bug, not a
+// kernel difference. Tracing is enabled everywhere: the instrumentation
+// must not perturb results on any back-end.
 
 const (
 	confRanks    = 8
@@ -128,6 +135,107 @@ func runConfSim(t *testing.T, w *testWorkload, mode string) confRun {
 	return out
 }
 
+// confTCPFabric rendezvouses a confRanks-wide localhost socket mesh.
+func confTCPFabric(t *testing.T) []transport.Transport {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	fabric := make([]transport.Transport, confRanks)
+	ferrs := make([]error, confRanks)
+	var wg sync.WaitGroup
+	for i := 0; i < confRanks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := transport.TCPConfig{Addr: addr, Timeout: 30 * time.Second}
+			if i == 0 {
+				cfg.Listener = ln
+			}
+			fabric[i], ferrs[i] = transport.Rendezvous(i, confRanks, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range ferrs {
+		if err != nil {
+			t.Fatalf("rendezvous rank %d: %v", i, err)
+		}
+	}
+	return fabric
+}
+
+func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun {
+	t.Helper()
+	lens := w.lens()
+	lensInt := make([]int, len(lens))
+	for i, l := range lens {
+		lensInt[i] = int(l)
+	}
+	pt, err := partition.BySize(lensInt, confRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRank := partition.AssignTasks(w.tasks, pt)
+	cfg := dist.Config{MemBudget: confBudget, Tracer: trace.New(confRanks, trace.Config{})}
+	var world *dist.World
+	if fabricKind == "tcp" {
+		world, err = dist.NewWorldOver(confTCPFabric(t), cfg)
+	} else {
+		cfg.P = confRanks
+		world, err = dist.NewWorld(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	exec := ModelExecutor{Model: align.DefaultCostModel(), Meta: taskMetaFromTruth(w)}
+	results := make([]*Result, confRanks)
+	errs := make([]error, confRanks)
+	gathered := make([][]Hit, confRanks)
+	world.Run(func(r rt.Runtime) {
+		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}}
+		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4}
+		switch mode {
+		case "async":
+			results[r.Rank()], errs[r.Rank()] = RunAsync(r, in, cfg)
+		case "steal":
+			results[r.Rank()], errs[r.Rank()] = RunAsyncStealing(r, in, cfg)
+		default:
+			results[r.Rank()], errs[r.Rank()] = RunBSP(r, in, cfg)
+		}
+	})
+	out := confRun{}
+	for rk := 0; rk < confRanks; rk++ {
+		if errs[rk] != nil {
+			t.Fatalf("dist/%s %s rank %d: %v", fabricKind, mode, rk, errs[rk])
+		}
+		out.hits = append(out.hits, results[rk].Hits...)
+		out.msgs += world.Metrics(rk).Msgs
+		out.rpcsSent += world.Metrics(rk).RPCsSent
+	}
+	SortHits(out.hits)
+
+	// The wire-level gather must reproduce the in-memory collection exactly
+	// — this is the path a true multi-process launch depends on. Done after
+	// the counters above are read so driver accounting stays comparable to
+	// par's.
+	world.Run(func(r rt.Runtime) {
+		gathered[r.Rank()] = GatherHits(r, results[r.Rank()].Hits)
+	})
+	if !reflect.DeepEqual(gathered[0], out.hits) {
+		t.Fatalf("dist/%s %s: GatherHits(%d hits) differs from in-memory collection (%d)",
+			fabricKind, mode, len(gathered[0]), len(out.hits))
+	}
+	for rk := 1; rk < confRanks; rk++ {
+		if gathered[rk] != nil {
+			t.Fatalf("dist/%s %s: rank %d got %d gathered hits, want nil", fabricKind, mode, rk, len(gathered[rk]))
+		}
+	}
+	return out
+}
+
 func TestCrossBackendConformance(t *testing.T) {
 	w := makeWorkload(t, 10000, 6, 53)
 	want := SerialModelHits(w.tasks, taskMetaFromTruth(w), confMinScore)
@@ -137,9 +245,13 @@ func TestCrossBackendConformance(t *testing.T) {
 
 	parRuns := map[string]confRun{}
 	simRuns := map[string]confRun{}
+	distLoop := map[string]confRun{}
+	distTCP := map[string]confRun{}
 	for _, mode := range []string{"bsp", "async", "steal"} {
 		parRuns[mode] = runConfPar(t, w, mode)
 		simRuns[mode] = runConfSim(t, w, mode)
+		distLoop[mode] = runConfDist(t, w, mode, "loopback")
+		distTCP[mode] = runConfDist(t, w, mode, "tcp")
 	}
 
 	// Every configuration reproduces the serial reference byte-identically.
@@ -150,18 +262,29 @@ func TestCrossBackendConformance(t *testing.T) {
 		if got := simRuns[mode]; !reflect.DeepEqual(got.hits, want) {
 			t.Errorf("sim/%s: %d hits differ from serial reference (%d)", mode, len(got.hits), len(want))
 		}
+		if got := distLoop[mode]; !reflect.DeepEqual(got.hits, want) {
+			t.Errorf("dist-loopback/%s: %d hits differ from serial reference (%d)", mode, len(got.hits), len(want))
+		}
+		if got := distTCP[mode]; !reflect.DeepEqual(got.hits, want) {
+			t.Errorf("dist-tcp/%s: %d hits differ from serial reference (%d)", mode, len(got.hits), len(want))
+		}
 	}
 
-	// The deterministic drivers move exactly the same messages on both
-	// back-ends. Steal is excluded: its probe pattern depends on timing, so
-	// only its result set is pinned above.
+	// The deterministic drivers move exactly the same messages on every
+	// back-end: sim and dist (both fabrics) must match par. Steal is
+	// excluded: its probe pattern depends on timing, so only its result set
+	// is pinned above.
 	for _, mode := range []string{"bsp", "async"} {
-		p, s := parRuns[mode], simRuns[mode]
-		if p.msgs != s.msgs {
-			t.Errorf("%s: total messages par=%d sim=%d", mode, p.msgs, s.msgs)
-		}
-		if p.rpcsSent != s.rpcsSent {
-			t.Errorf("%s: RPCs issued par=%d sim=%d", mode, p.rpcsSent, s.rpcsSent)
+		p := parRuns[mode]
+		for name, got := range map[string]confRun{
+			"sim": simRuns[mode], "dist-loopback": distLoop[mode], "dist-tcp": distTCP[mode],
+		} {
+			if got.msgs != p.msgs {
+				t.Errorf("%s: total messages par=%d %s=%d", mode, p.msgs, name, got.msgs)
+			}
+			if got.rpcsSent != p.rpcsSent {
+				t.Errorf("%s: RPCs issued par=%d %s=%d", mode, p.rpcsSent, name, got.rpcsSent)
+			}
 		}
 	}
 	if bsp := parRuns["bsp"]; bsp.rpcsSent != 0 {

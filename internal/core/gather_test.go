@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gnbody/internal/seq"
+)
+
+func TestHitWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hs := make([]Hit, 200)
+	for i := range hs {
+		hs[i] = Hit{
+			A:      seq.ReadID(rng.Uint32()),
+			B:      seq.ReadID(rng.Uint32()),
+			Score:  int32(rng.Uint32()),
+			AStart: int32(rng.Uint32()),
+			AEnd:   int32(rng.Uint32()),
+			BStart: int32(rng.Uint32()),
+			BEnd:   int32(rng.Uint32()),
+			RC:     rng.Intn(2) == 1,
+		}
+	}
+	buf := EncodeHits(hs)
+	if len(buf) != len(hs)*hitWire {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), len(hs)*hitWire)
+	}
+	got, err := DecodeHits(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, hs) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := DecodeHits(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated payload decoded without error")
+	}
+	if got, err := DecodeHits(nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty payload: got %v, %v", got, err)
+	}
+}

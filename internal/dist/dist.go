@@ -1,0 +1,554 @@
+// Package dist is the distributed back-end of the rt.Runtime interface:
+// ranks are separate processes (or goroutines, under the loopback fabric —
+// the collectives cannot tell) connected by a point-to-point
+// transport.Transport, and every runtime primitive is built purely from
+// Send/Recv frames:
+//
+//   - Barrier is a dissemination barrier: ceil(log2 P) rounds in which rank
+//     r signals rank (r+2^k) mod P and waits on rank (r-2^k) mod P — no
+//     shared memory, no central coordinator.
+//   - SplitBarrier sends its round-0 arrival token at entry, so the work a
+//     rank does between entry and wait() genuinely overlaps the other
+//     ranks' arrival; wait() runs the remaining rounds.
+//   - Alltoallv is a pairwise exchange: in step s, send to (r+s) mod P and
+//     receive from (r-s) mod P before advancing, so at most one partner's
+//     payload is staged beyond the result buffers (the schedule that keeps
+//     an irregular exchange inside the per-rank MemBudget discipline; the
+//     BSP driver additionally sizes supersteps against MemBudget).
+//   - Allreduce gathers contributions to rank 0, folds them in rank order
+//     (bit-identical to par's fold), and broadcasts the result.
+//   - The RPC engine is the shared transport.Engine — the same state
+//     machine package par drives over channel inboxes — fed here from
+//     decoded wire frames. Progress/Drain follow the application-level
+//     polling discipline of the paper's UPC++ implementation (§3.2).
+//
+// Accounting parity: dist counts exactly what par counts — Alltoallv
+// payload bytes and non-empty messages, RPC requests and responses — and
+// none of its internal coordination frames (barrier tokens, reduce values),
+// mirroring par's zero-message shared-memory collectives. The cross-backend
+// conformance battery pins this: byte/message counters match par exactly
+// for the deterministic drivers.
+//
+// A transport failure (peer death, broken socket) is fatal to the SPMD
+// program and panics with the underlying error.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/trace"
+	"gnbody/internal/transport"
+)
+
+// Config parameterises the backend.
+type Config struct {
+	P         int           // rank count (used by NewWorld's loopback fabric)
+	MemBudget int64         // per-rank exchange-memory budget; <=0 unlimited
+	Tracer    *trace.Tracer // structured-event layer; nil disables tracing
+}
+
+// Wire message types (first payload byte of every transport frame).
+const (
+	msgBarrier   = 1 // [kind:1][epoch:8][round:1]
+	msgA2A       = 2 // [epoch:8][data...]
+	msgRedVal    = 3 // [epoch:8][val:8] contribution toward rank 0
+	msgRedResult = 4 // [epoch:8][val:8] folded result from rank 0
+	msgRPCReq    = 5 // [seq:4][payload...]
+	msgRPCResp   = 6 // [seq:4][payload...]
+)
+
+// barrier kinds.
+const (
+	barFull  = 0
+	barSplit = 1
+)
+
+type barKey struct {
+	kind  byte
+	epoch uint64
+	round byte
+}
+
+type srcKey struct {
+	epoch uint64
+	src   int
+}
+
+// Rank implements rt.Runtime over one transport endpoint. All methods must
+// run on the owning rank's goroutine (or process).
+type Rank struct {
+	tp  transport.Transport
+	id  int
+	p   int
+	cfg Config
+	eng *transport.Engine
+	met rt.Metrics
+	tr  *trace.Buf
+
+	nestedWall time.Duration
+	idlePolls  int
+
+	barEpoch  [2]uint64 // next epoch per barrier kind
+	barGot    map[barKey]struct{}
+	a2aEpoch  uint64
+	a2aGot    map[srcKey][]byte
+	redEpoch  uint64
+	redGot    map[srcKey]int64
+	redResult map[uint64]int64
+}
+
+var _ rt.Runtime = (*Rank)(nil)
+
+// NewRank wraps a connected transport endpoint as a runtime rank.
+func NewRank(tp transport.Transport, cfg Config) *Rank {
+	r := &Rank{
+		tp:        tp,
+		id:        tp.Rank(),
+		p:         tp.Size(),
+		cfg:       cfg,
+		tr:        cfg.Tracer.Rank(tp.Rank()),
+		barGot:    make(map[barKey]struct{}),
+		a2aGot:    make(map[srcKey][]byte),
+		redGot:    make(map[srcKey]int64),
+		redResult: make(map[uint64]int64),
+	}
+	r.eng = transport.NewEngine(transport.EngineConfig{
+		Rank:    r.id,
+		Send:    r.sendRPC,
+		Metrics: &r.met,
+		Tracer:  r.tr,
+		Nested:  func(d time.Duration) { r.nestedWall += d },
+		// Transports deliver receiver-owned frames; no extra copy needed.
+	})
+	return r
+}
+
+// Run executes f as this rank's SPMD body, accumulating Elapsed — the
+// single-rank equivalent of World.Run for multi-process launchers.
+func (r *Rank) Run(f func(rt.Runtime)) {
+	t0 := time.Now()
+	f(r)
+	r.met.Elapsed += time.Since(t0)
+}
+
+// ResetMetrics zeroes this rank's accounting so the next Run is measured
+// in isolation (same semantics as par's World.ResetMetrics). Call only
+// between Runs.
+func (r *Rank) ResetMetrics() {
+	r.met = rt.Metrics{}
+	r.nestedWall = 0
+}
+
+// Close tears down the underlying transport endpoint.
+func (r *Rank) Close() error { return r.tp.Close() }
+
+// Transport exposes the endpoint (launchers close it; tests inspect it).
+func (r *Rank) Transport() transport.Transport { return r.tp }
+
+// World runs P ranks as goroutines over a shared fabric — the in-process
+// shape of the distributed backend, used by the loopback and
+// TCP-on-localhost conformance configurations and by in-process launchers.
+type World struct {
+	ranks []*Rank
+}
+
+// NewWorld builds a world whose ranks communicate over an in-memory
+// loopback fabric.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("dist: P=%d must be positive", cfg.P)
+	}
+	return NewWorldOver(transport.NewLoopback(cfg.P), cfg)
+}
+
+// NewWorldOver builds a world over an existing fabric (endpoint i becomes
+// rank i). The fabric's size must match len(fabric).
+func NewWorldOver(fabric []transport.Transport, cfg Config) (*World, error) {
+	if len(fabric) == 0 {
+		return nil, fmt.Errorf("dist: empty fabric")
+	}
+	w := &World{ranks: make([]*Rank, len(fabric))}
+	for i, tp := range fabric {
+		if tp.Rank() != i || tp.Size() != len(fabric) {
+			return nil, fmt.Errorf("dist: fabric endpoint %d reports rank %d of %d", i, tp.Rank(), tp.Size())
+		}
+		w.ranks[i] = NewRank(tp, cfg)
+	}
+	return w, nil
+}
+
+// Run executes f as rank body on every rank concurrently and blocks until
+// all ranks return. It may be called repeatedly; metrics accumulate across
+// Runs unless ResetMetrics is called in between.
+func (w *World) Run(f func(rt.Runtime)) {
+	var wg sync.WaitGroup
+	for _, r := range w.ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			r.Run(f)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Metrics returns the accounting for rank i. Call only between Runs.
+func (w *World) Metrics(i int) *rt.Metrics { return &w.ranks[i].met }
+
+// ResetMetrics zeroes every rank's accounting. Call only between Runs.
+func (w *World) ResetMetrics() {
+	for _, r := range w.ranks {
+		r.ResetMetrics()
+	}
+}
+
+// Close tears down every rank's transport endpoint.
+func (w *World) Close() error {
+	var first error
+	for _, r := range w.ranks {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Rank returns the rank id.
+func (r *Rank) Rank() int { return r.id }
+
+// Size returns the number of ranks.
+func (r *Rank) Size() int { return r.p }
+
+// sendFrame ships one wire frame; transport failure is fatal.
+func (r *Rank) sendFrame(dst int, frame []byte) {
+	if err := r.tp.Send(dst, frame); err != nil {
+		panic(fmt.Sprintf("dist: rank %d send to %d: %v", r.id, dst, err))
+	}
+}
+
+// sendRPC is the engine's conduit: wrap the message in a wire frame.
+func (r *Rank) sendRPC(dst int, m transport.Msg) {
+	typ := byte(msgRPCResp)
+	if m.Req {
+		typ = msgRPCReq
+	}
+	frame := make([]byte, 0, 5+len(m.Val))
+	frame = append(frame, typ)
+	frame = binary.BigEndian.AppendUint32(frame, m.Seq)
+	frame = append(frame, m.Val...)
+	r.sendFrame(dst, frame)
+}
+
+// Progress drains the transport inbox, dispatching every pending frame:
+// RPC requests are answered through the registered handler, responses run
+// their callbacks, and collective traffic is filed for its waiting
+// primitive. Returns whether any frame was handled.
+func (r *Rank) Progress() bool {
+	did := false
+	for {
+		from, frame, ok, err := r.tp.Recv()
+		if err != nil {
+			panic(fmt.Sprintf("dist: rank %d transport: %v", r.id, err))
+		}
+		if !ok {
+			return did
+		}
+		did = true
+		r.dispatch(from, frame)
+	}
+}
+
+// dispatch files one decoded wire frame. Malformed frames are protocol
+// corruption between our own ranks — fatal.
+func (r *Rank) dispatch(from int, frame []byte) {
+	if len(frame) == 0 {
+		panic(fmt.Sprintf("dist: rank %d: empty frame from %d", r.id, from))
+	}
+	typ, body := frame[0], frame[1:]
+	switch typ {
+	case msgBarrier:
+		if len(body) != 10 {
+			panic(fmt.Sprintf("dist: rank %d: malformed barrier frame from %d", r.id, from))
+		}
+		k := barKey{kind: body[0], epoch: binary.BigEndian.Uint64(body[1:9]), round: body[9]}
+		r.barGot[k] = struct{}{}
+	case msgA2A:
+		if len(body) < 8 {
+			panic(fmt.Sprintf("dist: rank %d: malformed alltoallv frame from %d", r.id, from))
+		}
+		k := srcKey{epoch: binary.BigEndian.Uint64(body[:8]), src: from}
+		r.a2aGot[k] = body[8:]
+	case msgRedVal, msgRedResult:
+		if len(body) != 16 {
+			panic(fmt.Sprintf("dist: rank %d: malformed allreduce frame from %d", r.id, from))
+		}
+		epoch := binary.BigEndian.Uint64(body[:8])
+		val := int64(binary.BigEndian.Uint64(body[8:16]))
+		if typ == msgRedVal {
+			r.redGot[srcKey{epoch: epoch, src: from}] = val
+		} else {
+			r.redResult[epoch] = val
+		}
+	case msgRPCReq, msgRPCResp:
+		if len(body) < 4 {
+			panic(fmt.Sprintf("dist: rank %d: malformed rpc frame from %d", r.id, from))
+		}
+		r.eng.Deliver(transport.Msg{
+			Req:  typ == msgRPCReq,
+			From: from,
+			Seq:  binary.BigEndian.Uint32(body[:4]),
+			Val:  body[4:],
+		})
+	default:
+		panic(fmt.Sprintf("dist: rank %d: unknown frame type %d from %d", r.id, typ, from))
+	}
+}
+
+// waitLoop polls Progress until cond holds, attributing the unserviced
+// waiting time to cat. Idle polls back off briefly so a blocked process
+// rank does not saturate a core while its peers compute.
+func (r *Rank) waitLoop(cat rt.Category, cond func() bool) {
+	t0 := time.Now()
+	n0 := r.nestedWall
+	for !cond() {
+		if r.Progress() {
+			r.idlePolls = 0
+			continue
+		}
+		r.idlePolls++
+		if r.idlePolls > 1024 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	r.idlePolls = 0
+	if d := time.Since(t0) - (r.nestedWall - n0); d > 0 {
+		r.met.Time[cat] += d
+		r.nestedWall += d
+	}
+}
+
+// barFrame encodes one barrier token.
+func barFrame(kind byte, epoch uint64, round byte) []byte {
+	frame := make([]byte, 0, 11)
+	frame = append(frame, msgBarrier, kind)
+	frame = binary.BigEndian.AppendUint64(frame, epoch)
+	return append(frame, round)
+}
+
+// waitToken blocks until the (kind, epoch, round) token has arrived,
+// consuming it.
+func (r *Rank) waitToken(cat rt.Category, kind byte, epoch uint64, round byte) {
+	k := barKey{kind: kind, epoch: epoch, round: round}
+	r.waitLoop(cat, func() bool {
+		_, ok := r.barGot[k]
+		return ok
+	})
+	delete(r.barGot, k)
+}
+
+// disseminate runs dissemination rounds firstRound.. for the given barrier
+// epoch: in round k, signal rank (id+2^k) mod P and wait on (id-2^k) mod P.
+func (r *Rank) disseminate(kind byte, epoch uint64, firstRound int) {
+	for round, dist := 0, 1; dist < r.p; round, dist = round+1, dist*2 {
+		if round < firstRound {
+			continue
+		}
+		r.sendFrame((r.id+dist)%r.p, barFrame(kind, epoch, byte(round)))
+		r.waitToken(rt.CatSync, kind, epoch, byte(round))
+	}
+}
+
+// Barrier blocks until all ranks arrive, servicing RPCs while waiting.
+func (r *Rank) Barrier() {
+	t0 := r.tr.Now()
+	epoch := r.barEpoch[barFull]
+	r.barEpoch[barFull]++
+	r.disseminate(barFull, epoch, 0)
+	r.tr.Span(trace.KindBarrier, t0, 0)
+}
+
+// SplitBarrier enters phase one — announcing this rank's arrival with the
+// round-0 dissemination token, so work done before wait() overlaps the
+// other ranks' arrival — and returns the phase-two wait, which completes
+// the remaining rounds.
+func (r *Rank) SplitBarrier() (wait func()) {
+	epoch := r.barEpoch[barSplit]
+	r.barEpoch[barSplit]++
+	if r.p > 1 {
+		r.sendFrame((r.id+1)%r.p, barFrame(barSplit, epoch, 0))
+	}
+	return func() {
+		t0 := r.tr.Now()
+		if r.p > 1 {
+			r.waitToken(rt.CatSync, barSplit, epoch, 0)
+			r.disseminate(barSplit, epoch, 1)
+		}
+		r.tr.Span(trace.KindSplitBarrier, t0, 0)
+	}
+}
+
+// Alltoallv exchanges byte messages with every rank by pairwise steps:
+// step s sends to (id+s) mod P and receives from (id-s) mod P before
+// advancing, bounding staged exchange memory. Receive slices are fresh
+// buffers owned by the caller; nil/empty sends arrive as empty.
+func (r *Rank) Alltoallv(send [][]byte) [][]byte {
+	if len(send) != r.p {
+		panic(fmt.Sprintf("dist: Alltoallv send has %d entries, want %d", len(send), r.p))
+	}
+	tEnter := r.tr.Now()
+	for _, m := range send {
+		r.met.BytesSent += int64(len(m))
+		if len(m) > 0 {
+			r.met.Msgs++
+		}
+	}
+	epoch := r.a2aEpoch
+	r.a2aEpoch++
+	t0 := time.Now()
+	n0 := r.nestedWall
+	recv := make([][]byte, r.p)
+	self := send[r.id]
+	if len(self) > 0 {
+		cp := make([]byte, len(self))
+		copy(cp, self)
+		recv[r.id] = cp
+	} else if self != nil {
+		recv[r.id] = []byte{}
+	}
+	r.met.BytesRecv += int64(len(self))
+	var hdr [9]byte
+	hdr[0] = msgA2A
+	binary.BigEndian.PutUint64(hdr[1:], epoch)
+	for step := 1; step < r.p; step++ {
+		dst := (r.id + step) % r.p
+		src := (r.id - step + r.p) % r.p
+		frame := make([]byte, 0, 9+len(send[dst]))
+		frame = append(frame, hdr[:]...)
+		frame = append(frame, send[dst]...)
+		r.sendFrame(dst, frame)
+		k := srcKey{epoch: epoch, src: src}
+		r.waitLoop(rt.CatComm, func() bool {
+			_, ok := r.a2aGot[k]
+			return ok
+		})
+		recv[src] = r.a2aGot[k]
+		delete(r.a2aGot, k)
+		r.met.BytesRecv += int64(len(recv[src]))
+	}
+	if d := time.Since(t0) - (r.nestedWall - n0); d > 0 {
+		// Residual transfer time not already attributed by the waits.
+		r.met.Time[rt.CatComm] += d
+		r.nestedWall += d
+	}
+	if r.tr != nil {
+		var rb int64
+		for _, m := range recv {
+			rb += int64(len(m))
+		}
+		r.tr.Span(trace.KindExchange, tEnter, rb)
+	}
+	return recv
+}
+
+// redFrame encodes one allreduce value message.
+func redFrame(typ byte, epoch uint64, val int64) []byte {
+	frame := make([]byte, 0, 17)
+	frame = append(frame, typ)
+	frame = binary.BigEndian.AppendUint64(frame, epoch)
+	return binary.BigEndian.AppendUint64(frame, uint64(val))
+}
+
+// Allreduce combines v across ranks: contributions gather to rank 0, fold
+// in rank order (identical to par's fold), and the result broadcasts back.
+// Like par's shared-memory reduction, this counts no application messages.
+func (r *Rank) Allreduce(v int64, op rt.Op) int64 {
+	epoch := r.redEpoch
+	r.redEpoch++
+	if r.p == 1 {
+		return v
+	}
+	if r.id == 0 {
+		vals := make([]int64, r.p)
+		vals[0] = v
+		for src := 1; src < r.p; src++ {
+			k := srcKey{epoch: epoch, src: src}
+			r.waitLoop(rt.CatSync, func() bool {
+				_, ok := r.redGot[k]
+				return ok
+			})
+			vals[src] = r.redGot[k]
+			delete(r.redGot, k)
+		}
+		acc := vals[0]
+		for i := 1; i < r.p; i++ {
+			acc = op.Combine(acc, vals[i])
+		}
+		for dst := 1; dst < r.p; dst++ {
+			r.sendFrame(dst, redFrame(msgRedResult, epoch, acc))
+		}
+		return acc
+	}
+	r.sendFrame(0, redFrame(msgRedVal, epoch, v))
+	r.waitLoop(rt.CatSync, func() bool {
+		_, ok := r.redResult[epoch]
+		return ok
+	})
+	acc := r.redResult[epoch]
+	delete(r.redResult, epoch)
+	return acc
+}
+
+// Serve registers the RPC handler for this rank.
+func (r *Rank) Serve(handler func([]byte) []byte) { r.eng.Serve(handler) }
+
+// AsyncCall issues a request to owner; cb runs during later progress.
+func (r *Rank) AsyncCall(owner int, req []byte, cb func([]byte)) {
+	r.eng.Call(owner, req, cb)
+}
+
+// Outstanding reports issued requests whose callbacks have not run.
+func (r *Rank) Outstanding() int { return r.eng.Outstanding() }
+
+// Drain blocks until Outstanding() <= max; visible time is unhidden
+// communication latency.
+func (r *Rank) Drain(max int) {
+	t0 := r.tr.Now()
+	r.waitLoop(rt.CatComm, func() bool { return r.eng.Outstanding() <= max })
+	r.tr.Span(trace.KindDrain, t0, int64(max))
+}
+
+// Charge accumulates modeled time without sleeping (real back-end).
+func (r *Rank) Charge(cat rt.Category, d time.Duration) { r.met.Time[cat] += d }
+
+// Timed measures f's wall time into cat. Do not nest Timed calls.
+func (r *Rank) Timed(cat rt.Category, f func()) {
+	tEnter := r.tr.Now()
+	t0 := time.Now()
+	f()
+	d := time.Since(t0)
+	r.met.Time[cat] += d
+	r.nestedWall += d
+	rt.TraceCompute(r.tr, cat, tEnter, tEnter+int64(d))
+}
+
+// Alloc tracks n live bytes.
+func (r *Rank) Alloc(n int64) { r.met.Alloc(n) }
+
+// Free releases n tracked bytes.
+func (r *Rank) Free(n int64) { r.met.Free(n) }
+
+// MemBudget returns the configured per-rank exchange budget.
+func (r *Rank) MemBudget() int64 { return r.cfg.MemBudget }
+
+// Metrics exposes this rank's accounting.
+func (r *Rank) Metrics() *rt.Metrics { return &r.met }
+
+// Tracer returns this rank's trace buffer (nil when tracing is disabled).
+func (r *Rank) Tracer() *trace.Buf { return r.tr }

@@ -1,0 +1,364 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/trace"
+	"gnbody/internal/transport"
+)
+
+// cell is the deterministic payload byte for (src, dst, i) — the same
+// convention as par's property test, so exchange content verifies
+// rank-locally with no shared expectation tables.
+func cell(src, dst, i int) byte {
+	return byte(src*31 + dst*17 + i)
+}
+
+// runWorld executes body on a fresh loopback world with a deadlock
+// watchdog.
+func runWorld(t *testing.T, w *World, timeout time.Duration, body func(rt.Runtime)) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(body)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		t.Fatal("deadlock (watchdog fired)")
+	}
+}
+
+// TestDistCollectivesProperty is the distributed twin of par's randomized
+// collectives test: random rank counts, message sizes and RPC fan-out
+// through the dissemination barrier, split-phase barrier, pairwise
+// alltoallv, allreduce and the shared RPC engine — all over the loopback
+// fabric, with tracing on, checked rank-locally. Run under -race it is the
+// required race regression for the dist engine + barrier.
+func TestDistCollectivesProperty(t *testing.T) {
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(4000 + trial)))
+			p := 1 + rng.Intn(8)
+			rounds := 1 + rng.Intn(3)
+			seeds := make([]int64, p)
+			for i := range seeds {
+				seeds[i] = rng.Int63()
+			}
+			maxMsg := 1 + rng.Intn(2000)
+
+			w, err := NewWorld(Config{P: p, Tracer: trace.New(p, trace.Config{})})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+
+			errs := make(chan error, p*rounds*4)
+			runWorld(t, w, 60*time.Second, func(r rt.Runtime) {
+				rg := rand.New(rand.NewSource(seeds[r.Rank()]))
+				r.Serve(func(req []byte) []byte {
+					resp := make([]byte, 1+len(req))
+					resp[0] = byte(r.Rank())
+					copy(resp[1:], req)
+					return resp
+				})
+				wait := r.SplitBarrier()
+				wait() // handlers registered everywhere beyond this point
+
+				for round := 0; round < rounds; round++ {
+					send := make([][]byte, p)
+					for dst := 0; dst < p; dst++ {
+						n := rg.Intn(maxMsg)
+						m := make([]byte, n)
+						for i := range m {
+							m[i] = cell(r.Rank(), dst, i)
+						}
+						send[dst] = m
+					}
+					recv := r.Alltoallv(send)
+					for src := 0; src < p; src++ {
+						for i, b := range recv[src] {
+							if b != cell(src, r.Rank(), i) {
+								errs <- fmt.Errorf("rank %d round %d: recv[%d][%d] = %d, want %d",
+									r.Rank(), round, src, i, b, cell(src, r.Rank(), i))
+								return
+							}
+						}
+					}
+
+					val := func(rk int) int64 { return int64((rk+1)*(round+1)) * 7 }
+					var sum, min, max int64
+					for rk := 0; rk < p; rk++ {
+						v := val(rk)
+						sum += v
+						if rk == 0 || v < min {
+							min = v
+						}
+						if rk == 0 || v > max {
+							max = v
+						}
+					}
+					for _, c := range []struct {
+						op   rt.Op
+						want int64
+					}{{rt.OpSum, sum}, {rt.OpMin, min}, {rt.OpMax, max}} {
+						if got := r.Allreduce(val(r.Rank()), c.op); got != c.want {
+							errs <- fmt.Errorf("rank %d round %d: Allreduce op %d = %d, want %d",
+								r.Rank(), round, c.op, got, c.want)
+							return
+						}
+					}
+
+					nCalls := rg.Intn(64)
+					outstanding := 0
+					for c := 0; c < nCalls; c++ {
+						owner := rg.Intn(p)
+						var req [9]byte
+						req[0] = byte(r.Rank())
+						binary.LittleEndian.PutUint64(req[1:], rg.Uint64())
+						want := append([]byte{byte(owner)}, req[:]...)
+						r.AsyncCall(owner, req[:], func(resp []byte) {
+							outstanding--
+							if !bytes.Equal(resp, want) {
+								errs <- fmt.Errorf("rank %d round %d: echo mismatch: got %x want %x",
+									r.Rank(), round, resp, want)
+							}
+						})
+						outstanding++
+						if rg.Intn(3) == 0 {
+							r.Progress()
+						}
+					}
+					r.Drain(0)
+					if outstanding != 0 {
+						errs <- fmt.Errorf("rank %d round %d: %d callbacks missing after Drain(0)",
+							r.Rank(), round, outstanding)
+						return
+					}
+
+					wait := r.SplitBarrier()
+					r.Progress()
+					wait()
+				}
+				r.Barrier()
+			})
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDistBarrierNonPow2 checks the dissemination barrier's all-arrived
+// guarantee for rank counts that are not powers of two: a shared counter
+// bumped before each barrier must read exactly round*P after it, on every
+// rank, for many consecutive epochs.
+func TestDistBarrierNonPow2(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 6, 7} {
+		p := p
+		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
+			w, err := NewWorld(Config{P: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			var arrived atomic.Int64
+			errs := make(chan error, p)
+			runWorld(t, w, 30*time.Second, func(r rt.Runtime) {
+				for round := 1; round <= 50; round++ {
+					arrived.Add(1)
+					r.Barrier()
+					if got := arrived.Load(); got < int64(round*p) {
+						errs <- fmt.Errorf("rank %d: barrier %d released with %d/%d arrivals",
+							r.Rank(), round, got, round*p)
+						return
+					}
+					r.Barrier() // keep epochs aligned before the next bump
+				}
+				errs <- nil
+			})
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDistSplitBarrierOverlap checks the split-phase contract: wait() must
+// not release before every rank has entered phase one, and entry itself
+// must not block on stragglers.
+func TestDistSplitBarrierOverlap(t *testing.T) {
+	const p = 4
+	w, err := NewWorld(Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var entered atomic.Int64
+	errs := make(chan error, p)
+	runWorld(t, w, 30*time.Second, func(r rt.Runtime) {
+		// Stagger entry: rank 3 arrives late; the others' entry calls must
+		// return immediately (they do work "between the phases" first).
+		if r.Rank() == p-1 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		entered.Add(1)
+		wait := r.SplitBarrier()
+		wait()
+		if got := entered.Load(); got != p {
+			errs <- fmt.Errorf("rank %d: wait() released with %d/%d entries", r.Rank(), got, p)
+			return
+		}
+		errs <- nil
+	})
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestDistResetMetrics mirrors par's documented Reset semantics on the
+// distributed backend: accumulate across Runs by default, clean slate
+// after ResetMetrics.
+func TestDistResetMetrics(t *testing.T) {
+	const p = 4
+	w, err := NewWorld(Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	body := func(r rt.Runtime) {
+		send := make([][]byte, p)
+		for dst := 0; dst < p; dst++ {
+			send[dst] = []byte{byte(dst), 1, 2}
+		}
+		r.Alltoallv(send)
+	}
+	w.Run(body)
+	base := make([]rt.Metrics, p)
+	for i := 0; i < p; i++ {
+		base[i] = *w.Metrics(i)
+		if base[i].Msgs != p || base[i].BytesSent != 3*p {
+			t.Fatalf("rank %d first run: Msgs=%d BytesSent=%d, want %d/%d",
+				i, base[i].Msgs, base[i].BytesSent, p, 3*p)
+		}
+	}
+	w.Run(body)
+	for i := 0; i < p; i++ {
+		if m := w.Metrics(i); m.Msgs != 2*base[i].Msgs {
+			t.Errorf("rank %d second run did not accumulate: Msgs=%d", i, m.Msgs)
+		}
+	}
+	w.ResetMetrics()
+	for i := 0; i < p; i++ {
+		if *w.Metrics(i) != (rt.Metrics{}) {
+			t.Errorf("rank %d: metrics not zeroed: %+v", i, *w.Metrics(i))
+		}
+	}
+	w.Run(body)
+	for i := 0; i < p; i++ {
+		if m := w.Metrics(i); m.Msgs != base[i].Msgs || m.BytesSent != base[i].BytesSent {
+			t.Errorf("rank %d post-reset run: Msgs=%d BytesSent=%d, want %d/%d",
+				i, m.Msgs, m.BytesSent, base[i].Msgs, base[i].BytesSent)
+		}
+	}
+}
+
+// TestDistOverTCP runs the collective smoke over a real localhost socket
+// mesh: the identical collective code must behave the same as on loopback.
+func TestDistOverTCP(t *testing.T) {
+	const p = 4
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	fabric := make([]transport.Transport, p)
+	ferrs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := transport.TCPConfig{Addr: addr, Timeout: 20 * time.Second}
+			if i == 0 {
+				cfg.Listener = ln
+			}
+			fabric[i], ferrs[i] = transport.Rendezvous(i, p, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range ferrs {
+		if err != nil {
+			t.Fatalf("rendezvous rank %d: %v", i, err)
+		}
+	}
+	w, err := NewWorldOver(fabric, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	errs := make(chan error, p)
+	runWorld(t, w, 60*time.Second, func(r rt.Runtime) {
+		r.Serve(func(req []byte) []byte { return append([]byte{byte(r.Rank())}, req...) })
+		wait := r.SplitBarrier()
+		wait()
+		send := make([][]byte, p)
+		for dst := 0; dst < p; dst++ {
+			m := make([]byte, 64)
+			for i := range m {
+				m[i] = cell(r.Rank(), dst, i)
+			}
+			send[dst] = m
+		}
+		recv := r.Alltoallv(send)
+		for src := 0; src < p; src++ {
+			for i, b := range recv[src] {
+				if b != cell(src, r.Rank(), i) {
+					errs <- fmt.Errorf("rank %d: tcp exchange corrupt at [%d][%d]", r.Rank(), src, i)
+					return
+				}
+			}
+		}
+		if got := r.Allreduce(int64(r.Rank()+1), rt.OpSum); got != int64(p*(p+1)/2) {
+			errs <- fmt.Errorf("rank %d: tcp allreduce = %d", r.Rank(), got)
+			return
+		}
+		ok := false
+		r.AsyncCall((r.Rank()+1)%p, []byte("ping"), func(resp []byte) {
+			ok = bytes.Equal(resp, append([]byte{byte((r.Rank() + 1) % p)}, []byte("ping")...))
+		})
+		r.Drain(0)
+		if !ok {
+			errs <- fmt.Errorf("rank %d: tcp rpc echo failed", r.Rank())
+			return
+		}
+		r.Barrier()
+		errs <- nil
+	})
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package expt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gnbody/internal/align"
+	"gnbody/internal/core"
+	"gnbody/internal/dist"
+	"gnbody/internal/partition"
+	"gnbody/internal/rt"
+	"gnbody/internal/stats"
+	"gnbody/internal/transport"
+	"gnbody/internal/workload"
+)
+
+// DistRow is one configuration of the distributed-backend experiment: the
+// full real pipeline run over the message-passing runtime on one fabric.
+type DistRow struct {
+	Transport string // "loopback" or "tcp"
+	Mode      Mode
+	Ranks     int
+	Elapsed   time.Duration
+	Hits      int
+	Msgs      int64
+	Bytes     int64 // payload bytes sent, summed over ranks
+}
+
+// DistParams sizes the distributed-backend experiment.
+type DistParams struct {
+	Scale     int    // E. coli 30x ÷ scale through the real pipeline (default 300)
+	Ranks     int    // rank count (default 4)
+	Transport string // "loopback", "tcp" or "both" (default "both")
+	Seed      int64
+}
+
+// tcpFabric rendezvouses an n-rank localhost socket mesh in-process.
+func tcpFabric(n int) ([]transport.Transport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	fabric := make([]transport.Transport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := transport.TCPConfig{Addr: addr, Timeout: 30 * time.Second}
+			if i == 0 {
+				cfg.Listener = ln
+			}
+			fabric[i], errs[i] = transport.Rendezvous(i, n, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rendezvous rank %d: %w", i, err)
+		}
+	}
+	return fabric, nil
+}
+
+// Dist runs the real alignment pipeline over the message-passing backend on
+// the selected fabrics and checks every configuration against the serial
+// reference — the wall-clock companion to the cross-backend conformance
+// battery, sized so the TCP rows expose genuine socket overhead.
+func Dist(p DistParams) (*stats.Table, []DistRow, error) {
+	if p.Scale <= 0 {
+		p.Scale = 300
+	}
+	if p.Ranks <= 0 {
+		p.Ranks = 4
+	}
+	if p.Transport == "" {
+		p.Transport = "both"
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	var fabrics []string
+	switch p.Transport {
+	case "both":
+		fabrics = []string{"loopback", "tcp"}
+	case "loopback", "tcp":
+		fabrics = []string{p.Transport}
+	default:
+		return nil, nil, fmt.Errorf("expt: unknown dist transport %q", p.Transport)
+	}
+
+	reads, tasks, _, err := workload.Pipeline(workload.EColi30x, p.Scale, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	lens := workload.LensOf(reads)
+	lensInt := make([]int, len(lens))
+	for i, l := range lens {
+		lensInt[i] = int(l)
+	}
+	sc := align.DefaultScoring()
+	ref, err := core.SerialHits(reads, tasks, sc, 15, 100)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt, err := partition.BySize(lensInt, p.Ranks)
+	if err != nil {
+		return nil, nil, err
+	}
+	byRank := partition.AssignTasks(tasks, pt)
+	exec := core.RealExecutor{Scoring: sc, X: 15}
+
+	var rows []DistRow
+	for _, fabric := range fabrics {
+		for _, mode := range []Mode{BSP, Async} {
+			var world *dist.World
+			if fabric == "tcp" {
+				eps, err := tcpFabric(p.Ranks)
+				if err != nil {
+					return nil, nil, err
+				}
+				world, err = dist.NewWorldOver(eps, dist.Config{})
+				if err != nil {
+					return nil, nil, err
+				}
+			} else {
+				world, err = dist.NewWorld(dist.Config{P: p.Ranks})
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			results := make([]*core.Result, p.Ranks)
+			errs := make([]error, p.Ranks)
+			t0 := time.Now()
+			world.Run(func(r rt.Runtime) {
+				in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
+					Codec: core.RealCodec{Reads: reads}, Reads: reads}
+				cfg := core.Config{Exec: exec, MinScore: 100}
+				if mode == Async {
+					results[r.Rank()], errs[r.Rank()] = core.RunAsync(r, in, cfg)
+				} else {
+					results[r.Rank()], errs[r.Rank()] = core.RunBSP(r, in, cfg)
+				}
+			})
+			elapsed := time.Since(t0)
+			row := DistRow{Transport: fabric, Mode: mode, Ranks: p.Ranks, Elapsed: elapsed}
+			for rk := 0; rk < p.Ranks; rk++ {
+				if errs[rk] != nil {
+					world.Close()
+					return nil, nil, fmt.Errorf("dist/%s %s rank %d: %w", fabric, mode, rk, errs[rk])
+				}
+				row.Hits += len(results[rk].Hits)
+				row.Msgs += world.Metrics(rk).Msgs
+				row.Bytes += world.Metrics(rk).BytesSent
+			}
+			world.Close()
+			if row.Hits != len(ref) {
+				return nil, nil, fmt.Errorf("dist/%s %s: %d hits, serial reference has %d",
+					fabric, mode, row.Hits, len(ref))
+			}
+			rows = append(rows, row)
+		}
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Distributed backend (real pipeline, E. coli 30x ÷ %d, %d ranks, wall clock)",
+			p.Scale, p.Ranks),
+		Headers: []string{"transport", "mode", "ranks", "elapsed", "hits", "msgs", "bytes"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Transport, string(r.Mode), fmt.Sprint(r.Ranks), stats.FmtDur(r.Elapsed),
+			fmt.Sprint(r.Hits), fmt.Sprint(r.Msgs), stats.FmtBytes(r.Bytes))
+	}
+	return t, rows, nil
+}

@@ -1,0 +1,60 @@
+// Package launch holds the process-management helpers behind single-host
+// multi-process ("self-fork") distributed runs: picking a rendezvous
+// address and re-executing the current binary once per rank.
+package launch
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+)
+
+// FreeLocalAddr reserves a free localhost TCP port and returns it as
+// "127.0.0.1:port". The port is released before returning, so a tiny race
+// with other local programs exists — acceptable for a launcher that
+// immediately hands the address to its own children.
+func FreeLocalAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("launch: no free local port: %w", err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+// SelfFork re-executes the current binary n times — one child per rank,
+// with the argument vector produced by argv(rank) — inheriting stdout and
+// stderr, and waits for all of them. It returns the first child failure
+// (by rank order), or nil if every child exited cleanly. If any child
+// fails to start, the already-started ones are killed.
+func SelfFork(n int, argv func(rank int) []string) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("launch: cannot locate own binary: %w", err)
+	}
+	cmds := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, argv(i)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:i] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return fmt.Errorf("launch: starting rank %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+	var first error
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && first == nil {
+			first = fmt.Errorf("launch: rank %d: %w", i, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,55 @@
+package launch
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFreeLocalAddr(t *testing.T) {
+	addr, err := FreeLocalAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reserved address must be immediately bindable again.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("reserved address %s not bindable: %v", addr, err)
+	}
+	ln.Close()
+}
+
+// TestSelfFork re-executes the test binary three times, steering each child
+// into TestSelfForkHelperProcess, which drops a rank-named file into the
+// shared directory.
+func TestSelfFork(t *testing.T) {
+	if len(flag.Args()) > 0 {
+		t.Skip("helper invocation")
+	}
+	dir := t.TempDir()
+	err := SelfFork(3, func(rank int) []string {
+		return []string{"-test.run=TestSelfForkHelperProcess", "--", dir, fmt.Sprint(rank)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 3; rank++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("rank%d", rank))); err != nil {
+			t.Errorf("child %d left no marker: %v", rank, err)
+		}
+	}
+}
+
+func TestSelfForkHelperProcess(t *testing.T) {
+	args := flag.Args()
+	if len(args) != 2 {
+		t.Skip("not a helper invocation")
+	}
+	path := filepath.Join(args[0], "rank"+args[1])
+	if err := os.WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,13 +1,24 @@
 // Package par is the real parallel back-end of the rt.Runtime interface:
 // ranks are goroutines in one address space, collectives are implemented
-// with sense-reversing barriers over shared staging buffers, and the RPC
-// engine moves messages through per-rank inboxes serviced by
-// application-level polling — the same progress discipline as the paper's
-// UPC++ implementation (§3.2).
+// with sense-reversing barriers over shared staging buffers, and RPC
+// messages move through per-rank inboxes serviced by application-level
+// polling — the same progress discipline as the paper's UPC++
+// implementation (§3.2). The RPC state machine itself (seq allocation,
+// pending callbacks, handler dispatch, accounting) is the shared
+// transport.Engine, the same engine the distributed backend (package dist)
+// runs over sockets.
+//
+// Buffer ownership: Alltoallv receive slices and RPC payloads are copied on
+// delivery, so a receiver may freely mutate or retain what it was handed
+// while the sender reuses its staging buffers. The send side keeps
+// single-owner semantics: a buffer passed to AsyncCall, or returned from a
+// Serve handler, must not be touched by the sender until the peer's
+// delivery has happened (in practice: ever again).
 //
 // Times are wall-clock. This back-end produces the genuine intranode
 // results (paper §4.1) and runs the production pipeline in cmd/dibella;
-// multinode projection is package sim's job.
+// multinode projection is package sim's job, and true multi-process
+// execution is package dist's.
 package par
 
 import (
@@ -19,6 +30,7 @@ import (
 
 	"gnbody/internal/rt"
 	"gnbody/internal/trace"
+	"gnbody/internal/transport"
 )
 
 // Config parameterises a World.
@@ -61,22 +73,30 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w.ranks = make([]*Rank, cfg.P)
 	for i := 0; i < cfg.P; i++ {
-		w.ranks[i] = &Rank{
-			id:      i,
-			w:       w,
-			inbox:   make(chan rpcMsg, cfg.InboxSize),
-			pending: make(map[uint32]func([]byte)),
-			tr:      cfg.Tracer.Rank(i),
+		r := &Rank{
+			id:    i,
+			w:     w,
+			inbox: make(chan transport.Msg, cfg.InboxSize),
+			tr:    cfg.Tracer.Rank(i),
 		}
-		if w.ranks[i].tr != nil {
-			w.ranks[i].pendT0 = make(map[uint32]int64)
-		}
+		r.eng = transport.NewEngine(transport.EngineConfig{
+			Rank:    i,
+			Send:    r.send,
+			Metrics: &r.met,
+			Tracer:  r.tr,
+			Nested:  func(d time.Duration) { r.nestedWall += d },
+			// The channel inbox moves payloads between rank goroutines by
+			// reference; the engine copies them on delivery.
+			CopyOnDeliver: true,
+		})
+		w.ranks[i] = r
 	}
 	return w, nil
 }
 
 // Run executes f as rank body on every rank concurrently and blocks until
-// all ranks return. It may be called repeatedly on the same world.
+// all ranks return. It may be called repeatedly on the same world; metrics
+// accumulate across Runs unless ResetMetrics is called in between.
 func (w *World) Run(f func(r rt.Runtime)) {
 	var wg sync.WaitGroup
 	for _, r := range w.ranks {
@@ -94,31 +114,29 @@ func (w *World) Run(f func(r rt.Runtime)) {
 // Metrics returns the accounting for rank i. Call only between Runs.
 func (w *World) Metrics(i int) *rt.Metrics { return &w.ranks[i].met }
 
-// rpcMsg is one message in a rank's inbox: a request (kind 0) or a
-// response (kind 1).
-type rpcMsg struct {
-	kind byte
-	from int
-	seq  uint32
-	val  []byte // request payload or response payload
+// ResetMetrics zeroes every rank's accounting (category times, Elapsed,
+// byte/message counters, memory marks) so the next Run is measured in
+// isolation. By default metrics accumulate across repeated Runs on the
+// same world; call this between a setup phase and the phase you want to
+// report. Call only between Runs.
+func (w *World) ResetMetrics() {
+	for _, r := range w.ranks {
+		r.met = rt.Metrics{}
+		r.nestedWall = 0
+	}
 }
 
 // Rank is the per-goroutine runtime handle. All fields except inbox are
 // touched only by the owning goroutine.
 type Rank struct {
-	id      int
-	w       *World
-	inbox   chan rpcMsg
-	pending map[uint32]func([]byte)
-	nextSeq uint32
-	handler func([]byte) []byte
-	met     rt.Metrics
+	id    int
+	w     *World
+	inbox chan transport.Msg
+	eng   *transport.Engine
+	met   rt.Metrics
 
-	// tr is this rank's trace buffer (nil when tracing is disabled);
-	// pendT0 holds per-RPC issue timestamps, allocated only when tracing
-	// so the disabled hot path stays a single nil check.
-	tr     *trace.Buf
-	pendT0 map[uint32]int64
+	// tr is this rank's trace buffer (nil when tracing is disabled).
+	tr *trace.Buf
 
 	// nestedWall accumulates wall time attributed through Timed and
 	// service work, so wait loops can subtract it from their own
@@ -184,6 +202,9 @@ func (r *Rank) SplitBarrier() (wait func()) {
 }
 
 // Alltoallv exchanges byte messages with every rank via shared staging.
+// Receive slices are copies: the receiver owns them outright, and the
+// sender's staged buffers are untouched and reusable after the collective
+// returns.
 func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 	w := r.w
 	if len(send) != w.cfg.P {
@@ -201,8 +222,14 @@ func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 	t0 := time.Now()
 	recv := make([][]byte, w.cfg.P)
 	for src := 0; src < w.cfg.P; src++ {
-		recv[src] = w.stage[src][r.id]
-		r.met.BytesRecv += int64(len(recv[src]))
+		m := w.stage[src][r.id]
+		if len(m) > 0 { // copy on delivery; nil stays nil
+			cp := make([]byte, len(m))
+			copy(cp, m)
+			m = cp
+		}
+		recv[src] = m
+		r.met.BytesRecv += int64(len(m))
 	}
 	d := time.Since(t0)
 	r.met.Time[rt.CatComm] += d
@@ -233,29 +260,16 @@ func (r *Rank) Allreduce(v int64, op rt.Op) int64 {
 }
 
 // Serve registers the RPC handler for this rank.
-func (r *Rank) Serve(handler func([]byte) []byte) { r.handler = handler }
+func (r *Rank) Serve(handler func([]byte) []byte) { r.eng.Serve(handler) }
 
 // AsyncCall issues a request to owner; cb runs during later progress.
 func (r *Rank) AsyncCall(owner int, req []byte, cb func([]byte)) {
-	if cb == nil {
-		panic("par: AsyncCall requires a callback")
-	}
-	seq := r.nextSeq
-	r.nextSeq++
-	r.pending[seq] = cb
-	r.met.RPCsSent++
-	r.met.Msgs++
-	r.met.BytesSent += int64(len(req))
-	if r.tr != nil {
-		r.pendT0[seq] = r.tr.Now()
-		r.tr.Outstanding(len(r.pending))
-	}
-	r.send(owner, rpcMsg{kind: 0, from: r.id, seq: seq, val: req})
+	r.eng.Call(owner, req, cb)
 }
 
 // send delivers msg to dst's inbox, servicing our own inbox if dst's is
 // full (prevents mutual-full deadlock).
-func (r *Rank) send(dst int, msg rpcMsg) {
+func (r *Rank) send(dst int, msg transport.Msg) {
 	in := r.w.ranks[dst].inbox
 	for {
 		select {
@@ -269,62 +283,30 @@ func (r *Rank) send(dst int, msg rpcMsg) {
 	}
 }
 
-// Progress drains this rank's inbox: requests are answered through the
-// registered handler; responses run their callbacks. Returns whether any
-// message was handled.
+// Progress drains this rank's inbox through the shared RPC engine:
+// requests are answered through the registered handler; responses run
+// their callbacks. Returns whether any message was handled.
 func (r *Rank) Progress() bool {
 	did := false
 	for {
 		select {
 		case m := <-r.inbox:
 			did = true
-			r.handle(m)
+			r.eng.Deliver(m)
 		default:
 			return did
 		}
 	}
 }
 
-func (r *Rank) handle(m rpcMsg) {
-	switch m.kind {
-	case 0: // request
-		if r.handler == nil {
-			panic(fmt.Sprintf("par: rank %d received request before Serve", r.id))
-		}
-		tEnter := r.tr.Now()
-		t0 := time.Now()
-		val := r.handler(m.val)
-		d := time.Since(t0)
-		r.met.Time[rt.CatComm] += d // serving lookups is communication work
-		r.nestedWall += d
-		r.met.RPCserved++
-		r.met.BytesSent += int64(len(val))
-		r.met.Msgs++
-		r.tr.Span(trace.KindServe, tEnter, int64(len(val)))
-		r.send(m.from, rpcMsg{kind: 1, from: r.id, seq: m.seq, val: val})
-	case 1: // response
-		cb, ok := r.pending[m.seq]
-		if !ok {
-			panic(fmt.Sprintf("par: rank %d got response for unknown seq %d", r.id, m.seq))
-		}
-		delete(r.pending, m.seq)
-		r.met.BytesRecv += int64(len(m.val))
-		if r.tr != nil {
-			r.tr.Span(trace.KindRPC, r.pendT0[m.seq], int64(len(m.val)))
-			delete(r.pendT0, m.seq)
-		}
-		cb(m.val)
-	}
-}
-
 // Outstanding reports issued requests whose callbacks have not run.
-func (r *Rank) Outstanding() int { return len(r.pending) }
+func (r *Rank) Outstanding() int { return r.eng.Outstanding() }
 
 // Drain blocks until Outstanding() <= max; visible time is unhidden
 // communication latency.
 func (r *Rank) Drain(max int) {
 	t0 := r.tr.Now()
-	r.waitLoop(rt.CatComm, func() bool { return len(r.pending) <= max })
+	r.waitLoop(rt.CatComm, func() bool { return r.eng.Outstanding() <= max })
 	r.tr.Span(trace.KindDrain, t0, int64(max))
 }
 

@@ -1,0 +1,143 @@
+// The request/response RPC engine, written once and shared by both
+// runtimes: package par drives it over its per-rank channel inboxes,
+// package dist over a Transport. The engine owns the state machine — seq
+// allocation, the pending-callback map, handler dispatch — and the paper's
+// accounting: issue overhead and service time accrue to CatComm, every
+// request and response counts as one message (§3.2).
+
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/trace"
+)
+
+// Msg is one RPC message: a request carrying a payload to a serving rank,
+// or the response carrying the handler's answer back.
+type Msg struct {
+	Req  bool // request (true) or response (false)
+	From int  // issuing/serving rank
+	Seq  uint32
+	Val  []byte
+}
+
+// EngineConfig wires an Engine into its host runtime.
+type EngineConfig struct {
+	// Rank is the hosting rank's id.
+	Rank int
+	// Send moves one message toward dst; the host supplies its conduit
+	// (par: channel inboxes with self-service on full; dist: Transport
+	// frames). Send may service inbound work while it waits, but must not
+	// deliver the message being sent back into Deliver re-entrantly.
+	Send func(dst int, m Msg)
+	// Metrics receives the engine's accounting (same rank-owned
+	// single-writer discipline as the rest of rt.Metrics).
+	Metrics *rt.Metrics
+	// Tracer is the rank's event buffer; nil disables tracing.
+	Tracer *trace.Buf
+	// Nested, if set, is told the wall time spent inside request service,
+	// so the host's wait loops can subtract already-attributed time.
+	Nested func(d time.Duration)
+	// CopyOnDeliver copies payloads before handing them to the handler or
+	// callback. Required when the conduit moves buffers between ranks by
+	// reference (par's channel inboxes): the receiver may then mutate or
+	// retain what it was given without racing the sender's buffers. Wire
+	// transports already deliver fresh buffers and leave this false.
+	//
+	// The send side keeps single-owner semantics either way: a buffer
+	// passed to Call, or returned by the Serve handler, belongs to the
+	// engine until delivered — the sender must not mutate it afterwards.
+	CopyOnDeliver bool
+}
+
+// Engine is one rank's RPC state machine. All methods must be called from
+// the owning rank's goroutine (the same discipline as rt.Runtime).
+type Engine struct {
+	cfg     EngineConfig
+	handler func(req []byte) []byte
+	pending map[uint32]func(resp []byte)
+	pendT0  map[uint32]int64 // per-RPC issue stamps, allocated only when tracing
+	nextSeq uint32
+}
+
+// NewEngine builds an engine for one rank.
+func NewEngine(cfg EngineConfig) *Engine {
+	e := &Engine{cfg: cfg, pending: make(map[uint32]func([]byte))}
+	if cfg.Tracer != nil {
+		e.pendT0 = make(map[uint32]int64)
+	}
+	return e
+}
+
+// Serve registers the handler answering inbound requests.
+func (e *Engine) Serve(handler func(req []byte) []byte) { e.handler = handler }
+
+// Call issues a request to owner; cb runs on this rank when the response
+// is delivered through a later Deliver.
+func (e *Engine) Call(owner int, req []byte, cb func(resp []byte)) {
+	if cb == nil {
+		panic("transport: AsyncCall requires a callback")
+	}
+	seq := e.nextSeq
+	e.nextSeq++
+	e.pending[seq] = cb
+	m := e.cfg.Metrics
+	m.RPCsSent++
+	m.Msgs++
+	m.BytesSent += int64(len(req))
+	if e.cfg.Tracer != nil {
+		e.pendT0[seq] = e.cfg.Tracer.Now()
+		e.cfg.Tracer.Outstanding(len(e.pending))
+	}
+	e.cfg.Send(owner, Msg{Req: true, From: e.cfg.Rank, Seq: seq, Val: req})
+}
+
+// Deliver consumes one inbound message: requests run the registered
+// handler (service time accrues to CatComm) and send the response back;
+// responses run their pending callback.
+func (e *Engine) Deliver(m Msg) {
+	val := m.Val
+	if e.cfg.CopyOnDeliver && len(val) > 0 {
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		val = cp
+	}
+	met := e.cfg.Metrics
+	switch {
+	case m.Req:
+		if e.handler == nil {
+			panic(fmt.Sprintf("transport: rank %d received request before Serve", e.cfg.Rank))
+		}
+		tEnter := e.cfg.Tracer.Now()
+		t0 := time.Now()
+		resp := e.handler(val)
+		d := time.Since(t0)
+		met.Time[rt.CatComm] += d // serving lookups is communication work
+		if e.cfg.Nested != nil {
+			e.cfg.Nested(d)
+		}
+		met.RPCserved++
+		met.BytesSent += int64(len(resp))
+		met.Msgs++
+		e.cfg.Tracer.Span(trace.KindServe, tEnter, int64(len(resp)))
+		e.cfg.Send(m.From, Msg{Req: false, From: e.cfg.Rank, Seq: m.Seq, Val: resp})
+	default:
+		cb, ok := e.pending[m.Seq]
+		if !ok {
+			panic(fmt.Sprintf("transport: rank %d got response for unknown seq %d", e.cfg.Rank, m.Seq))
+		}
+		delete(e.pending, m.Seq)
+		met.BytesRecv += int64(len(val))
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.Span(trace.KindRPC, e.pendT0[m.Seq], int64(len(val)))
+			delete(e.pendT0, m.Seq)
+		}
+		cb(val)
+	}
+}
+
+// Outstanding reports issued requests whose callbacks have not yet run.
+func (e *Engine) Outstanding() int { return len(e.pending) }

@@ -1,0 +1,125 @@
+// The in-memory loopback fabric: the Transport shape of par's per-rank
+// inbox machinery. Frames move between goroutine ranks through unbounded
+// mutex-guarded FIFO queues, copied at Send so the sender's buffer is free
+// the moment the call returns and the receiver owns what it pops — the same
+// ownership semantics the TCP transport gets from serialising onto the
+// wire. The distributed backend runs its collective code unchanged over
+// this fabric, which is what the conformance battery and the race-detector
+// property tests exercise.
+
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// loopItem is one queued frame.
+type loopItem struct {
+	from  int
+	frame []byte
+}
+
+// loopQueue is one rank's unbounded inbox.
+type loopQueue struct {
+	mu     sync.Mutex
+	items  []loopItem
+	head   int
+	closed bool
+}
+
+func (q *loopQueue) push(it loopItem) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, it)
+	return nil
+}
+
+func (q *loopQueue) pop() (loopItem, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return loopItem{}, false, ErrClosed
+	}
+	if q.head == len(q.items) {
+		// Reset rather than grow forever: the backing array is reused.
+		q.items = q.items[:0]
+		q.head = 0
+		return loopItem{}, false, nil
+	}
+	it := q.items[q.head]
+	q.items[q.head] = loopItem{} // release the frame for GC
+	q.head++
+	return it, true, nil
+}
+
+func (q *loopQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.items = nil
+	q.head = 0
+	q.mu.Unlock()
+}
+
+// Loopback is one rank's endpoint of the in-memory fabric.
+type Loopback struct {
+	rank   int
+	queues []*loopQueue // shared across the fabric; queues[i] is rank i's inbox
+}
+
+var _ Transport = (*Loopback)(nil)
+
+// NewLoopback builds an n-rank in-memory fabric and returns the per-rank
+// endpoints. Endpoint i must only be used by rank i's goroutine.
+func NewLoopback(n int) []Transport {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: loopback size %d must be positive", n))
+	}
+	queues := make([]*loopQueue, n)
+	for i := range queues {
+		queues[i] = &loopQueue{}
+	}
+	eps := make([]Transport, n)
+	for i := range eps {
+		eps[i] = &Loopback{rank: i, queues: queues}
+	}
+	return eps
+}
+
+// Rank returns this endpoint's rank.
+func (l *Loopback) Rank() int { return l.rank }
+
+// Size returns the fabric's rank count.
+func (l *Loopback) Size() int { return len(l.queues) }
+
+// Send copies frame into dst's inbox (never blocks on dst's polling).
+func (l *Loopback) Send(dst int, frame []byte) error {
+	if dst < 0 || dst >= len(l.queues) {
+		return fmt.Errorf("transport: loopback send to rank %d of %d", dst, len(l.queues))
+	}
+	var cp []byte
+	if len(frame) > 0 {
+		cp = make([]byte, len(frame))
+		copy(cp, frame)
+	}
+	return l.queues[dst].push(loopItem{from: l.rank, frame: cp})
+}
+
+// Recv pops the next pending frame, if any.
+func (l *Loopback) Recv() (int, []byte, bool, error) {
+	it, ok, err := l.queues[l.rank].pop()
+	if err != nil || !ok {
+		return 0, nil, false, err
+	}
+	return it.from, it.frame, true, nil
+}
+
+// Close shuts this rank's inbox down; peers sending to it (and this rank's
+// own Recv) get ErrClosed from then on.
+func (l *Loopback) Close() error {
+	l.queues[l.rank].close()
+	return nil
+}

@@ -1,0 +1,504 @@
+// The TCP transport: ranks are processes (or goroutines — the fabric does
+// not care) connected by a full mesh of sockets carrying length-prefixed
+// frames. The mesh is bootstrapped by a rendezvous handshake:
+//
+//  1. rank 0 listens on the well-known rendezvous address; every peer dials
+//     it (with retry, so launch order is free);
+//  2. each peer opens its own listener on an ephemeral port of the
+//     interface it reached rank 0 through, and sends a hello frame
+//     {rank, listen address} over its rank-0 connection;
+//  3. once all P-1 hellos are in, rank 0 sends every peer the address
+//     table; the hello connections become the rank0<->peer data links;
+//  4. peers complete the mesh pairwise: rank i dials every rank j with
+//     0 < j < i (announcing itself with an ident frame) and accepts
+//     connections from every rank k > i.
+//
+// Per-connection reader goroutines push inbound frames onto the endpoint's
+// unbounded inbox, so a Send never waits on the remote application's
+// polling — the same progress guarantee the loopback fabric gives.
+//
+// After the handshake, every frame on a data link carries a one-byte tag:
+// tcpData precedes an application payload, tcpBye announces a graceful
+// Close. Ranks of an SPMD job do not finish collectives simultaneously, so
+// a peer that is done may tear down its endpoint while others still poll;
+// the bye tag lets receivers distinguish that from a crashed peer (whose
+// link dies with no bye and surfaces as a Recv/Send error).
+
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPConfig parameterises Rendezvous.
+type TCPConfig struct {
+	// Addr is the rendezvous address: rank 0 listens on it, every other
+	// rank dials it. Required unless Listener is set (rank 0 only).
+	Addr string
+	// Timeout bounds the whole handshake (default 30s).
+	Timeout time.Duration
+	// Listener optionally supplies rank 0's pre-bound rendezvous listener
+	// (tests bind port 0 and pass the listener here); Addr is then ignored
+	// on rank 0. It is closed when the handshake completes.
+	Listener net.Listener
+}
+
+// handshake frame type bytes.
+const (
+	tcpHello = 'H' // peer -> rank 0: {rank, listen addr}
+	tcpTable = 'T' // rank 0 -> peer: {addrs[0..size)}
+	tcpIdent = 'I' // dialing peer -> listening peer: {rank}
+)
+
+// post-handshake per-frame tag bytes.
+const (
+	tcpData = 0x00 // application payload follows
+	tcpBye  = 0x01 // graceful close; no more frames on this link
+)
+
+// tcpTransport is one rank's endpoint of the socket mesh.
+type tcpTransport struct {
+	rank, size int
+	conns      []net.Conn   // per peer; nil at self
+	wmu        []sync.Mutex // per-peer write locks (RPC replies can be sent from Progress)
+	inbox      loopQueue
+	closed     atomic.Bool
+
+	failMu  sync.Mutex
+	failErr error
+}
+
+// writeTagged sends one tagged frame: [len+1][tag][payload].
+func writeTagged(c net.Conn, tag byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload))+1)
+	hdr[4] = tag
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := c.Write(payload)
+	return err
+}
+
+var _ Transport = (*tcpTransport)(nil)
+
+// Rendezvous joins (or, on rank 0, hosts) the handshake and returns this
+// rank's connected endpoint. It blocks until the full mesh is up or the
+// timeout expires. Every rank of the fabric must call it with the same
+// size and rendezvous address.
+func Rendezvous(rank, size int, cfg TCPConfig) (Transport, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("transport: rendezvous rank %d of %d out of range", rank, size)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	t := &tcpTransport{
+		rank:  rank,
+		size:  size,
+		conns: make([]net.Conn, size),
+		wmu:   make([]sync.Mutex, size),
+	}
+	if size > 1 {
+		var err error
+		if rank == 0 {
+			err = t.rendezvousRoot(cfg, deadline)
+		} else {
+			err = t.rendezvousPeer(cfg, deadline)
+		}
+		if err != nil {
+			for _, c := range t.conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+			return nil, fmt.Errorf("transport: rendezvous rank %d/%d: %w", rank, size, err)
+		}
+	}
+	for p, c := range t.conns {
+		if c == nil {
+			continue
+		}
+		c.SetDeadline(time.Time{})
+		go t.reader(p, c)
+	}
+	return t, nil
+}
+
+// rendezvousRoot runs rank 0's side: accept P-1 hellos, broadcast the
+// address table.
+func (t *tcpTransport) rendezvousRoot(cfg TCPConfig, deadline time.Time) error {
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return err
+		}
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	type hello struct {
+		rank int
+		addr string
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan hello, t.size-1)
+	for i := 0; i < t.size-1; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("accepting hellos (%d/%d in): %w", i, t.size-1, err)
+		}
+		go func(c net.Conn) {
+			c.SetDeadline(deadline)
+			r, a, err := readHello(c)
+			ch <- hello{rank: r, addr: a, conn: c, err: err}
+		}(c)
+	}
+	addrs := make([]string, t.size)
+	addrs[0] = ln.Addr().String()
+	for i := 0; i < t.size-1; i++ {
+		h := <-ch
+		if h.err != nil {
+			h.conn.Close()
+			return fmt.Errorf("reading hello: %w", h.err)
+		}
+		if h.rank <= 0 || h.rank >= t.size || t.conns[h.rank] != nil {
+			h.conn.Close()
+			return fmt.Errorf("hello from invalid or duplicate rank %d", h.rank)
+		}
+		t.conns[h.rank] = h.conn
+		addrs[h.rank] = h.addr
+	}
+	table := encodeTable(addrs)
+	for p := 1; p < t.size; p++ {
+		if err := writeFrame(t.conns[p], table); err != nil {
+			return fmt.Errorf("sending address table to rank %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// rendezvousPeer runs a non-root rank's side: dial rank 0, announce our
+// listener, receive the table, then mesh with the other peers.
+func (t *tcpTransport) rendezvousPeer(cfg TCPConfig, deadline time.Time) error {
+	c0, err := dialRetry(cfg.Addr, deadline)
+	if err != nil {
+		return fmt.Errorf("dialing rank 0 at %s: %w", cfg.Addr, err)
+	}
+	t.conns[0] = c0
+	c0.SetDeadline(deadline)
+
+	// Listen on the interface we reached rank 0 through: that address is
+	// the one other peers can reach us at (single- and multi-host).
+	host, _, err := net.SplitHostPort(c0.LocalAddr().String())
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return fmt.Errorf("opening peer listener: %w", err)
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	if err := writeFrame(c0, encodeHello(t.rank, ln.Addr().String())); err != nil {
+		return fmt.Errorf("sending hello: %w", err)
+	}
+	payload, err := readFrame(c0)
+	if err != nil {
+		return fmt.Errorf("reading address table: %w", err)
+	}
+	addrs, err := decodeTable(payload, t.size)
+	if err != nil {
+		return err
+	}
+
+	// Complete the mesh: dial lower peer ranks, accept higher ones. Both
+	// directions run concurrently; they touch disjoint conns entries.
+	errc := make(chan error, 2)
+	go func() {
+		for j := 1; j < t.rank; j++ {
+			c, err := dialRetry(addrs[j], deadline)
+			if err != nil {
+				errc <- fmt.Errorf("dialing rank %d at %s: %w", j, addrs[j], err)
+				return
+			}
+			c.SetDeadline(deadline)
+			if err := writeFrame(c, encodeIdent(t.rank)); err != nil {
+				c.Close()
+				errc <- fmt.Errorf("identing to rank %d: %w", j, err)
+				return
+			}
+			t.conns[j] = c
+		}
+		errc <- nil
+	}()
+	go func() {
+		for n := 0; n < t.size-1-t.rank; n++ {
+			c, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("accepting peers (%d/%d in): %w", n, t.size-1-t.rank, err)
+				return
+			}
+			c.SetDeadline(deadline)
+			r, err := readIdent(c)
+			if err != nil {
+				c.Close()
+				errc <- fmt.Errorf("reading ident: %w", err)
+				return
+			}
+			if r <= t.rank || r >= t.size || t.conns[r] != nil {
+				c.Close()
+				errc <- fmt.Errorf("ident from invalid or duplicate rank %d", r)
+				return
+			}
+			t.conns[r] = c
+		}
+		errc <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reader pumps one connection's frames into the inbox until the peer says
+// bye, the connection dies, or the endpoint closes.
+func (t *tcpTransport) reader(from int, c net.Conn) {
+	for {
+		frame, err := readFrame(c)
+		if err != nil {
+			if !t.closed.Load() {
+				t.fail(fmt.Errorf("transport: rank %d link to rank %d: %w", t.rank, from, err))
+			}
+			return
+		}
+		if len(frame) == 0 {
+			t.fail(fmt.Errorf("transport: rank %d got untagged frame from rank %d", t.rank, from))
+			return
+		}
+		switch frame[0] {
+		case tcpBye:
+			return // graceful: everything the peer sent is already queued
+		case tcpData:
+			if t.inbox.push(loopItem{from: from, frame: frame[1:]}) != nil {
+				return // endpoint closed
+			}
+		default:
+			t.fail(fmt.Errorf("transport: rank %d got frame tag %#x from rank %d", t.rank, frame[0], from))
+			return
+		}
+	}
+}
+
+// fail records the first link error; Send and Recv surface it.
+func (t *tcpTransport) fail(err error) {
+	t.failMu.Lock()
+	if t.failErr == nil {
+		t.failErr = err
+	}
+	t.failMu.Unlock()
+}
+
+func (t *tcpTransport) failed() error {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	return t.failErr
+}
+
+// Rank returns this endpoint's rank.
+func (t *tcpTransport) Rank() int { return t.rank }
+
+// Size returns the fabric's rank count.
+func (t *tcpTransport) Size() int { return t.size }
+
+// Send writes frame to dst's socket (self-sends go straight to the inbox).
+func (t *tcpTransport) Send(dst int, frame []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if err := t.failed(); err != nil {
+		return err
+	}
+	if dst < 0 || dst >= t.size {
+		return fmt.Errorf("transport: tcp send to rank %d of %d", dst, t.size)
+	}
+	if dst == t.rank {
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		return t.inbox.push(loopItem{from: t.rank, frame: cp})
+	}
+	t.wmu[dst].Lock()
+	err := writeTagged(t.conns[dst], tcpData, frame)
+	t.wmu[dst].Unlock()
+	if err != nil {
+		err = fmt.Errorf("transport: rank %d send to rank %d: %w", t.rank, dst, err)
+		t.fail(err)
+	}
+	return err
+}
+
+// Recv pops the next pending frame; a broken link surfaces as an error
+// once the inbox runs dry.
+func (t *tcpTransport) Recv() (int, []byte, bool, error) {
+	it, ok, err := t.inbox.pop()
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if ok {
+		return it.from, it.frame, true, nil
+	}
+	if err := t.failed(); err != nil {
+		return 0, nil, false, err
+	}
+	return 0, nil, false, nil
+}
+
+// Close announces a graceful departure (best-effort bye frame on every
+// link), then tears down the connections and the inbox. Frames written
+// before the bye are still delivered: TCP flushes buffered data ahead of
+// the FIN.
+func (t *tcpTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	for p, c := range t.conns {
+		if c != nil {
+			t.wmu[p].Lock()
+			writeTagged(c, tcpBye, nil)
+			t.wmu[p].Unlock()
+			c.Close()
+		}
+	}
+	t.inbox.close()
+	return nil
+}
+
+// dialRetry dials addr until it succeeds or the deadline passes — peers may
+// come up in any order, so connection refusal is retried, not fatal.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("timeout")
+			}
+			return nil, fmt.Errorf("deadline expired: %w", lastErr)
+		}
+		step := 2 * time.Second
+		if remain < step {
+			step = remain
+		}
+		c, err := net.DialTimeout("tcp", addr, step)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// encodeHello builds the hello payload: type, rank, listen address.
+func encodeHello(rank int, addr string) []byte {
+	p := make([]byte, 0, 7+len(addr))
+	p = append(p, tcpHello)
+	p = binary.BigEndian.AppendUint32(p, uint32(rank))
+	p = binary.BigEndian.AppendUint16(p, uint16(len(addr)))
+	return append(p, addr...)
+}
+
+func readHello(c net.Conn) (rank int, addr string, err error) {
+	p, err := readFrame(c)
+	if err != nil {
+		return 0, "", err
+	}
+	if len(p) < 7 || p[0] != tcpHello {
+		return 0, "", fmt.Errorf("malformed hello frame (%d bytes)", len(p))
+	}
+	rank = int(binary.BigEndian.Uint32(p[1:5]))
+	alen := int(binary.BigEndian.Uint16(p[5:7]))
+	if len(p) != 7+alen {
+		return 0, "", fmt.Errorf("hello address length %d does not match frame", alen)
+	}
+	return rank, string(p[7:]), nil
+}
+
+// encodeTable builds the address-table payload rank 0 broadcasts.
+func encodeTable(addrs []string) []byte {
+	n := 5
+	for _, a := range addrs {
+		n += 2 + len(a)
+	}
+	p := make([]byte, 0, n)
+	p = append(p, tcpTable)
+	p = binary.BigEndian.AppendUint32(p, uint32(len(addrs)))
+	for _, a := range addrs {
+		p = binary.BigEndian.AppendUint16(p, uint16(len(a)))
+		p = append(p, a...)
+	}
+	return p
+}
+
+func decodeTable(p []byte, size int) ([]string, error) {
+	if len(p) < 5 || p[0] != tcpTable {
+		return nil, fmt.Errorf("malformed address table (%d bytes)", len(p))
+	}
+	if n := int(binary.BigEndian.Uint32(p[1:5])); n != size {
+		return nil, fmt.Errorf("address table has %d entries, want %d", n, size)
+	}
+	addrs := make([]string, 0, size)
+	rest := p[5:]
+	for i := 0; i < size; i++ {
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("truncated address table at entry %d", i)
+		}
+		alen := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < alen {
+			return nil, fmt.Errorf("truncated address table at entry %d", i)
+		}
+		addrs = append(addrs, string(rest[:alen]))
+		rest = rest[alen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after address table", len(rest))
+	}
+	return addrs, nil
+}
+
+// encodeIdent builds the ident payload a dialing peer announces itself with.
+func encodeIdent(rank int) []byte {
+	p := make([]byte, 0, 5)
+	p = append(p, tcpIdent)
+	return binary.BigEndian.AppendUint32(p, uint32(rank))
+}
+
+func readIdent(c net.Conn) (int, error) {
+	p, err := readFrame(c)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) != 5 || p[0] != tcpIdent {
+		return 0, fmt.Errorf("malformed ident frame (%d bytes)", len(p))
+	}
+	return int(binary.BigEndian.Uint32(p[1:5])), nil
+}

@@ -1,0 +1,55 @@
+// Package transport defines the minimal point-to-point message fabric the
+// distributed runtime (package dist) is built on, plus the request/response
+// RPC engine shared with the in-process runtime (package par).
+//
+// A Transport is one rank's endpoint of a P-way fabric: Send(dst, frame)
+// delivers an opaque byte frame to a peer, Recv polls for inbound frames
+// without blocking. Two implementations exist:
+//
+//   - the in-memory loopback (NewLoopback), extracted from par's per-rank
+//     inbox machinery — ranks are goroutines in one address space and frames
+//     move through mutex-guarded queues;
+//   - the TCP transport (Rendezvous), where ranks are processes: frames are
+//     length-prefixed on full-mesh sockets, and a rendezvous handshake
+//     (rank 0 listens, peers dial, an address table is exchanged) bootstraps
+//     the mesh.
+//
+// The distributed collectives are written once against this interface, so
+// the identical barrier/alltoallv/RPC code runs over both fabrics.
+package transport
+
+import "errors"
+
+// ErrClosed is returned by Send and Recv once the endpoint (or the
+// destination endpoint, for loopback sends) has been closed.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport is one rank's endpoint of a point-to-point message fabric.
+//
+// Ownership contract: Send takes its own snapshot of frame before
+// returning (implementations copy it or fully serialise it onto the wire),
+// so the caller may immediately reuse the backing array. Frames returned by
+// Recv are owned by the caller: the transport never touches them again, and
+// the receiver may mutate or retain them freely.
+//
+// Progress contract: Send must never block waiting for the destination
+// rank's application to poll — frames queue at the receiver — so two ranks
+// sending to each other at full inboxes cannot deadlock. Recv is
+// non-blocking: ok == false with a nil error means nothing is pending.
+//
+// A Transport endpoint is owned by a single rank; calls are not safe for
+// concurrent use by multiple goroutines.
+type Transport interface {
+	// Rank returns this endpoint's rank id in [0, Size()).
+	Rank() int
+	// Size returns the number of ranks in the fabric.
+	Size() int
+	// Send delivers frame to rank dst (dst == Rank() self-delivers).
+	Send(dst int, frame []byte) error
+	// Recv returns the next pending frame and its source rank.
+	// ok == false with err == nil means the inbox is empty.
+	Recv() (from int, frame []byte, ok bool, err error)
+	// Close tears the endpoint down. Subsequent Sends and Recvs return
+	// ErrClosed (pending frames are discarded).
+	Close() error
+}
