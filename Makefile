@@ -54,10 +54,21 @@ dist-smoke:
 	$(GO) build -o $$tmp/genreads ./cmd/genreads && \
 	$(GO) build -o $$tmp/dibella ./cmd/dibella && \
 	$$tmp/genreads -genome 60000 -coverage 8 -meanlen 3000 -seed 3 -out $$tmp/reads.fa && \
+	global=$$(grep -v '^>' $$tmp/reads.fa | tr -d '\n' | wc -c); \
 	for mode in bsp async; do \
 		$$tmp/dibella -in $$tmp/reads.fa -mode $$mode -procs 1 -coverage 8 -out $$tmp/ref.tsv 2>/dev/null && \
-		$$tmp/dibella -in $$tmp/reads.fa -mode $$mode -dist -procs 4 -coverage 8 -out $$tmp/dist.tsv 2>/dev/null && \
+		$$tmp/dibella -in $$tmp/reads.fa -mode $$mode -dist -procs 4 -coverage 8 \
+			-metrics $$tmp/met-$$mode.csv -out $$tmp/dist.tsv 2>/dev/null && \
 		cmp $$tmp/ref.tsv $$tmp/dist.tsv && echo "dist-smoke $$mode: OK ($$(wc -l < $$tmp/ref.tsv) hits)" || exit 1; \
+		for rk in 0 1 2 3; do \
+			awk -F, -v global=$$global -v rk=$$rk -v mode=$$mode ' \
+				NR==1 { for (i = 1; i <= NF; i++) col[$$i] = i; next } \
+				$$1 == rk { sb = $$col["store_bytes"]; oop = $$col["oop_gets"]; \
+				  if (oop != 0) { printf "dist-smoke %s rank %s: %d out-of-partition Gets\n", mode, rk, oop; exit 1 } \
+				  if (sb <= 0 || sb * 10 >= global * 4) { printf "dist-smoke %s rank %s: resident %d bytes of %d global — residency broken\n", mode, rk, sb, global; exit 1 } \
+				  printf "dist-smoke %s rank %s: resident %d of %d global read bytes, 0 OOP gets\n", mode, rk, sb, global }' \
+				$$tmp/met-$$mode.csv.rank$$rk || exit 1; \
+		done; \
 	done
 
 ci: check race fuzz dist-smoke

@@ -154,14 +154,33 @@ func main() {
 		}
 	}
 
+	// Owner-only data residency: in -dist mode no process ever loads the
+	// whole read set. Every worker scans the input once for metadata (the
+	// per-record index: offsets, lengths, names — the replicated O(n)
+	// exception), then seeks to and parses only its own partition range.
+	// In-process mode loads the full set once and hands each rank an
+	// enforcing owner-only view of it.
 	t0 := time.Now()
-	reads, err := seq.LoadFile(*in)
-	if err != nil {
-		fail(err)
+	var (
+		reads *seq.ReadSet   // in-process mode: the shared full set
+		ix    *seq.FileIndex // -dist mode: replicated metadata only
+		lens  []int32
+		err   error
+	)
+	if isDist {
+		if ix, err = seq.IndexFile(*in); err != nil {
+			fail(err)
+		}
+		lens = ix.Lens
+		logf("dibella: indexed %s in %s\n", seq.StatsFromLens(lens), time.Since(t0).Round(time.Millisecond))
+	} else {
+		if reads, err = seq.LoadFile(*in); err != nil {
+			fail(err)
+		}
+		lens = workload.LensOf(reads)
+		logf("dibella: loaded %s in %s\n", reads.ComputeStats(), time.Since(t0).Round(time.Millisecond))
 	}
-	logf("dibella: loaded %s in %s\n", reads.ComputeStats(), time.Since(t0).Round(time.Millisecond))
 
-	lens := workload.LensOf(reads)
 	lensInt := make([]int, len(lens))
 	for i, l := range lens {
 		lensInt[i] = int(l)
@@ -192,12 +211,53 @@ func main() {
 		world = pw
 	}
 
+	// -dist: agree on the input (every worker indexed its own copy of the
+	// file; one mismatched byte anywhere would silently skew the partition),
+	// then materialise only this rank's partition range from disk.
+	var myStore *seq.SliceStore
+	if isDist {
+		sum := ix.Checksum()
+		var agreeErr error
+		world.Run(func(r rt.Runtime) {
+			if r.Allreduce(sum, rt.OpMin) != r.Allreduce(sum, rt.OpMax) {
+				agreeErr = fmt.Errorf("input index checksum %#x disagrees across ranks — workers see different files", uint64(sum))
+			}
+		})
+		if agreeErr != nil {
+			fail(agreeErr)
+		}
+		lo, hi := pt.Range(myRank)
+		tl := time.Now()
+		if myStore, err = seq.LoadFileRange(*in, ix, lo, hi); err != nil {
+			fail(fmt.Errorf("rank %d loading reads [%d,%d): %w", myRank, lo, hi, err))
+		}
+		fmt.Fprintf(os.Stderr, "dibella: rank %d resident reads [%d,%d) = %s of %s global in %s\n",
+			myRank, lo, hi, stats.FmtBytes(myStore.LocalBytes()),
+			stats.FmtBytes(seq.StatsFromLens(lens).TotalBases), time.Since(tl).Round(time.Millisecond))
+	}
+	// storeFor hands a rank its owner-only view of the reads: the physical
+	// per-rank slice in -dist mode, an enforcing scoped view of the shared
+	// set in-process. Out-of-partition Gets panic in -dist workers and are
+	// counted into the rank's metrics in-process.
+	storeFor := func(r rt.Runtime) seq.Store {
+		if isDist {
+			return myStore
+		}
+		lo, hi := pt.Range(r.Rank())
+		return seq.ScopeCounting(reads, lo, hi, lens, &r.Metrics().OOPGets)
+	}
+
 	// Stage 1-2: k-mer analysis and candidate discovery — serial reference
-	// path or the distributed SPMD pipeline.
+	// path or the distributed SPMD pipeline. -dist always takes the SPMD
+	// path: the serial one would need the global read set, which no worker
+	// holds any more.
 	t1 := time.Now()
 	var tasks []overlap.Task
 	var byRank [][]overlap.Task
-	if *distrib {
+	if isDist && !*distrib {
+		logf("dibella: -dist task discovery runs the distributed pipeline (owner-only residency)\n")
+	}
+	if *distrib || isDist {
 		lo, hi := *loFreq, *hiFreq
 		if hi <= 0 {
 			lo, hi = kmer.ReliableWindow(*coverage, *errRate, *k, 0)
@@ -209,7 +269,7 @@ func main() {
 		errs := make([]error, *procs)
 		world.Run(func(r rt.Runtime) {
 			outs[r.Rank()], errs[r.Rank()] = pipeline.Run(r, &pipeline.Input{
-				Part: pt, Reads: reads, Lens: lens, K: *k, Lo: lo, Hi: hi,
+				Part: pt, Store: storeFor(r), Lens: lens, K: *k, Lo: lo, Hi: hi,
 			})
 		})
 		byRank = make([][]overlap.Task, *procs)
@@ -253,17 +313,20 @@ func main() {
 		logf("dibella: %d candidate tasks (k=%d, reliable window [%d,%d]) in %s\n",
 			len(tasks), *k, lo, hi, time.Since(t1).Round(time.Millisecond))
 	}
-	var codec core.Codec = core.RealCodec{Reads: reads}
-	if *packed {
-		codec = core.PackedCodec{Reads: reads}
-	}
 	exec := core.RealExecutor{Scoring: align.DefaultScoring(), X: *x}
 	results := make([]*core.Result, *procs)
 	errs := make([]error, *procs)
 	t2 := time.Now()
 	world.Run(func(r rt.Runtime) {
+		// The codec encodes from this rank's own store, so it is built
+		// per rank inside the SPMD region.
+		st := storeFor(r)
+		var codec core.Codec = core.RealCodec{Store: st}
+		if *packed {
+			codec = core.PackedCodec{Store: st}
+		}
 		input := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
-			Codec: codec, Reads: reads}
+			Codec: codec, Store: st}
 		cfg := core.Config{Exec: exec, MinScore: *minScore}
 		switch {
 		case *mode == "async" && *steal:
@@ -316,14 +379,21 @@ func main() {
 		for _, t := range tasks {
 			taskOf[t.Key()] = t
 		}
+		// Names and lengths come from the replicated metadata in -dist mode;
+		// rank 0 does not hold the other ranks' bases.
+		nameOf := func(id seq.ReadID) string {
+			if isDist {
+				return ix.Names[id]
+			}
+			return reads.Get(id).Name
+		}
 		for _, h := range hits {
-			ra, rb := reads.Get(h.A), reads.Get(h.B)
 			res := align.Result{Score: int(h.Score),
 				AStart: int(h.AStart), AEnd: int(h.AEnd),
 				BStart: int(h.BStart), BEnd: int(h.BEnd)}
-			kinds[overlap.Classify(res, ra.Len(), rb.Len(), 50)]++
+			kinds[overlap.Classify(res, int(lens[h.A]), int(lens[h.B]), 50)]++
 			if !*paf {
-				fmt.Fprintf(w, "%s\t%s\t%d\n", ra.Name, rb.Name, h.Score)
+				fmt.Fprintf(w, "%s\t%s\t%d\n", nameOf(h.A), nameOf(h.B), h.Score)
 				continue
 			}
 			if err := writePAF(w, reads, taskOf[uint64(h.A)<<32|uint64(h.B)], h, *x); err != nil {
@@ -342,7 +412,7 @@ func main() {
 
 		table := &stats.Table{
 			Title:   fmt.Sprintf("dibella: %s, %d ranks, %d hits, align phase %s", *mode, *procs, len(hits), alignWall.Round(time.Millisecond)),
-			Headers: []string{"rank", "align", "overhead", "comm", "sync", "maxmem", "steps"},
+			Headers: []string{"rank", "align", "overhead", "comm", "sync", "maxmem", "store", "steps"},
 		}
 		if isDist {
 			m := &distMet
@@ -350,14 +420,14 @@ func main() {
 			table.AddRow(fmt.Sprint(myRank),
 				stats.FmtDur(m.Time[rt.CatAlign]), stats.FmtDur(m.Time[rt.CatOverhead]),
 				stats.FmtDur(m.Time[rt.CatComm]), stats.FmtDur(m.Time[rt.CatSync]),
-				stats.FmtBytes(m.MaxMem), fmt.Sprint(m.Supersteps))
+				stats.FmtBytes(m.MaxMem), stats.FmtBytes(m.StoreBytes), fmt.Sprint(m.Supersteps))
 		} else {
 			for rk := 0; rk < *procs; rk++ {
 				m := world.Metrics(rk)
 				table.AddRow(fmt.Sprint(rk),
 					stats.FmtDur(m.Time[rt.CatAlign]), stats.FmtDur(m.Time[rt.CatOverhead]),
 					stats.FmtDur(m.Time[rt.CatComm]), stats.FmtDur(m.Time[rt.CatSync]),
-					stats.FmtBytes(m.MaxMem), fmt.Sprint(m.Supersteps))
+					stats.FmtBytes(m.MaxMem), stats.FmtBytes(m.StoreBytes), fmt.Sprint(m.Supersteps))
 			}
 		}
 		table.Render(os.Stderr)

@@ -25,6 +25,7 @@ import (
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
 	"gnbody/internal/rt"
+	"gnbody/internal/seq"
 	"gnbody/internal/stats"
 	"gnbody/internal/workload"
 )
@@ -60,8 +61,10 @@ func main() {
 	results := make([]*core.Result, *procs)
 	t1 := time.Now()
 	world.Run(func(r rt.Runtime) {
+		lo, hi := pt.Range(r.Rank())
+		st := seq.Scope(reads, lo, hi, lens)
 		in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
-			Codec: core.RealCodec{Reads: reads}, Reads: reads}
+			Codec: core.RealCodec{Store: st}, Store: st}
 		var e error
 		results[r.Rank()], e = core.RunAsync(r, in, core.Config{
 			Exec: core.RealExecutor{Scoring: align.DefaultScoring(), X: 15}, MinScore: 200})

@@ -27,6 +27,7 @@ import (
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
 	"gnbody/internal/rt"
+	"gnbody/internal/seq"
 	"gnbody/internal/stats"
 	"gnbody/internal/workload"
 )
@@ -77,8 +78,10 @@ func main() {
 		results := make([]*core.Result, *procs)
 		t0 := time.Now()
 		world.Run(func(r rt.Runtime) {
+			rlo, rhi := pt.Range(r.Rank())
+			st := seq.Scope(reads, rlo, rhi, lens)
 			in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
-				Codec: core.RealCodec{Reads: reads}, Reads: reads}
+				Codec: core.RealCodec{Store: st}, Store: st}
 			var e error
 			results[r.Rank()], e = core.RunBSP(r, in, core.Config{Exec: exec, MinScore: 100})
 			if e != nil {

@@ -21,6 +21,7 @@ import (
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
 	"gnbody/internal/rt"
+	"gnbody/internal/seq"
 	"gnbody/internal/workload"
 )
 
@@ -67,8 +68,10 @@ func main() {
 		}
 		results := make([]*core.Result, procs)
 		world.Run(func(r rt.Runtime) {
+			rlo, rhi := pt.Range(r.Rank())
+			st := seq.Scope(reads, rlo, rhi, lens)
 			in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
-				Codec: core.RealCodec{Reads: reads}, Reads: reads}
+				Codec: core.RealCodec{Store: st}, Store: st}
 			cfg := core.Config{Exec: exec, MinScore: 100}
 			var e error
 			if async {

@@ -37,6 +37,8 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	base := in.PartitionBytes(r.Rank())
 	r.Alloc(base)
 	defer r.Free(base)
+	r.Metrics().StoreBytes = in.storeBytes(r.Rank())
+	meter := rpcMeter{m: r.Metrics()}
 
 	// Serve lookups into this rank's partition. The split-phase barrier
 	// below guarantees no request arrives before every rank has
@@ -64,7 +66,16 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	tb := r.Tracer()
 	issue := func(ids []seq.ReadID) {
 		batch := append([]seq.ReadID(nil), ids...)
+		// Charge the response's planned size against the in-flight meter at
+		// issue time; the callback releases it. Both run on this rank's
+		// goroutine (progress contract), so no synchronisation is needed.
+		var est int64
+		for _, id := range batch {
+			est += int64(in.planSize(id))
+		}
+		meter.add(est)
 		r.AsyncCall(in.Part.Owner(batch[0]), encodeReadReq(batch...), func(val []byte) {
+			meter.sub(est)
 			n := int64(len(val))
 			r.Alloc(n)
 			defer r.Free(n)

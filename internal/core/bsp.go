@@ -58,7 +58,7 @@ func (cfg *Config) defaults() {
 // and remoteIsA says which side it fills.
 func execTask(r rt.Runtime, in *Input, cfg *Config, t overlap.Task, fetched seq.Seq, remoteIsA bool, out *Result) {
 	var a, b seq.Seq
-	if in.Reads != nil {
+	if in.Store != nil {
 		if remoteIsA {
 			a, b = fetched, in.localSeq(t.B)
 		} else {
@@ -73,7 +73,7 @@ func execTask(r rt.Runtime, in *Input, cfg *Config, t overlap.Task, fetched seq.
 // execLocal runs a task whose reads are both local.
 func execLocal(r rt.Runtime, in *Input, cfg *Config, t overlap.Task, out *Result) {
 	var a, b seq.Seq
-	if in.Reads != nil {
+	if in.Store != nil {
 		a, b = in.localSeq(t.A), in.localSeq(t.B)
 	}
 	if res, ok := cfg.Exec.Align(r, t, a, b); ok && res.Score >= cfg.MinScore {
@@ -108,6 +108,8 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	base := in.PartitionBytes(r.Rank())
 	r.Alloc(base)
 	defer r.Free(base)
+	met := r.Metrics()
+	met.StoreBytes = in.storeBytes(r.Rank())
 
 	// Tasks with both reads local need no exchange.
 	for _, t := range store.local {
@@ -133,8 +135,12 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		tStep := tb.Now()
 		end := next
 		var planned int64
+		// Plan the chunk from the replicated length vector, never from the
+		// remote reads themselves — residency forbids sizing a read this
+		// rank does not hold. Exact for real/phantom wire sizes; a safe
+		// overestimate when the sender packs.
 		for end < len(store.groups) {
-			sz := int64(in.Codec.WireSize(store.groups[end].read))
+			sz := int64(in.planSize(store.groups[end].read))
 			if end > next && budget > 0 && planned+sz > budget {
 				break // chunk full; always take at least one read
 			}
@@ -205,6 +211,9 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		}
 		r.Free(payBytes)
 		r.Free(recvBytes)
+		if ex := reqBytes + payBytes + recvBytes; ex > met.PeakExchange {
+			met.PeakExchange = ex
+		}
 
 		next = end
 		remaining := r.Allreduce(int64(len(store.groups)-next), rt.OpSum)

@@ -12,6 +12,7 @@ import (
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
 	"gnbody/internal/rt"
+	"gnbody/internal/seq"
 	"gnbody/internal/sim"
 	"gnbody/internal/trace"
 	"gnbody/internal/transport"
@@ -40,6 +41,8 @@ type confRun struct {
 	hits     []Hit
 	msgs     int64
 	rpcsSent int64
+	oopGets  int64 // out-of-partition Store.Gets summed over ranks
+	maxStore int64 // largest per-rank resident store footprint
 }
 
 func runConfPar(t *testing.T, w *testWorkload, mode string) confRun {
@@ -63,7 +66,11 @@ func runConfPar(t *testing.T, w *testWorkload, mode string) confRun {
 	results := make([]*Result, confRanks)
 	errs := make([]error, confRanks)
 	world.Run(func(r rt.Runtime) {
-		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}}
+		// Counting owner-only view over the shared read set: violations are
+		// served but recorded in OOPGets, which the battery pins to zero.
+		lo, hi := pt.Range(r.Rank())
+		st := seq.ScopeCounting(w.reads, lo, hi, lens, &r.Metrics().OOPGets)
+		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}, Store: st}
 		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4}
 		switch mode {
 		case "async":
@@ -82,6 +89,10 @@ func runConfPar(t *testing.T, w *testWorkload, mode string) confRun {
 		out.hits = append(out.hits, results[rk].Hits...)
 		out.msgs += world.Metrics(rk).Msgs
 		out.rpcsSent += world.Metrics(rk).RPCsSent
+		out.oopGets += world.Metrics(rk).OOPGets
+		if sb := world.Metrics(rk).StoreBytes; sb > out.maxStore {
+			out.maxStore = sb
+		}
 	}
 	SortHits(out.hits)
 	return out
@@ -108,7 +119,9 @@ func runConfSim(t *testing.T, w *testWorkload, mode string) confRun {
 	results := make([]*Result, confRanks)
 	errs := make([]error, confRanks)
 	err = eng.Run(func(r rt.Runtime) {
-		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}}
+		lo, hi := pt.Range(r.Rank())
+		st := seq.ScopeCounting(w.reads, lo, hi, lens, &r.Metrics().OOPGets)
+		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}, Store: st}
 		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4}
 		switch mode {
 		case "async":
@@ -130,6 +143,10 @@ func runConfSim(t *testing.T, w *testWorkload, mode string) confRun {
 		out.hits = append(out.hits, results[rk].Hits...)
 		out.msgs += eng.Metrics(rk).Msgs
 		out.rpcsSent += eng.Metrics(rk).RPCsSent
+		out.oopGets += eng.Metrics(rk).OOPGets
+		if sb := eng.Metrics(rk).StoreBytes; sb > out.maxStore {
+			out.maxStore = sb
+		}
 	}
 	SortHits(out.hits)
 	return out
@@ -195,7 +212,15 @@ func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun
 	errs := make([]error, confRanks)
 	gathered := make([][]Hit, confRanks)
 	world.Run(func(r rt.Runtime) {
-		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}}
+		// The message-passing backend gets true physical residency: each
+		// rank's store holds only its slice of the read array, so an
+		// out-of-partition Get is a panic, not merely a counter tick.
+		lo, hi := pt.Range(r.Rank())
+		st, serr := seq.NewSliceStore(lo, w.reads.Reads[lo:hi], lens)
+		if serr != nil {
+			panic(serr)
+		}
+		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}, Store: st}
 		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4}
 		switch mode {
 		case "async":
@@ -214,6 +239,10 @@ func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun
 		out.hits = append(out.hits, results[rk].Hits...)
 		out.msgs += world.Metrics(rk).Msgs
 		out.rpcsSent += world.Metrics(rk).RPCsSent
+		out.oopGets += world.Metrics(rk).OOPGets
+		if sb := world.Metrics(rk).StoreBytes; sb > out.maxStore {
+			out.maxStore = sb
+		}
 	}
 	SortHits(out.hits)
 
@@ -252,6 +281,29 @@ func TestCrossBackendConformance(t *testing.T) {
 		simRuns[mode] = runConfSim(t, w, mode)
 		distLoop[mode] = runConfDist(t, w, mode, "loopback")
 		distTCP[mode] = runConfDist(t, w, mode, "tcp")
+	}
+
+	// Owner-only residency holds in every configuration: no rank performed
+	// an out-of-partition Get, and no rank's resident store grew to the
+	// global read footprint (confRanks-way partitioning keeps each store a
+	// strict subset).
+	var globalBytes int64
+	for i := range w.reads.Reads {
+		globalBytes += int64(w.reads.Reads[i].WireSize())
+	}
+	for _, mode := range []string{"bsp", "async", "steal"} {
+		for name, got := range map[string]confRun{
+			"par": parRuns[mode], "sim": simRuns[mode],
+			"dist-loopback": distLoop[mode], "dist-tcp": distTCP[mode],
+		} {
+			if got.oopGets != 0 {
+				t.Errorf("%s/%s: %d out-of-partition Gets; owner-only residency violated", name, mode, got.oopGets)
+			}
+			if got.maxStore <= 0 || got.maxStore >= globalBytes {
+				t.Errorf("%s/%s: per-rank store footprint %d not in (0, %d); reads replicated?",
+					name, mode, got.maxStore, globalBytes)
+			}
+		}
 	}
 
 	// Every configuration reproduces the serial reference byte-identically.

@@ -69,16 +69,20 @@ type Codec interface {
 	Decode(buf []byte) (seq.Read, int, error)
 }
 
-// RealCodec ships actual read payloads.
-type RealCodec struct{ Reads *seq.ReadSet }
+// RealCodec ships actual read payloads. It encodes from the rank's
+// owner-only store, so Encode on a non-resident read is a residency
+// violation — exactly the property the store enforces: a rank can only
+// serve bases it owns.
+type RealCodec struct{ Store seq.Store }
 
-// Encode appends the full wire encoding of read id.
+// Encode appends the full wire encoding of read id (must be resident).
 func (c RealCodec) Encode(dst []byte, id seq.ReadID) []byte {
-	return seq.AppendWire(dst, c.Reads.Get(id))
+	return seq.AppendWire(dst, c.Store.Get(id))
 }
 
-// WireSize returns the read's exact wire size.
-func (c RealCodec) WireSize(id seq.ReadID) int { return c.Reads.Get(id).WireSize() }
+// WireSize returns the read's exact wire size, computed from the
+// replicated length vector so it is valid for any read, owned or not.
+func (c RealCodec) WireSize(id seq.ReadID) int { return seq.WireSizeOf(c.Store.Len(id)) }
 
 // Decode parses one wire-encoded read.
 func (c RealCodec) Decode(buf []byte) (seq.Read, int, error) { return seq.DecodeWire(buf) }
@@ -115,17 +119,35 @@ type Input struct {
 	Lens  []int32        // global read lengths (stage-2 metadata, all ranks)
 	Tasks []overlap.Task // tasks assigned to this rank (owner invariant holds)
 	Codec Codec
-	Reads *seq.ReadSet // global store; a rank touches only its own range
-	// directly (nil under the phantom codec)
+	Store seq.Store // owner-only read store holding this rank's partition
+	// (nil under the phantom codec: the model executor needs no bases)
 }
 
 // localSeq returns the sequence of a read owned by this rank (nil in
-// phantom mode).
+// phantom mode). Going through the Store keeps the residency contract
+// live: an out-of-partition id panics (or is counted) here.
 func (in *Input) localSeq(id seq.ReadID) seq.Seq {
-	if in.Reads == nil {
+	if in.Store == nil {
 		return nil
 	}
-	return in.Reads.Get(id).Seq
+	return in.Store.Get(id).Seq
+}
+
+// planSize returns the wire size to budget for read id using only the
+// replicated length vector — never the read's bases, which for a remote id
+// this rank must not hold. It is exact for the real and phantom codecs and
+// a safe overestimate for the packed codec (packing only shrinks reads).
+func (in *Input) planSize(id seq.ReadID) int {
+	return seq.WireSizeOf(int(in.Lens[id]))
+}
+
+// storeBytes is the rank's resident read footprint: the store's physical
+// bytes, or the modeled partition size in phantom mode.
+func (in *Input) storeBytes(rank int) int64 {
+	if in.Store != nil {
+		return in.Store.LocalBytes()
+	}
+	return in.PartitionBytes(rank)
 }
 
 // PartitionBytes returns the wire size of rank r's read partition — the
@@ -152,8 +174,18 @@ type Result struct {
 	TasksShed         int   // stealing driver: tasks handed away by this rank
 }
 
-// validate checks the owner invariant over the rank's tasks.
+// validate checks the owner invariant over the rank's tasks and, when a
+// store is present, that its resident range is exactly the rank's
+// partition — the data-residency side of the same contract.
 func (in *Input) validate(rank int) error {
+	if in.Store != nil {
+		plo, phi := in.Part.Range(rank)
+		slo, shi := in.Store.Range()
+		if slo != plo || shi != phi {
+			return fmt.Errorf("core: rank %d store resident over [%d,%d), partition is [%d,%d)",
+				rank, slo, shi, plo, phi)
+		}
+	}
 	for _, t := range in.Tasks {
 		if in.Part.Owner(t.A) != rank && in.Part.Owner(t.B) != rank {
 			return fmt.Errorf("core: rank %d holds task (%d,%d) owning neither read", rank, t.A, t.B)

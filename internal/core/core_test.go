@@ -73,12 +73,16 @@ func runReal(t *testing.T, w *testWorkload, p int, memBudget int64, useAsync boo
 	results := make([]*Result, p)
 	errs := make([]error, p)
 	world.Run(func(r rt.Runtime) {
+		// Each rank gets an enforcing owner-only view of the shared read
+		// set: any Get outside its partition panics the test.
+		lo, hi := pt.Range(r.Rank())
+		st := seq.Scope(w.reads, lo, hi, lens)
 		in := &Input{
 			Part:  pt,
 			Lens:  lens,
 			Tasks: byRank[r.Rank()],
-			Codec: RealCodec{Reads: w.reads},
-			Reads: w.reads,
+			Codec: RealCodec{Store: st},
+			Store: st,
 		}
 		cfg := Config{Exec: exec, MinScore: minScore, MaxOutstanding: 8, PollEvery: 4}
 		if useAsync {
@@ -232,7 +236,9 @@ func TestOwnerInvariantViolationRejected(t *testing.T) {
 		if r.Rank() != 1 {
 			return
 		}
-		in := &Input{Part: pt, Lens: lens, Tasks: []overlap.Task{bad}, Codec: RealCodec{Reads: w.reads}, Reads: w.reads}
+		lo, hi := pt.Range(1)
+		st := seq.Scope(w.reads, lo, hi, lens)
+		in := &Input{Part: pt, Lens: lens, Tasks: []overlap.Task{bad}, Codec: RealCodec{Store: st}, Store: st}
 		_, errs[1] = RunBSP(r, in, Config{Exec: NoopExecutor{}})
 	})
 	if errs[1] == nil {

@@ -17,13 +17,18 @@ import (
 //	[4B id][4B length with bit31 = packed flag][payload]
 //
 // where payload is ceil(len/4) packed bytes or len raw base codes.
-type PackedCodec struct{ Reads *seq.ReadSet }
+//
+// Like RealCodec it encodes from the rank's owner-only store; note that
+// WireSize also needs the bases (to detect N), so it too is owned-only —
+// superstep planning must use the length vector instead, accepting the
+// byte-encoded size as a safe overestimate.
+type PackedCodec struct{ Store seq.Store }
 
 const packedFlag = 1 << 31
 
-// Encode appends the packed wire form of read id.
+// Encode appends the packed wire form of read id (must be resident).
 func (c PackedCodec) Encode(dst []byte, id seq.ReadID) []byte {
-	r := c.Reads.Get(id)
+	r := c.Store.Get(id)
 	s := r.Seq
 	packed := true
 	for _, b := range s {
@@ -60,9 +65,9 @@ func (c PackedCodec) Encode(dst []byte, id seq.ReadID) []byte {
 	return dst
 }
 
-// WireSize returns the packed wire size of read id.
+// WireSize returns the packed wire size of read id (must be resident).
 func (c PackedCodec) WireSize(id seq.ReadID) int {
-	s := c.Reads.Get(id).Seq
+	s := c.Store.Get(id).Seq
 	for _, b := range s {
 		if b >= seq.N {
 			return 8 + len(s)

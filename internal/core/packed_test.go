@@ -29,7 +29,7 @@ func TestPackedCodecRoundTrip(t *testing.T) {
 		seqs = append(seqs, s)
 	}
 	rs := seq.NewReadSet(seqs)
-	c := PackedCodec{Reads: rs}
+	c := PackedCodec{Store: seq.FullStore(rs)}
 	var buf []byte
 	for i := range rs.Reads {
 		start := len(buf)
@@ -59,8 +59,8 @@ func TestPackedCodecSavesBytes(t *testing.T) {
 		s[i] = seq.Base(i % 4)
 	}
 	rs := seq.NewReadSet([]seq.Seq{s})
-	packed := PackedCodec{Reads: rs}.WireSize(0)
-	raw := RealCodec{Reads: rs}.WireSize(0)
+	packed := PackedCodec{Store: seq.FullStore(rs)}.WireSize(0)
+	raw := RealCodec{Store: seq.FullStore(rs)}.WireSize(0)
 	if packed >= raw/3 {
 		t.Errorf("packed %d bytes vs raw %d: expected ≈4x saving", packed, raw)
 	}
@@ -72,7 +72,7 @@ func TestPackedCodecErrors(t *testing.T) {
 		t.Error("short header accepted")
 	}
 	rs := seq.NewReadSet([]seq.Seq{seq.MustFromString("ACGTACGT")})
-	c = PackedCodec{Reads: rs}
+	c = PackedCodec{Store: seq.FullStore(rs)}
 	buf := c.Encode(nil, 0)
 	if _, _, err := c.Decode(buf[:len(buf)-1]); err == nil {
 		t.Error("short body accepted")
@@ -111,8 +111,10 @@ func TestPackedCodecDriverEquivalence(t *testing.T) {
 	results := make([]*Result, 4)
 	errs := make([]error, 4)
 	world.Run(func(r rt.Runtime) {
+		lo, hi := pt.Range(r.Rank())
+		st := seq.Scope(w.reads, lo, hi, lens)
 		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
-			Codec: PackedCodec{Reads: w.reads}, Reads: w.reads}
+			Codec: PackedCodec{Store: st}, Store: st}
 		results[r.Rank()], errs[r.Rank()] = RunBSP(r, in, Config{Exec: RealExecutor{Scoring: sc, X: 15}, MinScore: 40})
 	})
 	var got []Hit

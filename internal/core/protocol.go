@@ -44,6 +44,25 @@ func decodeReadReq(body []byte) ([]seq.ReadID, error) {
 	return ids, nil
 }
 
+// rpcMeter tracks this rank's estimated in-flight pull-RPC response bytes
+// (planned from the replicated length vector at issue time) and records
+// the high-water mark in Metrics.PeakRPCBytes — the async counterpart of
+// the BSP driver's exchange-buffer peak. All updates run on the rank's own
+// goroutine under the progress contract, so plain arithmetic suffices.
+type rpcMeter struct {
+	cur int64
+	m   *rt.Metrics
+}
+
+func (p *rpcMeter) add(n int64) {
+	p.cur += n
+	if p.cur > p.m.PeakRPCBytes {
+		p.m.PeakRPCBytes = p.cur
+	}
+}
+
+func (p *rpcMeter) sub(n int64) { p.cur -= n }
+
 // readServer answers reqRead lookups into this rank's partition. Drivers
 // needing more ops (stealing) wrap it.
 func readServer(r rt.Runtime, in *Input) func([]byte) []byte {

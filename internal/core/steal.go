@@ -44,6 +44,8 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	base := in.PartitionBytes(r.Rank())
 	r.Alloc(base)
 	defer r.Free(base)
+	r.Metrics().StoreBytes = in.storeBytes(r.Rank())
+	meter := rpcMeter{m: r.Metrics()}
 
 	// The steal queue: store.order[next..tail] is unclaimed. The owner
 	// consumes from the front; steal requests pop from the tail. Both run
@@ -82,7 +84,10 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		rid := store.order[next]
 		next++
 		tasks := store.byRemote[rid]
+		est := int64(in.planSize(rid))
+		meter.add(est)
 		r.AsyncCall(in.Part.Owner(rid), encodeReadReq(rid), func(val []byte) {
+			meter.sub(est)
 			n := int64(len(val))
 			r.Alloc(n)
 			defer r.Free(n)
@@ -137,7 +142,7 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 				for _, g := range groups {
 					out.TasksStolen += len(g.tasks)
 					pendingWork++
-					runStolenGroupImpl(r, in, &cfg, g, out, &pendingWork, &cbErr)
+					runStolenGroupImpl(r, in, &cfg, &meter, g, out, &pendingWork, &cbErr)
 					if r.Outstanding() > cfg.MaxOutstanding {
 						r.Drain(cfg.MaxOutstanding)
 					}
@@ -229,13 +234,16 @@ func decodeStolenGroups(buf []byte) ([]stolenGroup, error) {
 
 // fetchSeq resolves one read for a thief: local partition reads come from
 // the store; anything else is pulled from its owner.
-func fetchSeq(r rt.Runtime, in *Input, id seq.ReadID, cb func(seq.Seq, error)) {
+func fetchSeq(r rt.Runtime, in *Input, meter *rpcMeter, id seq.ReadID, cb func(seq.Seq, error)) {
 	lo, hi := in.Part.Range(r.Rank())
 	if int(id) >= lo && int(id) < hi {
 		cb(in.localSeq(id), nil)
 		return
 	}
+	est := int64(in.planSize(id))
+	meter.add(est)
 	r.AsyncCall(in.Part.Owner(id), encodeReadReq(id), func(val []byte) {
+		meter.sub(est)
 		n := int64(len(val))
 		r.Alloc(n)
 		defer r.Free(n)
@@ -252,8 +260,8 @@ func fetchSeq(r rt.Runtime, in *Input, id seq.ReadID, cb func(seq.Seq, error)) {
 // remote read, then per task fetch the other side (the victim's local
 // read — usually remote to the thief too: stealing pays double
 // communication, which is exactly the overhead §5 asks about).
-func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, g stolenGroup, out *Result, pendingWork *int, cbErr *error) {
-	fetchSeq(r, in, g.rid, func(ridSeq seq.Seq, err error) {
+func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, meter *rpcMeter, g stolenGroup, out *Result, pendingWork *int, cbErr *error) {
+	fetchSeq(r, in, meter, g.rid, func(ridSeq seq.Seq, err error) {
 		if err != nil {
 			*cbErr = err
 			*pendingWork--
@@ -270,12 +278,12 @@ func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, g stolenGroup, out
 			if other == g.rid {
 				other = t.B
 			}
-			fetchSeq(r, in, other, func(otherSeq seq.Seq, err error) {
+			fetchSeq(r, in, meter, other, func(otherSeq seq.Seq, err error) {
 				if err != nil {
 					*cbErr = err
 				} else {
 					var a, b seq.Seq
-					if in.Reads != nil || otherSeq != nil || ridSeq != nil {
+					if in.Store != nil || otherSeq != nil || ridSeq != nil {
 						if t.A == g.rid {
 							a, b = ridSeq, otherSeq
 						} else {

@@ -9,6 +9,7 @@ import (
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
 	"gnbody/internal/rt"
+	"gnbody/internal/seq"
 	"gnbody/internal/sim"
 )
 
@@ -33,8 +34,10 @@ func runRealMode(t *testing.T, w *testWorkload, p int, driver string, exec Execu
 	errs := make([]error, p)
 	cfg.Exec = exec
 	world.Run(func(r rt.Runtime) {
+		lo, hi := pt.Range(r.Rank())
+		st := seq.Scope(w.reads, lo, hi, lens)
 		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
-			Codec: RealCodec{Reads: w.reads}, Reads: w.reads}
+			Codec: RealCodec{Store: st}, Store: st}
 		switch driver {
 		case "steal":
 			results[r.Rank()], errs[r.Rank()] = RunAsyncStealing(r, in, cfg)

@@ -11,6 +11,7 @@ import (
 	"gnbody/internal/dist"
 	"gnbody/internal/partition"
 	"gnbody/internal/rt"
+	"gnbody/internal/seq"
 	"gnbody/internal/stats"
 	"gnbody/internal/transport"
 	"gnbody/internal/workload"
@@ -19,13 +20,15 @@ import (
 // DistRow is one configuration of the distributed-backend experiment: the
 // full real pipeline run over the message-passing runtime on one fabric.
 type DistRow struct {
-	Transport string // "loopback" or "tcp"
-	Mode      Mode
-	Ranks     int
-	Elapsed   time.Duration
-	Hits      int
-	Msgs      int64
-	Bytes     int64 // payload bytes sent, summed over ranks
+	Transport  string // "loopback" or "tcp"
+	Mode       Mode
+	Ranks      int
+	Elapsed    time.Duration
+	Hits       int
+	Msgs       int64
+	Bytes      int64 // payload bytes sent, summed over ranks
+	StoreBytes int64 // largest per-rank resident read-store footprint
+	PeakExch   int64 // largest per-rank superstep exchange / in-flight RPC bytes
 }
 
 // DistParams sizes the distributed-backend experiment.
@@ -137,8 +140,13 @@ func Dist(p DistParams) (*stats.Table, []DistRow, error) {
 			errs := make([]error, p.Ranks)
 			t0 := time.Now()
 			world.Run(func(r rt.Runtime) {
+				// Owner-only residency: each rank's store covers exactly its
+				// partition, and the codec encodes from it, so an attempt to
+				// touch a remote read's bases panics the experiment.
+				lo, hi := pt.Range(r.Rank())
+				st := seq.Scope(reads, lo, hi, lens)
 				in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
-					Codec: core.RealCodec{Reads: reads}, Reads: reads}
+					Codec: core.RealCodec{Store: st}, Store: st}
 				cfg := core.Config{Exec: exec, MinScore: 100}
 				if mode == Async {
 					results[r.Rank()], errs[r.Rank()] = core.RunAsync(r, in, cfg)
@@ -156,6 +164,16 @@ func Dist(p DistParams) (*stats.Table, []DistRow, error) {
 				row.Hits += len(results[rk].Hits)
 				row.Msgs += world.Metrics(rk).Msgs
 				row.Bytes += world.Metrics(rk).BytesSent
+				if sb := world.Metrics(rk).StoreBytes; sb > row.StoreBytes {
+					row.StoreBytes = sb
+				}
+				pk := world.Metrics(rk).PeakExchange
+				if rp := world.Metrics(rk).PeakRPCBytes; rp > pk {
+					pk = rp
+				}
+				if pk > row.PeakExch {
+					row.PeakExch = pk
+				}
 			}
 			world.Close()
 			if row.Hits != len(ref) {
@@ -168,11 +186,12 @@ func Dist(p DistParams) (*stats.Table, []DistRow, error) {
 	t := &stats.Table{
 		Title: fmt.Sprintf("Distributed backend (real pipeline, E. coli 30x ÷ %d, %d ranks, wall clock)",
 			p.Scale, p.Ranks),
-		Headers: []string{"transport", "mode", "ranks", "elapsed", "hits", "msgs", "bytes"},
+		Headers: []string{"transport", "mode", "ranks", "elapsed", "hits", "msgs", "bytes", "store/rank", "peak-exch"},
 	}
 	for _, r := range rows {
 		t.AddRow(r.Transport, string(r.Mode), fmt.Sprint(r.Ranks), stats.FmtDur(r.Elapsed),
-			fmt.Sprint(r.Hits), fmt.Sprint(r.Msgs), stats.FmtBytes(r.Bytes))
+			fmt.Sprint(r.Hits), fmt.Sprint(r.Msgs), stats.FmtBytes(r.Bytes),
+			stats.FmtBytes(r.StoreBytes), stats.FmtBytes(r.PeakExch))
 	}
 	return t, rows, nil
 }

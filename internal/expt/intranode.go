@@ -10,6 +10,7 @@ import (
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
 	"gnbody/internal/rt"
+	"gnbody/internal/seq"
 	"gnbody/internal/stats"
 	"gnbody/internal/workload"
 )
@@ -78,8 +79,10 @@ func Intranode(p IntranodeParams) (*stats.Table, []IntranodeRow, error) {
 			errs := make([]error, c)
 			t0 := time.Now()
 			world.Run(func(r rt.Runtime) {
+				lo, hi := pt.Range(r.Rank())
+				st := seq.Scope(reads, lo, hi, lens)
 				in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
-					Codec: core.RealCodec{Reads: reads}, Reads: reads}
+					Codec: core.RealCodec{Store: st}, Store: st}
 				cfg := core.Config{Exec: exec, MinScore: 100}
 				if mode == Async {
 					results[r.Rank()], errs[r.Rank()] = core.RunAsync(r, in, cfg)

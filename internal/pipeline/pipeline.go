@@ -28,8 +28,8 @@ import (
 // Input is one rank's view of the stage-1/2 problem.
 type Input struct {
 	Part  *partition.Partition
-	Reads *seq.ReadSet // global store; this rank scans only its range
-	Lens  []int32      // global read lengths (stage-1 metadata)
+	Store seq.Store // owner-only read store; this rank scans only its range
+	Lens  []int32   // global read lengths (stage-1 metadata)
 	K     int
 	Lo    int // reliable-frequency window
 	Hi    int
@@ -92,7 +92,7 @@ func Run(r rt.Runtime, in *Input) (*Output, error) {
 		lo, hi := in.Part.Range(r.Rank())
 		perRead := make(map[kmer.Code]struct{})
 		for i := lo; i < hi; i++ {
-			read := in.Reads.Get(seq.ReadID(i))
+			read := in.Store.Get(seq.ReadID(i))
 			// keepPerRead=1: only a read's first occurrence of each code
 			// seeds candidates (one seed per candidate overlap, §4).
 			// All occurrences of a (code, read) pair originate here, so

@@ -33,7 +33,7 @@ func BenchmarkDistributedStages(b *testing.B) {
 		var total int64
 		outs := make([]*Output, p)
 		world.Run(func(r rt.Runtime) {
-			out, err := Run(r, &Input{Part: pt, Reads: reads, Lens: lens, K: 15, Lo: 2, Hi: 60})
+			out, err := Run(r, &Input{Part: pt, Store: scopeRank(r, pt, reads, lens), Lens: lens, K: 15, Lo: 2, Hi: 60})
 			if err != nil {
 				b.Error(err)
 				return

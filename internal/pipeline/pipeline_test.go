@@ -13,6 +13,13 @@ import (
 	"gnbody/internal/workload"
 )
 
+// scopeRank gives a rank an enforcing owner-only view of the shared read
+// set: stage 1 must scan only its own partition, and any stray Get panics.
+func scopeRank(r rt.Runtime, pt *partition.Partition, reads *seq.ReadSet, lens []int32) seq.Store {
+	lo, hi := pt.Range(r.Rank())
+	return seq.Scope(reads, lo, hi, lens)
+}
+
 // runDistributed executes stages 1-2 on the real runtime and gathers the
 // per-rank outputs.
 func runDistributed(t *testing.T, reads *seq.ReadSet, p, k, lo, hi int) ([]*Output, *partition.Partition) {
@@ -34,7 +41,7 @@ func runDistributed(t *testing.T, reads *seq.ReadSet, p, k, lo, hi int) ([]*Outp
 	errs := make([]error, p)
 	world.Run(func(r rt.Runtime) {
 		outs[r.Rank()], errs[r.Rank()] = Run(r, &Input{
-			Part: pt, Reads: reads, Lens: lens, K: k, Lo: lo, Hi: hi,
+			Part: pt, Store: scopeRank(r, pt, reads, lens), Lens: lens, K: k, Lo: lo, Hi: hi,
 		})
 	})
 	for rk, err := range errs {
@@ -157,7 +164,7 @@ func TestDistributedValidation(t *testing.T) {
 		if r.Rank() != 0 {
 			return
 		}
-		_, errs[0] = Run(r, &Input{Part: pt, Reads: reads, Lens: lens, K: 0})
+		_, errs[0] = Run(r, &Input{Part: pt, Store: scopeRank(r, pt, reads, lens), Lens: lens, K: 0})
 	})
 	if errs[0] == nil {
 		t.Error("k=0 accepted")
@@ -190,7 +197,7 @@ func TestDistributedUnderSimulator(t *testing.T) {
 	errs := make([]error, 4)
 	if err := eng.Run(func(r rt.Runtime) {
 		outs[r.Rank()], errs[r.Rank()] = Run(r, &Input{
-			Part: pt, Reads: reads, Lens: lens, K: k, Lo: lo, Hi: hi,
+			Part: pt, Store: scopeRank(r, pt, reads, lens), Lens: lens, K: k, Lo: lo, Hi: hi,
 		})
 	}); err != nil {
 		t.Fatal(err)

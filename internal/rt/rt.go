@@ -92,6 +92,18 @@ type Metrics struct {
 	RPCsSent   int64
 	RPCserved  int64
 	Supersteps int64 // BSP exchange rounds executed
+
+	// Residency accounting (DESIGN.md §10). StoreBytes is the rank's
+	// resident read-store footprint (Store.LocalBytes); PeakExchange the
+	// largest superstep exchange (request + payload + receive buffers) the
+	// BSP driver held at once; PeakRPCBytes the async driver's high-water
+	// estimate of in-flight pull-RPC response bytes; OOPGets counts
+	// out-of-partition Store.Gets observed by a counting store — zero in a
+	// correct owner-only run.
+	StoreBytes   int64
+	PeakExchange int64
+	PeakRPCBytes int64
+	OOPGets      int64
 }
 
 // Alloc records n live bytes (message buffers, retained remote reads).
@@ -233,6 +245,10 @@ func TraceRow(rank int, m *Metrics, b *trace.Buf) trace.RankMetrics {
 		RPCsServed:  m.RPCserved,
 		Supersteps:  m.Supersteps,
 		MaxMem:      m.MaxMem,
+		StoreBytes:  m.StoreBytes,
+		PeakExch:    m.PeakExchange,
+		PeakRPC:     m.PeakRPCBytes,
+		OOPGets:     m.OOPGets,
 		RPCPeak:     b.RPCHighWater(),
 		Events:      int64(b.Len()) + b.Dropped(),
 		Dropped:     b.Dropped(),

@@ -14,20 +14,37 @@ import (
 // Multi-line sequences are concatenated; blank lines are skipped; invalid
 // characters are rejected with a position-bearing error.
 func ReadFASTA(r io.Reader) (*ReadSet, error) {
+	reads, err := parseFASTA(r, 0, -1, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &ReadSet{Reads: reads}, nil
+}
+
+// parseFASTA is the shared FASTA record parser: skip `skip` records
+// (scanned and validated, never materialised), then keep `count` records
+// (-1 = all) with IDs assigned from firstID — the primitive behind both
+// the whole-file loaders and the per-rank range loaders.
+func parseFASTA(r io.Reader, skip, count, firstID int) ([]Read, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	rs := &ReadSet{}
+	var out []Read
 	var name string
 	var body []Base
 	var inRecord bool
+	rec := 0 // index of the open record (== records flushed so far)
 	line := 0
+	kept := func(i int) bool { return i >= skip && (count < 0 || i < skip+count) }
 	flush := func() {
 		if inRecord {
-			rs.Reads = append(rs.Reads, Read{
-				ID:   ReadID(len(rs.Reads)),
-				Name: name,
-				Seq:  append(Seq(nil), body...),
-			})
+			if kept(rec) {
+				out = append(out, Read{
+					ID:   ReadID(firstID + len(out)),
+					Name: name,
+					Seq:  append(Seq(nil), body...),
+				})
+			}
+			rec++
 			body = body[:0]
 		}
 	}
@@ -39,29 +56,35 @@ func ReadFASTA(r io.Reader) (*ReadSet, error) {
 		}
 		if text[0] == '>' {
 			flush()
+			if count >= 0 && rec >= skip+count {
+				return out, nil
+			}
 			inRecord = true
 			name = firstField(string(text[1:]))
 			if name == "" {
-				name = fmt.Sprintf("read%d", len(rs.Reads))
+				name = fmt.Sprintf("read%d", firstID+len(out))
 			}
 			continue
 		}
 		if !inRecord {
 			return nil, fmt.Errorf("fasta: line %d: sequence data before first header", line)
 		}
+		keep := kept(rec)
 		for i := 0; i < len(text); i++ {
 			b, ok := BaseFromChar(text[i])
 			if !ok {
 				return nil, fmt.Errorf("fasta: line %d: invalid character %q", line, text[i])
 			}
-			body = append(body, b)
+			if keep {
+				body = append(body, b)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("fasta: %w", err)
 	}
 	flush()
-	return rs, nil
+	return out, nil
 }
 
 // firstField returns the first whitespace-separated token of s, or "" for
@@ -113,10 +136,22 @@ func WriteFASTA(w io.Writer, rs *ReadSet, width int) error {
 // Quality strings are validated for length but discarded: the alignment
 // pipeline in this library is quality-agnostic, as in the paper.
 func ReadFASTQ(r io.Reader) (*ReadSet, error) {
+	reads, err := parseFASTQ(r, 0, -1, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &ReadSet{Reads: reads}, nil
+}
+
+// parseFASTQ is parseFASTA's FASTQ counterpart: skip, then keep count
+// records with IDs from firstID. Skipped records are fully validated but
+// their bases are dropped immediately, keeping memory at one record.
+func parseFASTQ(r io.Reader, skip, count, firstID int) ([]Read, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	rs := &ReadSet{}
+	var out []Read
 	line := 0
+	rec := 0
 	next := func() (string, bool) {
 		for sc.Scan() {
 			line++
@@ -128,6 +163,9 @@ func ReadFASTQ(r io.Reader) (*ReadSet, error) {
 		return "", false
 	}
 	for {
+		if count >= 0 && rec >= skip+count {
+			return out, nil
+		}
 		hdr, ok := next()
 		if !ok {
 			break
@@ -154,16 +192,19 @@ func ReadFASTQ(r io.Reader) (*ReadSet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fastq: line %d: %v", line, err)
 		}
-		name := firstField(hdr[1:])
-		if name == "" {
-			name = fmt.Sprintf("read%d", len(rs.Reads))
+		if rec >= skip {
+			name := firstField(hdr[1:])
+			if name == "" {
+				name = fmt.Sprintf("read%d", firstID+len(out))
+			}
+			out = append(out, Read{ID: ReadID(firstID + len(out)), Name: name, Seq: s})
 		}
-		rs.Reads = append(rs.Reads, Read{ID: ReadID(len(rs.Reads)), Name: name, Seq: s})
+		rec++
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("fastq: %w", err)
 	}
-	return rs, nil
+	return out, nil
 }
 
 // LoadFile reads a FASTA or FASTQ file, transparently gunzipping

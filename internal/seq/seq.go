@@ -248,14 +248,25 @@ type Stats struct {
 
 // ComputeStats derives summary statistics for the read set.
 func (rs *ReadSet) ComputeStats() Stats {
-	st := Stats{Count: rs.Len()}
+	lens := make([]int32, rs.Len())
+	for i := range rs.Reads {
+		lens[i] = int32(len(rs.Reads[i].Seq))
+	}
+	return StatsFromLens(lens)
+}
+
+// StatsFromLens derives the same summary from a length vector alone —
+// the replicated stage-1 metadata — so distributed workers can report
+// dataset statistics without holding any remote bases.
+func StatsFromLens(lens32 []int32) Stats {
+	st := Stats{Count: len(lens32)}
 	if st.Count == 0 {
 		return st
 	}
-	lens := make([]int, rs.Len())
-	for i := range rs.Reads {
-		lens[i] = len(rs.Reads[i].Seq)
-		st.TotalBases += int64(lens[i])
+	lens := make([]int, len(lens32))
+	for i, l := range lens32 {
+		lens[i] = int(l)
+		st.TotalBases += int64(l)
 	}
 	sort.Ints(lens)
 	st.MinLen = lens[0]

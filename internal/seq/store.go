@@ -1,0 +1,169 @@
+package seq
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Store is the owner-only read store: one rank's resident slice of the
+// global read set plus the replicated O(n) length vector (the paper's
+// stage-1 metadata, the only per-read state every rank may hold).
+//
+// Residency contract: Get on a read outside Range() is a programming
+// error. Production stores panic; the counting wrapper returned by
+// ScopeCounting serves the read but records the violation, so the metrics
+// layer can prove replication never crept back in (the conformance battery
+// asserts the counter stays zero). Remote read payloads may exist only in
+// exchange buffers or RPC responses scoped to a superstep or callback —
+// never in a Store.
+//
+// A Store is safe for concurrent readers; it is immutable after
+// construction (the violation counter is atomic).
+type Store interface {
+	// N returns the global read count.
+	N() int
+	// Range returns the resident interval [lo, hi) of read IDs.
+	Range() (lo, hi int)
+	// Owns reports whether id is resident.
+	Owns(id ReadID) bool
+	// Get returns a resident read. Calling Get on a non-owned id violates
+	// the residency contract (see above).
+	Get(id ReadID) *Read
+	// Len returns the length of any read, owned or not — lengths are
+	// replicated metadata.
+	Len(id ReadID) int
+	// Lens returns the global length vector. Callers must not mutate it.
+	Lens() []int32
+	// LocalBytes returns the total wire bytes of the resident reads — the
+	// per-rank resident-footprint series of the memory figures.
+	LocalBytes() int64
+}
+
+// SliceStore is the true owner-only store: it physically holds only the
+// reads in [lo, lo+len(reads)). The per-rank range loaders produce it, so
+// a -dist worker process never materialises another rank's bases.
+type SliceStore struct {
+	lo    int
+	reads []Read
+	lens  []int32
+}
+
+// NewSliceStore builds a store resident over [lo, lo+len(reads)) against
+// the global length vector. reads[i].ID must equal lo+i and its length
+// must match lens — the invariants every consumer of dense IDs relies on.
+func NewSliceStore(lo int, reads []Read, lens []int32) (*SliceStore, error) {
+	if lo < 0 || lo+len(reads) > len(lens) {
+		return nil, fmt.Errorf("seq: store range [%d,%d) outside global [0,%d)", lo, lo+len(reads), len(lens))
+	}
+	for i := range reads {
+		if reads[i].ID != ReadID(lo+i) {
+			return nil, fmt.Errorf("seq: store read %d carries ID %d, want %d", i, reads[i].ID, lo+i)
+		}
+		if len(reads[i].Seq) != int(lens[lo+i]) {
+			return nil, fmt.Errorf("seq: store read %d has %d bases, length vector says %d",
+				lo+i, len(reads[i].Seq), lens[lo+i])
+		}
+	}
+	return &SliceStore{lo: lo, reads: reads, lens: lens}, nil
+}
+
+// N returns the global read count.
+func (s *SliceStore) N() int { return len(s.lens) }
+
+// Range returns the resident interval.
+func (s *SliceStore) Range() (lo, hi int) { return s.lo, s.lo + len(s.reads) }
+
+// Owns reports residency of id.
+func (s *SliceStore) Owns(id ReadID) bool {
+	return int(id) >= s.lo && int(id) < s.lo+len(s.reads)
+}
+
+// Get returns a resident read; it panics on a non-owned id.
+func (s *SliceStore) Get(id ReadID) *Read {
+	if !s.Owns(id) {
+		panic(residencyViolation(id, s.lo, s.lo+len(s.reads)))
+	}
+	return &s.reads[int(id)-s.lo]
+}
+
+// Len returns the length of any read (replicated metadata).
+func (s *SliceStore) Len(id ReadID) int { return int(s.lens[id]) }
+
+// Lens returns the global length vector.
+func (s *SliceStore) Lens() []int32 { return s.lens }
+
+// LocalBytes sums the wire sizes of the resident reads.
+func (s *SliceStore) LocalBytes() int64 {
+	var n int64
+	for i := range s.reads {
+		n += int64(s.reads[i].WireSize())
+	}
+	return n
+}
+
+// scoped restricts a globally-loaded ReadSet to one rank's range. The
+// in-process backends (par, sim) share a single loaded set across rank
+// goroutines — replicating it per rank would multiply host memory — so
+// each rank instead gets a scoped view that enforces the same residency
+// contract the SliceStore enforces physically: panic on out-of-partition
+// Get, or count it when a violation counter is attached.
+type scoped struct {
+	rs     *ReadSet
+	lo, hi int
+	lens   []int32
+	oop    *int64 // nil: panic on violation; else: atomic violation counter
+}
+
+// Scope returns an enforcing owner-only view of rs over [lo, hi): Get on
+// a read outside the range panics. Use it wherever a rank borrows from a
+// shared in-process read set; tests run all backends under it.
+func Scope(rs *ReadSet, lo, hi int, lens []int32) Store {
+	return &scoped{rs: rs, lo: lo, hi: hi, lens: lens}
+}
+
+// ScopeCounting is Scope in counting mode: an out-of-partition Get is
+// served (the data physically exists in this process) but recorded in
+// *oop, which the metrics layer exports as the oop_gets column. Zero after
+// a run proves owner-only residency held.
+func ScopeCounting(rs *ReadSet, lo, hi int, lens []int32, oop *int64) Store {
+	return &scoped{rs: rs, lo: lo, hi: hi, lens: lens, oop: oop}
+}
+
+func (s *scoped) N() int              { return len(s.lens) }
+func (s *scoped) Range() (lo, hi int) { return s.lo, s.hi }
+func (s *scoped) Owns(id ReadID) bool { return int(id) >= s.lo && int(id) < s.hi }
+func (s *scoped) Len(id ReadID) int   { return int(s.lens[id]) }
+func (s *scoped) Lens() []int32       { return s.lens }
+
+func (s *scoped) Get(id ReadID) *Read {
+	if !s.Owns(id) {
+		if s.oop == nil {
+			panic(residencyViolation(id, s.lo, s.hi))
+		}
+		atomic.AddInt64(s.oop, 1)
+	}
+	return s.rs.Get(id)
+}
+
+func (s *scoped) LocalBytes() int64 {
+	var n int64
+	for i := s.lo; i < s.hi; i++ {
+		n += int64(WireSizeOf(int(s.lens[i])))
+	}
+	return n
+}
+
+// FullStore wraps a complete ReadSet as a Store owning everything — the
+// serial reference view, and the degenerate P=1 case.
+func FullStore(rs *ReadSet) Store {
+	lens := make([]int32, rs.Len())
+	for i := range rs.Reads {
+		lens[i] = int32(rs.Reads[i].Len())
+	}
+	return &scoped{rs: rs, lo: 0, hi: rs.Len(), lens: lens}
+}
+
+func residencyViolation(id ReadID, lo, hi int) string {
+	return fmt.Sprintf("seq: residency violation: Get(%d) outside owned range [%d,%d) — "+
+		"remote reads are reachable only through the exchange", id, lo, hi)
+}

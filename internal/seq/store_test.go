@@ -1,0 +1,128 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+func storeFixture(t *testing.T) (*ReadSet, []int32) {
+	t.Helper()
+	rs := NewReadSet([]Seq{
+		MustFromString("ACGTACGT"),
+		MustFromString("GGGA"),
+		MustFromString("TTTTTTTTTT"),
+		MustFromString("CAT"),
+	})
+	lens := make([]int32, rs.Len())
+	for i := range rs.Reads {
+		lens[i] = int32(rs.Reads[i].Len())
+	}
+	return rs, lens
+}
+
+func TestSliceStoreResidency(t *testing.T) {
+	rs, lens := storeFixture(t)
+	st, err := NewSliceStore(1, rs.Reads[1:3], lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N() != 4 {
+		t.Errorf("N = %d, want 4", st.N())
+	}
+	if lo, hi := st.Range(); lo != 1 || hi != 3 {
+		t.Errorf("Range = [%d,%d), want [1,3)", lo, hi)
+	}
+	if !st.Owns(1) || !st.Owns(2) || st.Owns(0) || st.Owns(3) {
+		t.Error("Owns misreports residency")
+	}
+	if got := st.Get(2); got.ID != 2 || got.Seq.String() != "TTTTTTTTTT" {
+		t.Errorf("Get(2) = %v", got)
+	}
+	// Lengths stay readable for non-owned reads (replicated metadata).
+	if st.Len(0) != 8 || st.Len(3) != 3 {
+		t.Error("Len metadata wrong for non-owned reads")
+	}
+	want := int64(WireSizeOf(4) + WireSizeOf(10))
+	if st.LocalBytes() != want {
+		t.Errorf("LocalBytes = %d, want %d", st.LocalBytes(), want)
+	}
+	// The residency contract: Get outside the range panics.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Get(0) on a store owning [1,3) did not panic")
+		}
+		if !strings.Contains(r.(string), "residency violation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	st.Get(0)
+}
+
+func TestSliceStoreValidation(t *testing.T) {
+	rs, lens := storeFixture(t)
+	if _, err := NewSliceStore(3, rs.Reads[1:3], lens); err == nil {
+		t.Error("range past global end accepted")
+	}
+	if _, err := NewSliceStore(0, rs.Reads[1:3], lens); err == nil {
+		t.Error("mismatched IDs accepted")
+	}
+	bad := append([]int32(nil), lens...)
+	bad[1] = 99
+	if _, err := NewSliceStore(1, rs.Reads[1:3], bad); err == nil {
+		t.Error("length-vector mismatch accepted")
+	}
+}
+
+func TestScopePanicsOutOfPartition(t *testing.T) {
+	rs, lens := storeFixture(t)
+	st := Scope(rs, 0, 2, lens)
+	if got := st.Get(1); got.ID != 1 {
+		t.Errorf("Get(1) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scoped Get(3) outside [0,2) did not panic")
+		}
+	}()
+	st.Get(3)
+}
+
+func TestScopeCountingServesAndCounts(t *testing.T) {
+	rs, lens := storeFixture(t)
+	var oop int64
+	st := ScopeCounting(rs, 0, 2, lens, &oop)
+	if got := st.Get(0); got.ID != 0 {
+		t.Errorf("Get(0) = %v", got)
+	}
+	if oop != 0 {
+		t.Fatalf("owned Get counted as violation (oop=%d)", oop)
+	}
+	if got := st.Get(3); got.ID != 3 {
+		t.Errorf("counting store must still serve the read, got %v", got)
+	}
+	st.Get(2)
+	if oop != 2 {
+		t.Errorf("oop = %d, want 2", oop)
+	}
+}
+
+func TestFullStoreOwnsEverything(t *testing.T) {
+	rs, _ := storeFixture(t)
+	st := FullStore(rs)
+	if lo, hi := st.Range(); lo != 0 || hi != rs.Len() {
+		t.Errorf("Range = [%d,%d)", lo, hi)
+	}
+	for i := 0; i < rs.Len(); i++ {
+		if st.Get(ReadID(i)).ID != ReadID(i) {
+			t.Errorf("Get(%d) wrong read", i)
+		}
+	}
+	var want int64
+	for i := range rs.Reads {
+		want += int64(rs.Reads[i].WireSize())
+	}
+	if st.LocalBytes() != want {
+		t.Errorf("LocalBytes = %d, want %d", st.LocalBytes(), want)
+	}
+}

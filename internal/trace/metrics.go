@@ -27,6 +27,10 @@ type RankMetrics struct {
 	RPCsServed  int64   `json:"rpcs_served"`
 	Supersteps  int64   `json:"supersteps"`
 	MaxMem      int64   `json:"max_mem_bytes"`
+	StoreBytes  int64   `json:"store_bytes"`
+	PeakExch    int64   `json:"peak_exchange_bytes"`
+	PeakRPC     int64   `json:"peak_rpc_bytes"`
+	OOPGets     int64   `json:"oop_gets"`
 	RPCPeak     int     `json:"rpc_outstanding_peak"`
 	Events      int64   `json:"trace_events"`
 	Dropped     int64   `json:"trace_events_dropped"`
@@ -42,6 +46,9 @@ type MetricsSummary struct {
 	TotalMsgs        int64   `json:"total_msgs"`
 	TotalBytesSent   int64   `json:"total_bytes_sent"`
 	MaxMem           int64   `json:"max_mem_bytes"`
+	MaxStoreBytes    int64   `json:"max_store_bytes"`
+	MaxPeakExch      int64   `json:"max_peak_exchange_bytes"`
+	TotalOOPGets     int64   `json:"total_oop_gets"`
 	RPCPeak          int     `json:"rpc_outstanding_peak"`
 }
 
@@ -73,6 +80,13 @@ func Summarize(rows []RankMetrics) MetricsSummary {
 		if r.MaxMem > s.MaxMem {
 			s.MaxMem = r.MaxMem
 		}
+		if r.StoreBytes > s.MaxStoreBytes {
+			s.MaxStoreBytes = r.StoreBytes
+		}
+		if r.PeakExch > s.MaxPeakExch {
+			s.MaxPeakExch = r.PeakExch
+		}
+		s.TotalOOPGets += r.OOPGets
 		if r.RPCPeak > s.RPCPeak {
 			s.RPCPeak = r.RPCPeak
 		}
@@ -88,7 +102,8 @@ func Summarize(rows []RankMetrics) MetricsSummary {
 var metricsHeader = []string{
 	"rank", "align_sec", "overhead_sec", "comm_sec", "sync_sec", "elapsed_sec",
 	"bytes_sent", "bytes_recv", "msgs", "rpcs_sent", "rpcs_served",
-	"supersteps", "max_mem_bytes", "rpc_outstanding_peak",
+	"supersteps", "max_mem_bytes", "store_bytes", "peak_exchange_bytes",
+	"peak_rpc_bytes", "oop_gets", "rpc_outstanding_peak",
 	"trace_events", "trace_events_dropped",
 }
 
@@ -108,7 +123,9 @@ func WriteMetricsCSV(w io.Writer, rows []RankMetrics) error {
 			strconv.FormatInt(r.BytesSent, 10), strconv.FormatInt(r.BytesRecv, 10),
 			strconv.FormatInt(r.Msgs, 10), strconv.FormatInt(r.RPCsSent, 10),
 			strconv.FormatInt(r.RPCsServed, 10), strconv.FormatInt(r.Supersteps, 10),
-			strconv.FormatInt(r.MaxMem, 10), strconv.Itoa(r.RPCPeak),
+			strconv.FormatInt(r.MaxMem, 10), strconv.FormatInt(r.StoreBytes, 10),
+			strconv.FormatInt(r.PeakExch, 10), strconv.FormatInt(r.PeakRPC, 10),
+			strconv.FormatInt(r.OOPGets, 10), strconv.Itoa(r.RPCPeak),
 			strconv.FormatInt(r.Events, 10), strconv.FormatInt(r.Dropped, 10),
 		}
 		if err := cw.Write(rec); err != nil {
