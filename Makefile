@@ -6,13 +6,18 @@
 #                target per invocation, hence one run per target)
 #   make golden  regenerate the exporter golden fixtures after an
 #                intentional trace/metrics schema change
+#   make chaos   fault-injection battery under the race detector: every
+#                injected crash/stall/departure must end in a clean
+#                per-rank error, never a hang or a panic
 #   make dist-smoke  end-to-end multi-process check: a 4-process TCP
-#                dibella run must byte-match the single-process output
+#                dibella run must byte-match the single-process output,
+#                and kill -9 of one rank must fail the job promptly,
+#                naming the lost rank
 
 GO      ?= go
 FUZZT   ?= 10s
 
-.PHONY: check vet fmtcheck build test race fuzz golden dist-smoke ci
+.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke ci
 
 check: vet fmtcheck build test
 
@@ -46,6 +51,9 @@ golden:
 	$(GO) test -run TestGolden ./internal/trace/ -update
 	$(GO) test -run TestGolden ./internal/trace/
 
+chaos:
+	$(GO) test -race -run 'Chaos|Fault' ./...
+
 # True multi-process smoke: fork 4 dibella worker processes over localhost
 # TCP and require byte-identical output to the 1-process in-memory run, for
 # both coordination strategies.
@@ -69,6 +77,17 @@ dist-smoke:
 				  printf "dist-smoke %s rank %s: resident %d of %d global read bytes, 0 OOP gets\n", mode, rk, sb, global }' \
 				$$tmp/met-$$mode.csv.rank$$rk || exit 1; \
 		done; \
-	done
+	done; \
+	$$tmp/genreads -genome 300000 -coverage 10 -meanlen 3000 -seed 5 -out $$tmp/big.fa && \
+	$$tmp/dibella -in $$tmp/big.fa -mode bsp -dist -procs 4 -coverage 10 -progress-deadline 15s \
+		-out $$tmp/kill.tsv >/dev/null 2>$$tmp/kill.err & job=$$!; \
+	found=0; for i in $$(seq 1 100); do \
+		pgrep -f "$$tmp/dibella.* -rank 1 " >/dev/null && { found=1; break; }; sleep 0.1; \
+	done; \
+	[ $$found = 1 ] || { echo "dist-smoke kill: rank 1 worker never appeared"; kill $$job 2>/dev/null; exit 1; }; \
+	pkill -9 -f "$$tmp/dibella.* -rank 1 "; \
+	if wait $$job; then echo "dist-smoke kill: job exited zero after a rank was killed"; exit 1; fi; \
+	grep -q "rank 1" $$tmp/kill.err || { echo "dist-smoke kill: failure does not name rank 1:"; cat $$tmp/kill.err; exit 1; }; \
+	echo "dist-smoke kill-one-rank: OK (job failed promptly, naming rank 1)"
 
-ci: check race fuzz dist-smoke
+ci: check race fuzz chaos dist-smoke

@@ -55,7 +55,7 @@ import (
 // backendWorld is the slice of the backend API dibella drives: par.World
 // for the in-process runtime, distRankWorld for one rank of a -dist job.
 type backendWorld interface {
-	Run(func(rt.Runtime))
+	Run(func(rt.Runtime)) error
 	Metrics(i int) *rt.Metrics
 	ResetMetrics()
 }
@@ -64,7 +64,7 @@ type backendWorld interface {
 // backendWorld interface. Metrics is only meaningful for the local rank.
 type distRankWorld struct{ r *dist.Rank }
 
-func (d distRankWorld) Run(f func(rt.Runtime)) { d.r.Run(f) }
+func (d distRankWorld) Run(f func(rt.Runtime)) error { return d.r.Run(f) }
 func (d distRankWorld) Metrics(i int) *rt.Metrics {
 	if i != d.r.Rank() {
 		panic(fmt.Sprintf("dibella: metrics for rank %d unavailable in process of rank %d", i, d.r.Rank()))
@@ -98,6 +98,8 @@ func main() {
 		rankFlag = flag.Int("rank", -1, "this worker's rank in a -dist job (set by the self-fork launcher, or by hand for multi-host runs)")
 		peers    = flag.Int("peers", 0, "total rank count of a -dist job (defaults to -procs)")
 		addr     = flag.String("addr", "", "rendezvous address host:port of rank 0 in a -dist job (auto-picked when self-forking)")
+		deadline = flag.Duration("progress-deadline", dist.DefaultProgressDeadline,
+			"-dist: fail a rank blocked in a collective with no inbound traffic for this long (0 disables)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -201,7 +203,12 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("rank %d rendezvous at %s: %w", myRank, *addr, err))
 		}
-		distRank = dist.NewRank(tp, dist.Config{MemBudget: *mem, Tracer: tracer})
+		pd := *deadline
+		if pd == 0 {
+			pd = -1 // flag 0 means "disable"; dist.Config 0 means "default"
+		}
+		distRank = dist.NewRank(tp, dist.Config{
+			MemBudget: *mem, Tracer: tracer, ProgressDeadline: pd})
 		world = distRankWorld{distRank}
 	} else {
 		pw, err := par.NewWorld(par.Config{P: *procs, MemBudget: *mem, Tracer: tracer})
@@ -218,11 +225,13 @@ func main() {
 	if isDist {
 		sum := ix.Checksum()
 		var agreeErr error
-		world.Run(func(r rt.Runtime) {
+		if err := world.Run(func(r rt.Runtime) {
 			if r.Allreduce(sum, rt.OpMin) != r.Allreduce(sum, rt.OpMax) {
 				agreeErr = fmt.Errorf("input index checksum %#x disagrees across ranks — workers see different files", uint64(sum))
 			}
-		})
+		}); err != nil {
+			fail(err)
+		}
 		if agreeErr != nil {
 			fail(agreeErr)
 		}
@@ -267,11 +276,13 @@ func main() {
 		}
 		outs := make([]*pipeline.Output, *procs)
 		errs := make([]error, *procs)
-		world.Run(func(r rt.Runtime) {
+		if err := world.Run(func(r rt.Runtime) {
 			outs[r.Rank()], errs[r.Rank()] = pipeline.Run(r, &pipeline.Input{
 				Part: pt, Store: storeFor(r), Lens: lens, K: *k, Lo: lo, Hi: hi,
 			})
-		})
+		}); err != nil {
+			fail(err)
+		}
 		byRank = make([][]overlap.Task, *procs)
 		if isDist {
 			// Each process only knows (and only needs) its own rank's tasks;
@@ -282,9 +293,11 @@ func main() {
 			byRank[myRank] = outs[myRank].Tasks
 			tasks = outs[myRank].Tasks
 			var total int64
-			world.Run(func(r rt.Runtime) {
+			if err := world.Run(func(r rt.Runtime) {
 				total = r.Allreduce(int64(len(tasks)), rt.OpSum)
-			})
+			}); err != nil {
+				fail(err)
+			}
 			logf("dibella: %d candidate tasks (distributed, k=%d, window [%d,%d]) in %s\n",
 				total, *k, lo, hi, time.Since(t1).Round(time.Millisecond))
 		} else {
@@ -317,7 +330,7 @@ func main() {
 	results := make([]*core.Result, *procs)
 	errs := make([]error, *procs)
 	t2 := time.Now()
-	world.Run(func(r rt.Runtime) {
+	runErr := world.Run(func(r rt.Runtime) {
 		// The codec encodes from this rank's own store, so it is built
 		// per rank inside the SPMD region.
 		st := storeFor(r)
@@ -337,6 +350,9 @@ func main() {
 			results[r.Rank()], errs[r.Rank()] = core.RunBSP(r, input, cfg)
 		}
 	})
+	if runErr != nil {
+		fail(runErr)
+	}
 	alignWall := time.Since(t2)
 	var hits []core.Hit
 	var distMet rt.Metrics // align-phase snapshot, before the hit gather
@@ -345,9 +361,11 @@ func main() {
 			fail(fmt.Errorf("rank %d: %w", myRank, errs[myRank]))
 		}
 		distMet = *world.Metrics(myRank)
-		world.Run(func(r rt.Runtime) {
+		if err := world.Run(func(r rt.Runtime) {
 			hits = core.GatherHits(r, results[r.Rank()].Hits)
-		})
+		}); err != nil {
+			fail(err)
+		}
 		// Graceful departure: ranks finish the gather at different times,
 		// and the bye handshake keeps our exit from looking like a crash
 		// to peers still polling.

@@ -211,7 +211,7 @@ func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun
 	results := make([]*Result, confRanks)
 	errs := make([]error, confRanks)
 	gathered := make([][]Hit, confRanks)
-	world.Run(func(r rt.Runtime) {
+	if err := world.Run(func(r rt.Runtime) {
 		// The message-passing backend gets true physical residency: each
 		// rank's store holds only its slice of the read array, so an
 		// out-of-partition Get is a panic, not merely a counter tick.
@@ -230,7 +230,9 @@ func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun
 		default:
 			results[r.Rank()], errs[r.Rank()] = RunBSP(r, in, cfg)
 		}
-	})
+	}); err != nil {
+		t.Fatalf("dist/%s %s: %v", fabricKind, mode, err)
+	}
 	out := confRun{}
 	for rk := 0; rk < confRanks; rk++ {
 		if errs[rk] != nil {
@@ -250,9 +252,11 @@ func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun
 	// — this is the path a true multi-process launch depends on. Done after
 	// the counters above are read so driver accounting stays comparable to
 	// par's.
-	world.Run(func(r rt.Runtime) {
+	if err := world.Run(func(r rt.Runtime) {
 		gathered[r.Rank()] = GatherHits(r, results[r.Rank()].Hits)
-	})
+	}); err != nil {
+		t.Fatalf("dist/%s %s gather: %v", fabricKind, mode, err)
+	}
 	if !reflect.DeepEqual(gathered[0], out.hits) {
 		t.Fatalf("dist/%s %s: GatherHits(%d hits) differs from in-memory collection (%d)",
 			fabricKind, mode, len(gathered[0]), len(out.hits))

@@ -29,12 +29,19 @@
 // conformance battery pins this: byte/message counters match par exactly
 // for the deterministic drivers.
 //
-// A transport failure (peer death, broken socket) is fatal to the SPMD
-// program and panics with the underlying error.
+// A transport failure (peer death, broken socket, stalled link) is fatal
+// to the SPMD program but not to the process: the failing primitive
+// records a RankError naming the operation and the peers involved, unwinds
+// this rank's body, and Rank.Run/World.Run return the error (errors.go
+// documents the mechanism). A peer that stalls without closing its socket
+// is caught by the progress deadline: a rank blocked in a collective with
+// no inbound frame for ProgressDeadline fails with ErrProgressDeadline
+// instead of hanging forever.
 package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -45,11 +52,35 @@ import (
 	"gnbody/internal/transport"
 )
 
+// DefaultProgressDeadline is how long a blocked collective tolerates total
+// inbound silence before declaring its missing peers dead. Generous: at
+// any healthy load imbalance the stragglers still emit barrier tokens and
+// exchange frames well within it.
+const DefaultProgressDeadline = 30 * time.Second
+
 // Config parameterises the backend.
 type Config struct {
 	P         int           // rank count (used by NewWorld's loopback fabric)
 	MemBudget int64         // per-rank exchange-memory budget; <=0 unlimited
 	Tracer    *trace.Tracer // structured-event layer; nil disables tracing
+
+	// ProgressDeadline bounds how long a rank may sit blocked in a
+	// collective without receiving a single frame before it fails with
+	// ErrProgressDeadline. 0 selects DefaultProgressDeadline; negative
+	// disables the deadline entirely (a stalled peer then hangs the job,
+	// as it would without this backend's failure handling).
+	ProgressDeadline time.Duration
+}
+
+// deadline resolves the configured progress deadline.
+func (c Config) deadline() time.Duration {
+	if c.ProgressDeadline == 0 {
+		return DefaultProgressDeadline
+	}
+	if c.ProgressDeadline < 0 {
+		return 0
+	}
+	return c.ProgressDeadline
 }
 
 // Wire message types (first payload byte of every transport frame).
@@ -93,6 +124,10 @@ type Rank struct {
 	nestedWall time.Duration
 	idlePolls  int
 
+	deadline time.Duration // progress deadline; 0 = disabled
+	curOp    string        // collective currently blocked in (error context)
+	failErr  *RankError    // sticky first failure; the rank is dead once set
+
 	barEpoch  [2]uint64 // next epoch per barrier kind
 	barGot    map[barKey]struct{}
 	a2aEpoch  uint64
@@ -111,6 +146,7 @@ func NewRank(tp transport.Transport, cfg Config) *Rank {
 		id:        tp.Rank(),
 		p:         tp.Size(),
 		cfg:       cfg,
+		deadline:  cfg.deadline(),
 		tr:        cfg.Tracer.Rank(tp.Rank()),
 		barGot:    make(map[barKey]struct{}),
 		a2aGot:    make(map[srcKey][]byte),
@@ -129,11 +165,27 @@ func NewRank(tp transport.Transport, cfg Config) *Rank {
 }
 
 // Run executes f as this rank's SPMD body, accumulating Elapsed — the
-// single-rank equivalent of World.Run for multi-process launchers.
-func (r *Rank) Run(f func(rt.Runtime)) {
+// single-rank equivalent of World.Run for multi-process launchers. It
+// returns the rank's failure, if any: a *RankError naming the operation
+// and cause when a transport fault or progress-deadline expiry unwound
+// the body. A failed rank stays failed — later Runs return the same error
+// without executing f, because the fabric underneath is unusable.
+func (r *Rank) Run(f func(rt.Runtime)) error {
+	if r.failErr != nil {
+		return r.failErr
+	}
 	t0 := time.Now()
-	f(r)
+	err := r.protect(f)
 	r.met.Elapsed += time.Since(t0)
+	return err
+}
+
+// Err returns this rank's sticky failure, or nil while it is healthy.
+func (r *Rank) Err() error {
+	if r.failErr == nil {
+		return nil
+	}
+	return r.failErr
 }
 
 // ResetMetrics zeroes this rank's accounting so the next Run is measured
@@ -184,17 +236,21 @@ func NewWorldOver(fabric []transport.Transport, cfg Config) (*World, error) {
 
 // Run executes f as rank body on every rank concurrently and blocks until
 // all ranks return. It may be called repeatedly; metrics accumulate across
-// Runs unless ResetMetrics is called in between.
-func (w *World) Run(f func(rt.Runtime)) {
+// Runs unless ResetMetrics is called in between. The error joins every
+// failed rank's *RankError (nil when all ranks completed): peer failure is
+// an outcome the caller handles, not a process crash.
+func (w *World) Run(f func(rt.Runtime)) error {
 	var wg sync.WaitGroup
-	for _, r := range w.ranks {
+	errs := make([]error, len(w.ranks))
+	for i, r := range w.ranks {
 		wg.Add(1)
-		go func(r *Rank) {
+		go func(i int, r *Rank) {
 			defer wg.Done()
-			r.Run(f)
-		}(r)
+			errs[i] = r.Run(f)
+		}(i, r)
 	}
 	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Metrics returns the accounting for rank i. Call only between Runs.
@@ -224,10 +280,20 @@ func (r *Rank) Rank() int { return r.id }
 // Size returns the number of ranks.
 func (r *Rank) Size() int { return r.p }
 
-// sendFrame ships one wire frame; transport failure is fatal.
-func (r *Rank) sendFrame(dst int, frame []byte) {
+// op resolves the operation name for error context: the collective this
+// rank is blocked in, or fallback for direct calls.
+func (r *Rank) op(fallback string) string {
+	if r.curOp != "" {
+		return r.curOp
+	}
+	return fallback
+}
+
+// sendFrame ships one wire frame; a transport failure fails this rank with
+// the operation's name and unwinds.
+func (r *Rank) sendFrame(op string, dst int, frame []byte) {
 	if err := r.tp.Send(dst, frame); err != nil {
-		panic(fmt.Sprintf("dist: rank %d send to %d: %v", r.id, dst, err))
+		r.raise(op, err)
 	}
 }
 
@@ -241,19 +307,20 @@ func (r *Rank) sendRPC(dst int, m transport.Msg) {
 	frame = append(frame, typ)
 	frame = binary.BigEndian.AppendUint32(frame, m.Seq)
 	frame = append(frame, m.Val...)
-	r.sendFrame(dst, frame)
+	r.sendFrame(r.op("rpc"), dst, frame)
 }
 
 // Progress drains the transport inbox, dispatching every pending frame:
 // RPC requests are answered through the registered handler, responses run
 // their callbacks, and collective traffic is filed for its waiting
-// primitive. Returns whether any frame was handled.
+// primitive. Returns whether any frame was handled. A transport or
+// protocol failure fails this rank and unwinds to Run.
 func (r *Rank) Progress() bool {
 	did := false
 	for {
 		from, frame, ok, err := r.tp.Recv()
 		if err != nil {
-			panic(fmt.Sprintf("dist: rank %d transport: %v", r.id, err))
+			r.raise(r.op("progress"), err)
 		}
 		if !ok {
 			return did
@@ -264,28 +331,29 @@ func (r *Rank) Progress() bool {
 }
 
 // dispatch files one decoded wire frame. Malformed frames are protocol
-// corruption between our own ranks — fatal.
+// corruption on the link from that rank — this rank fails (and names the
+// sender), the process survives to report it.
 func (r *Rank) dispatch(from int, frame []byte) {
 	if len(frame) == 0 {
-		panic(fmt.Sprintf("dist: rank %d: empty frame from %d", r.id, from))
+		r.raise(r.op("progress"), fmt.Errorf("empty frame from rank %d", from))
 	}
 	typ, body := frame[0], frame[1:]
 	switch typ {
 	case msgBarrier:
 		if len(body) != 10 {
-			panic(fmt.Sprintf("dist: rank %d: malformed barrier frame from %d", r.id, from))
+			r.raise(r.op("progress"), fmt.Errorf("malformed barrier frame from rank %d", from))
 		}
 		k := barKey{kind: body[0], epoch: binary.BigEndian.Uint64(body[1:9]), round: body[9]}
 		r.barGot[k] = struct{}{}
 	case msgA2A:
 		if len(body) < 8 {
-			panic(fmt.Sprintf("dist: rank %d: malformed alltoallv frame from %d", r.id, from))
+			r.raise(r.op("progress"), fmt.Errorf("malformed alltoallv frame from rank %d", from))
 		}
 		k := srcKey{epoch: binary.BigEndian.Uint64(body[:8]), src: from}
 		r.a2aGot[k] = body[8:]
 	case msgRedVal, msgRedResult:
 		if len(body) != 16 {
-			panic(fmt.Sprintf("dist: rank %d: malformed allreduce frame from %d", r.id, from))
+			r.raise(r.op("progress"), fmt.Errorf("malformed allreduce frame from rank %d", from))
 		}
 		epoch := binary.BigEndian.Uint64(body[:8])
 		val := int64(binary.BigEndian.Uint64(body[8:16]))
@@ -296,33 +364,62 @@ func (r *Rank) dispatch(from int, frame []byte) {
 		}
 	case msgRPCReq, msgRPCResp:
 		if len(body) < 4 {
-			panic(fmt.Sprintf("dist: rank %d: malformed rpc frame from %d", r.id, from))
+			r.raise(r.op("progress"), fmt.Errorf("malformed rpc frame from rank %d", from))
 		}
-		r.eng.Deliver(transport.Msg{
+		if err := r.eng.Deliver(transport.Msg{
 			Req:  typ == msgRPCReq,
 			From: from,
 			Seq:  binary.BigEndian.Uint32(body[:4]),
 			Val:  body[4:],
-		})
+		}); err != nil {
+			r.raise(r.op("rpc"), err)
+		}
 	default:
-		panic(fmt.Sprintf("dist: rank %d: unknown frame type %d from %d", r.id, typ, from))
+		r.raise(r.op("progress"), fmt.Errorf("unknown frame type %d from rank %d", typ, from))
 	}
+}
+
+// departedPeers asks the transport which peers gracefully left, when it
+// tracks that (deadline diagnostics).
+func (r *Rank) departedPeers() []int {
+	if d, ok := r.tp.(transport.DepartedTracker); ok {
+		return d.DepartedPeers()
+	}
+	return nil
 }
 
 // waitLoop polls Progress until cond holds, attributing the unserviced
 // waiting time to cat. Idle polls back off briefly so a blocked process
-// rank does not saturate a core while its peers compute.
-func (r *Rank) waitLoop(cat rt.Category, cond func() bool) {
+// rank does not saturate a core while its peers compute. op names the
+// blocked collective and waiting its missing peers: if no frame at all
+// arrives for the progress deadline while blocked, the rank fails with a
+// DeadlineError instead of hanging on a stalled or dead peer.
+func (r *Rank) waitLoop(cat rt.Category, op string, waiting func() []int, cond func() bool) {
 	t0 := time.Now()
 	n0 := r.nestedWall
+	prevOp := r.curOp
+	r.curOp = op
+	defer func() { r.curOp = prevOp }()
+	lastIn := t0
 	for !cond() {
 		if r.Progress() {
 			r.idlePolls = 0
+			lastIn = time.Now()
 			continue
 		}
 		r.idlePolls++
 		if r.idlePolls > 1024 {
 			time.Sleep(20 * time.Microsecond)
+			if r.deadline > 0 {
+				if stalled := time.Since(lastIn); stalled > r.deadline {
+					r.raise(op, &DeadlineError{
+						Op:       op,
+						Stalled:  stalled,
+						Waiting:  waiting(),
+						Departed: r.departedPeers(),
+					})
+				}
+			}
 		} else {
 			runtime.Gosched()
 		}
@@ -343,10 +440,12 @@ func barFrame(kind byte, epoch uint64, round byte) []byte {
 }
 
 // waitToken blocks until the (kind, epoch, round) token has arrived,
-// consuming it.
-func (r *Rank) waitToken(cat rt.Category, kind byte, epoch uint64, round byte) {
+// consuming it. dist is the dissemination distance for this round; the
+// peer owed to us is (id-dist) mod P.
+func (r *Rank) waitToken(cat rt.Category, op string, kind byte, epoch uint64, round byte, dist int) {
 	k := barKey{kind: kind, epoch: epoch, round: round}
-	r.waitLoop(cat, func() bool {
+	src := (r.id - dist + r.p) % r.p
+	r.waitLoop(cat, op, func() []int { return []int{src} }, func() bool {
 		_, ok := r.barGot[k]
 		return ok
 	})
@@ -355,13 +454,13 @@ func (r *Rank) waitToken(cat rt.Category, kind byte, epoch uint64, round byte) {
 
 // disseminate runs dissemination rounds firstRound.. for the given barrier
 // epoch: in round k, signal rank (id+2^k) mod P and wait on (id-2^k) mod P.
-func (r *Rank) disseminate(kind byte, epoch uint64, firstRound int) {
+func (r *Rank) disseminate(op string, kind byte, epoch uint64, firstRound int) {
 	for round, dist := 0, 1; dist < r.p; round, dist = round+1, dist*2 {
 		if round < firstRound {
 			continue
 		}
-		r.sendFrame((r.id+dist)%r.p, barFrame(kind, epoch, byte(round)))
-		r.waitToken(rt.CatSync, kind, epoch, byte(round))
+		r.sendFrame(op, (r.id+dist)%r.p, barFrame(kind, epoch, byte(round)))
+		r.waitToken(rt.CatSync, op, kind, epoch, byte(round), dist)
 	}
 }
 
@@ -370,7 +469,7 @@ func (r *Rank) Barrier() {
 	t0 := r.tr.Now()
 	epoch := r.barEpoch[barFull]
 	r.barEpoch[barFull]++
-	r.disseminate(barFull, epoch, 0)
+	r.disseminate("barrier", barFull, epoch, 0)
 	r.tr.Span(trace.KindBarrier, t0, 0)
 }
 
@@ -382,13 +481,13 @@ func (r *Rank) SplitBarrier() (wait func()) {
 	epoch := r.barEpoch[barSplit]
 	r.barEpoch[barSplit]++
 	if r.p > 1 {
-		r.sendFrame((r.id+1)%r.p, barFrame(barSplit, epoch, 0))
+		r.sendFrame("split-barrier", (r.id+1)%r.p, barFrame(barSplit, epoch, 0))
 	}
 	return func() {
 		t0 := r.tr.Now()
 		if r.p > 1 {
-			r.waitToken(rt.CatSync, barSplit, epoch, 0)
-			r.disseminate(barSplit, epoch, 1)
+			r.waitToken(rt.CatSync, "split-barrier", barSplit, epoch, 0, 1)
+			r.disseminate("split-barrier", barSplit, epoch, 1)
 		}
 		r.tr.Span(trace.KindSplitBarrier, t0, 0)
 	}
@@ -400,7 +499,7 @@ func (r *Rank) SplitBarrier() (wait func()) {
 // buffers owned by the caller; nil/empty sends arrive as empty.
 func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 	if len(send) != r.p {
-		panic(fmt.Sprintf("dist: Alltoallv send has %d entries, want %d", len(send), r.p))
+		r.raise("alltoallv", fmt.Errorf("send has %d entries, want %d", len(send), r.p))
 	}
 	tEnter := r.tr.Now()
 	for _, m := range send {
@@ -432,9 +531,9 @@ func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 		frame := make([]byte, 0, 9+len(send[dst]))
 		frame = append(frame, hdr[:]...)
 		frame = append(frame, send[dst]...)
-		r.sendFrame(dst, frame)
+		r.sendFrame("alltoallv", dst, frame)
 		k := srcKey{epoch: epoch, src: src}
-		r.waitLoop(rt.CatComm, func() bool {
+		r.waitLoop(rt.CatComm, "alltoallv", func() []int { return []int{src} }, func() bool {
 			_, ok := r.a2aGot[k]
 			return ok
 		})
@@ -479,7 +578,7 @@ func (r *Rank) Allreduce(v int64, op rt.Op) int64 {
 		vals[0] = v
 		for src := 1; src < r.p; src++ {
 			k := srcKey{epoch: epoch, src: src}
-			r.waitLoop(rt.CatSync, func() bool {
+			r.waitLoop(rt.CatSync, "allreduce", func() []int { return []int{src} }, func() bool {
 				_, ok := r.redGot[k]
 				return ok
 			})
@@ -491,12 +590,12 @@ func (r *Rank) Allreduce(v int64, op rt.Op) int64 {
 			acc = op.Combine(acc, vals[i])
 		}
 		for dst := 1; dst < r.p; dst++ {
-			r.sendFrame(dst, redFrame(msgRedResult, epoch, acc))
+			r.sendFrame("allreduce", dst, redFrame(msgRedResult, epoch, acc))
 		}
 		return acc
 	}
-	r.sendFrame(0, redFrame(msgRedVal, epoch, v))
-	r.waitLoop(rt.CatSync, func() bool {
+	r.sendFrame("allreduce", 0, redFrame(msgRedVal, epoch, v))
+	r.waitLoop(rt.CatSync, "allreduce", func() []int { return []int{0} }, func() bool {
 		_, ok := r.redResult[epoch]
 		return ok
 	})
@@ -520,7 +619,8 @@ func (r *Rank) Outstanding() int { return r.eng.Outstanding() }
 // communication latency.
 func (r *Rank) Drain(max int) {
 	t0 := r.tr.Now()
-	r.waitLoop(rt.CatComm, func() bool { return r.eng.Outstanding() <= max })
+	r.waitLoop(rt.CatComm, "drain", r.eng.PendingOwners,
+		func() bool { return r.eng.Outstanding() <= max })
 	r.tr.Span(trace.KindDrain, t0, int64(max))
 }
 

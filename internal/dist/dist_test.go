@@ -23,18 +23,26 @@ func cell(src, dst, i int) byte {
 	return byte(src*31 + dst*17 + i)
 }
 
-// runWorld executes body on a fresh loopback world with a deadlock
-// watchdog.
+// runWorld executes body on a fresh world with a deadlock watchdog. When
+// the watchdog fires it tears the world down — closed transports unwind
+// every blocked rank — and waits for the rank goroutines to exit, so a
+// failed run does not leak goroutines into the rest of the test binary.
 func runWorld(t *testing.T, w *World, timeout time.Duration, body func(rt.Runtime)) {
 	t.Helper()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		w.Run(body)
-	}()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(body) }()
 	select {
-	case <-done:
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("world run: %v", err)
+		}
 	case <-time.After(timeout):
+		w.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Log("rank goroutines still blocked after world teardown")
+		}
 		t.Fatal("deadlock (watchdog fired)")
 	}
 }

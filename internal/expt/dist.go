@@ -139,7 +139,7 @@ func Dist(p DistParams) (*stats.Table, []DistRow, error) {
 			results := make([]*core.Result, p.Ranks)
 			errs := make([]error, p.Ranks)
 			t0 := time.Now()
-			world.Run(func(r rt.Runtime) {
+			runErr := world.Run(func(r rt.Runtime) {
 				// Owner-only residency: each rank's store covers exactly its
 				// partition, and the codec encodes from it, so an attempt to
 				// touch a remote read's bases panics the experiment.
@@ -154,6 +154,10 @@ func Dist(p DistParams) (*stats.Table, []DistRow, error) {
 					results[r.Rank()], errs[r.Rank()] = core.RunBSP(r, in, cfg)
 				}
 			})
+			if runErr != nil {
+				world.Close()
+				return nil, nil, fmt.Errorf("dist/%s %s: %w", fabric, mode, runErr)
+			}
 			elapsed := time.Since(t0)
 			row := DistRow{Transport: fabric, Mode: mode, Ranks: p.Ranks, Elapsed: elapsed}
 			for rk := 0; rk < p.Ranks; rk++ {

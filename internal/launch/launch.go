@@ -8,6 +8,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"sync"
 )
 
 // FreeLocalAddr reserves a free localhost TCP port and returns it as
@@ -28,9 +29,13 @@ func FreeLocalAddr() (string, error) {
 
 // SelfFork re-executes the current binary n times — one child per rank,
 // with the argument vector produced by argv(rank) — inheriting stdout and
-// stderr, and waits for all of them. It returns the first child failure
-// (by rank order), or nil if every child exited cleanly. If any child
-// fails to start, the already-started ones are killed.
+// stderr, and waits for all of them. Children are reaped concurrently: the
+// moment any child exits non-zero (or is killed), the survivors are killed
+// too, so one dead rank tears the whole job down instead of leaving the
+// parent blocked on peers that will never finish their collectives. The
+// returned error names the first rank that failed (lowest rank on ties),
+// or nil if every child exited cleanly. If any child fails to start, the
+// already-started ones are killed the same way.
 func SelfFork(n int, argv func(rank int) []string) error {
 	exe, err := os.Executable()
 	if err != nil {
@@ -50,11 +55,30 @@ func SelfFork(n int, argv func(rank int) []string) error {
 		}
 		cmds[i] = cmd
 	}
-	var first error
+
+	// Reap concurrently; the teardown races are benign: os.Process is safe
+	// for concurrent use, and Kill on an already-exited child is a no-op
+	// error we ignore. The error blames the child that died first, not the
+	// survivors it took down (those fail with "signal: killed" as fallout).
+	var (
+		once  sync.Once
+		first error
+	)
+	var wg sync.WaitGroup
 	for i, cmd := range cmds {
-		if err := cmd.Wait(); err != nil && first == nil {
-			first = fmt.Errorf("launch: rank %d: %w", i, err)
-		}
+		wg.Add(1)
+		go func(i int, cmd *exec.Cmd) {
+			defer wg.Done()
+			if err := cmd.Wait(); err != nil {
+				once.Do(func() {
+					first = fmt.Errorf("launch: rank %d: %w (surviving ranks were torn down)", i, err)
+					for _, c := range cmds {
+						c.Process.Kill()
+					}
+				})
+			}
+		}(i, cmd)
 	}
+	wg.Wait()
 	return first
 }

@@ -6,7 +6,9 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestFreeLocalAddr(t *testing.T) {
@@ -52,4 +54,45 @@ func TestSelfForkHelperProcess(t *testing.T) {
 	if err := os.WriteFile(path, []byte("ok"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestSelfForkTeardown pins the dead-rank teardown contract: when one
+// child dies, SelfFork must kill the survivors and return promptly with an
+// error naming the dead rank — not block on children that would otherwise
+// run forever.
+func TestSelfForkTeardown(t *testing.T) {
+	if len(flag.Args()) > 0 {
+		t.Skip("helper invocation")
+	}
+	t0 := time.Now()
+	err := SelfFork(3, func(rank int) []string {
+		role := "hang"
+		if rank == 1 {
+			role = "die"
+		}
+		return []string{"-test.run=TestSelfForkTeardownHelper", "--", "teardown", role}
+	})
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("a dead rank went unreported")
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Errorf("error does not name the dead rank: %v", err)
+	}
+	// The hanging survivors sleep for 60s; returning well before that
+	// proves they were torn down rather than waited out.
+	if elapsed > 30*time.Second {
+		t.Errorf("SelfFork took %s; survivors were not torn down", elapsed)
+	}
+}
+
+func TestSelfForkTeardownHelper(t *testing.T) {
+	args := flag.Args()
+	if len(args) != 2 || args[0] != "teardown" {
+		t.Skip("not a helper invocation")
+	}
+	if args[1] == "die" {
+		os.Exit(3)
+	}
+	time.Sleep(60 * time.Second)
 }

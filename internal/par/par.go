@@ -97,7 +97,12 @@ func NewWorld(cfg Config) (*World, error) {
 // Run executes f as rank body on every rank concurrently and blocks until
 // all ranks return. It may be called repeatedly on the same world; metrics
 // accumulate across Runs unless ResetMetrics is called in between.
-func (w *World) Run(f func(r rt.Runtime)) {
+//
+// The error is always nil: goroutine ranks in one address space cannot
+// lose each other. The signature matches dist.World.Run, where ranks are
+// processes over a fallible fabric, so launchers drive both backends
+// through one shape.
+func (w *World) Run(f func(r rt.Runtime)) error {
 	var wg sync.WaitGroup
 	for _, r := range w.ranks {
 		wg.Add(1)
@@ -109,6 +114,7 @@ func (w *World) Run(f func(r rt.Runtime)) {
 		}(r)
 	}
 	wg.Wait()
+	return nil
 }
 
 // Metrics returns the accounting for rank i. Call only between Runs.
@@ -292,7 +298,11 @@ func (r *Rank) Progress() bool {
 		select {
 		case m := <-r.inbox:
 			did = true
-			r.eng.Deliver(m)
+			if err := r.eng.Deliver(m); err != nil {
+				// In-process channel delivery cannot corrupt a message; a
+				// protocol violation here is a bug, not a link fault.
+				panic(fmt.Sprintf("par: %v", err))
+			}
 		default:
 			return did
 		}

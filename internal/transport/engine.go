@@ -9,6 +9,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"gnbody/internal/rt"
@@ -53,19 +54,26 @@ type EngineConfig struct {
 	CopyOnDeliver bool
 }
 
+// pendingCall is one issued request awaiting its response: the callback to
+// run and the rank serving it (drain diagnostics name the missing owners).
+type pendingCall struct {
+	cb    func(resp []byte)
+	owner int
+}
+
 // Engine is one rank's RPC state machine. All methods must be called from
 // the owning rank's goroutine (the same discipline as rt.Runtime).
 type Engine struct {
 	cfg     EngineConfig
 	handler func(req []byte) []byte
-	pending map[uint32]func(resp []byte)
+	pending map[uint32]pendingCall
 	pendT0  map[uint32]int64 // per-RPC issue stamps, allocated only when tracing
 	nextSeq uint32
 }
 
 // NewEngine builds an engine for one rank.
 func NewEngine(cfg EngineConfig) *Engine {
-	e := &Engine{cfg: cfg, pending: make(map[uint32]func([]byte))}
+	e := &Engine{cfg: cfg, pending: make(map[uint32]pendingCall)}
 	if cfg.Tracer != nil {
 		e.pendT0 = make(map[uint32]int64)
 	}
@@ -83,7 +91,7 @@ func (e *Engine) Call(owner int, req []byte, cb func(resp []byte)) {
 	}
 	seq := e.nextSeq
 	e.nextSeq++
-	e.pending[seq] = cb
+	e.pending[seq] = pendingCall{cb: cb, owner: owner}
 	m := e.cfg.Metrics
 	m.RPCsSent++
 	m.Msgs++
@@ -97,8 +105,11 @@ func (e *Engine) Call(owner int, req []byte, cb func(resp []byte)) {
 
 // Deliver consumes one inbound message: requests run the registered
 // handler (service time accrues to CatComm) and send the response back;
-// responses run their pending callback.
-func (e *Engine) Deliver(m Msg) {
+// responses run their pending callback. Protocol violations — a request
+// arriving before Serve, a response for an unknown seq — are returned as
+// errors: over a wire fabric they mean a corrupt or misbehaving link, a
+// per-rank failure, not grounds to kill the process.
+func (e *Engine) Deliver(m Msg) error {
 	val := m.Val
 	if e.cfg.CopyOnDeliver && len(val) > 0 {
 		cp := make([]byte, len(val))
@@ -109,7 +120,7 @@ func (e *Engine) Deliver(m Msg) {
 	switch {
 	case m.Req:
 		if e.handler == nil {
-			panic(fmt.Sprintf("transport: rank %d received request before Serve", e.cfg.Rank))
+			return fmt.Errorf("transport: rank %d received request from rank %d before Serve", e.cfg.Rank, m.From)
 		}
 		tEnter := e.cfg.Tracer.Now()
 		t0 := time.Now()
@@ -125,9 +136,9 @@ func (e *Engine) Deliver(m Msg) {
 		e.cfg.Tracer.Span(trace.KindServe, tEnter, int64(len(resp)))
 		e.cfg.Send(m.From, Msg{Req: false, From: e.cfg.Rank, Seq: m.Seq, Val: resp})
 	default:
-		cb, ok := e.pending[m.Seq]
+		p, ok := e.pending[m.Seq]
 		if !ok {
-			panic(fmt.Sprintf("transport: rank %d got response for unknown seq %d", e.cfg.Rank, m.Seq))
+			return fmt.Errorf("transport: rank %d got response from rank %d for unknown seq %d", e.cfg.Rank, m.From, m.Seq)
 		}
 		delete(e.pending, m.Seq)
 		met.BytesRecv += int64(len(val))
@@ -135,9 +146,28 @@ func (e *Engine) Deliver(m Msg) {
 			e.cfg.Tracer.Span(trace.KindRPC, e.pendT0[m.Seq], int64(len(val)))
 			delete(e.pendT0, m.Seq)
 		}
-		cb(val)
+		p.cb(val)
 	}
+	return nil
 }
 
 // Outstanding reports issued requests whose callbacks have not yet run.
 func (e *Engine) Outstanding() int { return len(e.pending) }
+
+// PendingOwners returns the distinct ranks being waited on for responses,
+// in ascending order — the peers a stuck Drain is missing.
+func (e *Engine) PendingOwners() []int {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool, 4)
+	var out []int
+	for _, p := range e.pending {
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, p.owner)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -95,7 +95,10 @@ func (l *Loopback) Rank() int { return l.rank }
 // Size returns the fabric's rank count.
 func (l *Loopback) Size() int { return len(l.queues) }
 
-// Send copies frame into dst's inbox (never blocks on dst's polling).
+// Send copies frame into dst's inbox (never blocks on dst's polling). A
+// peer that closed its endpoint is a graceful departure: the send fails
+// with ErrPeerDeparted naming that peer, and every other link stays usable
+// — the same semantics the TCP fabric gets from its bye frame.
 func (l *Loopback) Send(dst int, frame []byte) error {
 	if dst < 0 || dst >= len(l.queues) {
 		return fmt.Errorf("transport: loopback send to rank %d of %d", dst, len(l.queues))
@@ -105,7 +108,14 @@ func (l *Loopback) Send(dst int, frame []byte) error {
 		cp = make([]byte, len(frame))
 		copy(cp, frame)
 	}
-	return l.queues[dst].push(loopItem{from: l.rank, frame: cp})
+	if err := l.queues[dst].push(loopItem{from: l.rank, frame: cp}); err != nil {
+		if dst == l.rank {
+			return err // our own endpoint is closed
+		}
+		return &PeerError{Peer: dst,
+			Err: fmt.Errorf("transport: rank %d send to rank %d: %w", l.rank, dst, ErrPeerDeparted)}
+	}
+	return nil
 }
 
 // Recv pops the next pending frame, if any.
@@ -117,9 +127,27 @@ func (l *Loopback) Recv() (int, []byte, bool, error) {
 	return it.from, it.frame, true, nil
 }
 
-// Close shuts this rank's inbox down; peers sending to it (and this rank's
-// own Recv) get ErrClosed from then on.
+// Close shuts this rank's inbox down; this rank's own Recv gets ErrClosed
+// and peers sending to it get ErrPeerDeparted from then on.
 func (l *Loopback) Close() error {
 	l.queues[l.rank].close()
 	return nil
+}
+
+// DepartedPeers returns the ranks whose endpoints have been closed, in
+// ascending order.
+func (l *Loopback) DepartedPeers() []int {
+	var out []int
+	for p, q := range l.queues {
+		if p == l.rank {
+			continue
+		}
+		q.mu.Lock()
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			out = append(out, p)
+		}
+	}
+	return out
 }

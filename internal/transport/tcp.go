@@ -71,6 +71,9 @@ type tcpTransport struct {
 
 	failMu  sync.Mutex
 	failErr error
+
+	departMu sync.Mutex
+	departed []bool // peers that sent tcpBye (graceful close)
 }
 
 // writeTagged sends one tagged frame: [len+1][tag][payload].
@@ -103,10 +106,11 @@ func Rendezvous(rank, size int, cfg TCPConfig) (Transport, error) {
 	}
 	deadline := time.Now().Add(cfg.Timeout)
 	t := &tcpTransport{
-		rank:  rank,
-		size:  size,
-		conns: make([]net.Conn, size),
-		wmu:   make([]sync.Mutex, size),
+		rank:     rank,
+		size:     size,
+		conns:    make([]net.Conn, size),
+		wmu:      make([]sync.Mutex, size),
+		departed: make([]bool, size),
 	}
 	if size > 1 {
 		var err error
@@ -287,7 +291,8 @@ func (t *tcpTransport) reader(from int, c net.Conn) {
 		frame, err := readFrame(c)
 		if err != nil {
 			if !t.closed.Load() {
-				t.fail(fmt.Errorf("transport: rank %d link to rank %d: %w", t.rank, from, err))
+				t.fail(&PeerError{Peer: from,
+					Err: fmt.Errorf("transport: rank %d link to rank %d: %v: %w", t.rank, from, err, ErrPeerLost)})
 			}
 			return
 		}
@@ -297,7 +302,11 @@ func (t *tcpTransport) reader(from int, c net.Conn) {
 		}
 		switch frame[0] {
 		case tcpBye:
-			return // graceful: everything the peer sent is already queued
+			// Graceful: everything the peer sent is already queued. Remember
+			// the departure so a later Send to this peer fails with the
+			// typed error instead of poisoning the whole fabric.
+			t.depart(from)
+			return
 		case tcpData:
 			if t.inbox.push(loopItem{from: from, frame: frame[1:]}) != nil {
 				return // endpoint closed
@@ -324,6 +333,32 @@ func (t *tcpTransport) failed() error {
 	return t.failErr
 }
 
+// depart marks a peer as gracefully gone.
+func (t *tcpTransport) depart(p int) {
+	t.departMu.Lock()
+	t.departed[p] = true
+	t.departMu.Unlock()
+}
+
+func (t *tcpTransport) hasDeparted(p int) bool {
+	t.departMu.Lock()
+	defer t.departMu.Unlock()
+	return t.departed[p]
+}
+
+// DepartedPeers returns the ranks that have said bye, in ascending order.
+func (t *tcpTransport) DepartedPeers() []int {
+	t.departMu.Lock()
+	defer t.departMu.Unlock()
+	var out []int
+	for p, d := range t.departed {
+		if d {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Rank returns this endpoint's rank.
 func (t *tcpTransport) Rank() int { return t.rank }
 
@@ -346,14 +381,31 @@ func (t *tcpTransport) Send(dst int, frame []byte) error {
 		copy(cp, frame)
 		return t.inbox.push(loopItem{from: t.rank, frame: cp})
 	}
+	if t.hasDeparted(dst) {
+		return t.departedErr(dst)
+	}
 	t.wmu[dst].Lock()
 	err := writeTagged(t.conns[dst], tcpData, frame)
 	t.wmu[dst].Unlock()
 	if err != nil {
-		err = fmt.Errorf("transport: rank %d send to rank %d: %w", t.rank, dst, err)
-		t.fail(err)
+		// A bye can race the write: the peer closed its end between our
+		// departed check and the syscall. That is still a graceful
+		// departure, scoped to this one link — do not wedge the others.
+		if t.hasDeparted(dst) {
+			return t.departedErr(dst)
+		}
+		perr := &PeerError{Peer: dst,
+			Err: fmt.Errorf("transport: rank %d send to rank %d: %v: %w", t.rank, dst, err, ErrPeerLost)}
+		t.fail(perr)
+		return perr
 	}
-	return err
+	return nil
+}
+
+// departedErr builds the typed send-to-departed-peer error.
+func (t *tcpTransport) departedErr(dst int) error {
+	return &PeerError{Peer: dst,
+		Err: fmt.Errorf("transport: rank %d send to rank %d: %w", t.rank, dst, ErrPeerDeparted)}
 }
 
 // Recv pops the next pending frame; a broken link surfaces as an error
@@ -392,17 +444,34 @@ func (t *tcpTransport) Close() error {
 	return nil
 }
 
+// Abort tears the endpoint down with no bye — peers see the links die as
+// if the owning process had been killed. Used by the fault injector to
+// simulate crashes.
+func (t *tcpTransport) Abort() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	t.inbox.close()
+}
+
 // dialRetry dials addr until it succeeds or the deadline passes — peers may
-// come up in any order, so connection refusal is retried, not fatal.
+// come up in any order, so connection refusal is retried, not fatal. The
+// timeout error names the address and the last dial failure, and the
+// between-attempt backoff never sleeps past the deadline.
 func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 	var lastErr error
 	for {
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			if lastErr == nil {
-				lastErr = fmt.Errorf("timeout")
+				return nil, fmt.Errorf("dial %s: deadline expired before the first attempt", addr)
 			}
-			return nil, fmt.Errorf("deadline expired: %w", lastErr)
+			return nil, fmt.Errorf("dial %s: deadline expired: %w", addr, lastErr)
 		}
 		step := 2 * time.Second
 		if remain < step {
@@ -413,7 +482,13 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 			return c, nil
 		}
 		lastErr = err
-		time.Sleep(50 * time.Millisecond)
+		pause := 50 * time.Millisecond
+		if remain := time.Until(deadline); pause > remain {
+			pause = remain
+		}
+		if pause > 0 {
+			time.Sleep(pause)
+		}
 	}
 }
 

@@ -18,11 +18,66 @@
 // the identical barrier/alltoallv/RPC code runs over both fabrics.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
-// ErrClosed is returned by Send and Recv once the endpoint (or the
-// destination endpoint, for loopback sends) has been closed.
+// ErrClosed is returned by Send and Recv once this endpoint has been
+// closed (or aborted).
 var ErrClosed = errors.New("transport: closed")
+
+// Typed peer-failure sentinels. The distributed runtime matches on these
+// with errors.Is to tell a clean shutdown race from a genuine fault:
+//
+//   - ErrPeerDeparted: the peer announced a graceful Close (TCP bye frame,
+//     or a closed loopback inbox) before this rank was done talking to it.
+//     The rest of the fabric is intact; only traffic to that peer fails.
+//   - ErrPeerLost: the link died with no goodbye — a crashed or killed
+//     peer. The SPMD program cannot complete, so the whole endpoint
+//     reports the failure.
+var (
+	ErrPeerDeparted = errors.New("peer departed")
+	ErrPeerLost     = errors.New("peer lost")
+)
+
+// PeerError attributes a transport failure to the peer rank it concerns.
+// Send and Recv return it wrapped around ErrPeerDeparted/ErrPeerLost (or
+// an injected fault), so callers can name the lost rank in diagnostics.
+type PeerError struct {
+	Peer int
+	Err  error
+}
+
+func (e *PeerError) Error() string { return fmt.Sprintf("peer rank %d: %v", e.Peer, e.Err) }
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// PeerOf extracts the peer rank a transport error concerns, or -1 when the
+// error carries no peer attribution.
+func PeerOf(err error) int {
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		return pe.Peer
+	}
+	return -1
+}
+
+// DepartedTracker is implemented by fabrics that remember which peers have
+// gracefully departed (said bye / closed their inbox). Diagnostics use it
+// to distinguish "still expected" from "already gone" peers.
+type DepartedTracker interface {
+	// DepartedPeers returns the ranks that have gracefully departed, in
+	// ascending order.
+	DepartedPeers() []int
+}
+
+// Aborter is implemented by endpoints that can die abruptly: Abort tears
+// the endpoint down with no goodbye handshake, exactly like a kill -9 of
+// the owning process. The fault injector uses it to simulate crashes; real
+// code should call Close.
+type Aborter interface {
+	Abort()
+}
 
 // Transport is one rank's endpoint of a point-to-point message fabric.
 //

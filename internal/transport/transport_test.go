@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -98,14 +99,21 @@ func TestLoopbackClose(t *testing.T) {
 	if err := eps[1].Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := eps[0].Send(1, []byte("x")); err != ErrClosed {
-		t.Errorf("send to closed rank: err = %v, want ErrClosed", err)
+	err := eps[0].Send(1, []byte("x"))
+	if !errors.Is(err, ErrPeerDeparted) {
+		t.Errorf("send to closed rank: err = %v, want ErrPeerDeparted", err)
+	}
+	if got := PeerOf(err); got != 1 {
+		t.Errorf("send to closed rank: PeerOf = %d, want 1", got)
 	}
 	if _, _, _, err := eps[1].Recv(); err != ErrClosed {
 		t.Errorf("recv on closed rank: err = %v, want ErrClosed", err)
 	}
 	if err := eps[0].Send(0, []byte("y")); err != nil {
 		t.Errorf("self-send on open rank: %v", err)
+	}
+	if got := eps[0].(*Loopback).DepartedPeers(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("DepartedPeers = %v, want [1]", got)
 	}
 }
 
