@@ -13,11 +13,19 @@
 #                dibella run must byte-match the single-process output,
 #                and kill -9 of one rank must fail the job promptly,
 #                naming the lost rank
+#   make bench   full kernel benchmark run (count 5): writes the raw
+#                output to bench/bench_new.txt and the before/after
+#                comparison against bench/bench_baseline.txt (the
+#                committed pre-workspace numbers) to BENCH_5.json
+#   make bench-smoke  fast CI gate: alloc-free guard tests plus a short
+#                kernel bench pass — catches hot-path allocation
+#                regressions without the full count-5 run
 
 GO      ?= go
 FUZZT   ?= 10s
+BENCHN  ?= 5
 
-.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke ci
+.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke bench bench-smoke ci
 
 check: vet fmtcheck build test
 
@@ -45,6 +53,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzFASTA -fuzztime $(FUZZT) ./internal/seq/
 	$(GO) test -fuzz=FuzzFASTQ -fuzztime $(FUZZT) ./internal/seq/
 	$(GO) test -fuzz=FuzzXDrop -fuzztime $(FUZZT) ./internal/align/
+	$(GO) test -fuzz=FuzzXDropDiff -fuzztime $(FUZZT) ./internal/align/
 	$(GO) test -fuzz=FuzzFrame -fuzztime $(FUZZT) ./internal/transport/
 
 golden:
@@ -90,4 +99,23 @@ dist-smoke:
 	grep -q "rank 1" $$tmp/kill.err || { echo "dist-smoke kill: failure does not name rank 1:"; cat $$tmp/kill.err; exit 1; }; \
 	echo "dist-smoke kill-one-rank: OK (job failed promptly, naming rank 1)"
 
-ci: check race fuzz chaos dist-smoke
+# Full kernel benchmark run. bench/bench_baseline.txt is the committed
+# output of the same benchmarks from before the workspace kernel landed
+# (allocating reference path); BENCH_5.json records median/min/max per
+# benchmark and unit plus the relative delta against that baseline.
+bench:
+	$(GO) test -run '^$$' -bench SeedExtend -benchmem -count $(BENCHN) \
+		./internal/align/ | tee bench/bench_new.txt
+	$(GO) run ./cmd/benchfmt -old bench/bench_baseline.txt \
+		-json BENCH_5.json bench/bench_new.txt
+
+# Fast allocation-regression gate for CI: the AllocsPerRun guard tests
+# (kernel, codecs, wire decode, overlap workspace) plus one short bench
+# pass so the benchmarks themselves cannot rot.
+bench-smoke:
+	$(GO) test -run 'AllocFree' -v ./internal/align/ ./internal/core/ \
+		./internal/seq/ ./internal/overlap/
+	$(GO) test -run '^$$' -bench SeedExtend -benchtime 50x -benchmem \
+		./internal/align/ | $(GO) run ./cmd/benchfmt
+
+ci: check race fuzz chaos bench-smoke dist-smoke

@@ -1,0 +1,267 @@
+// Command benchfmt turns raw `go test -bench` output into a benchstat-style
+// before/after table and a machine-readable JSON record, with no external
+// tooling. It understands repeated runs (-count N): per benchmark and unit it
+// reports the median with the min..max spread, and when a baseline file is
+// given (-old) it adds the relative delta of the medians.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 ./internal/align/ > new.txt
+//	go run ./cmd/benchfmt -old bench_baseline.txt -json BENCH_5.json new.txt
+//
+// With no file argument the new results are read from stdin, so the tool can
+// sit at the end of a pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// suite holds parsed benchmark results: per benchmark name (GOMAXPROCS
+// suffix stripped), per unit, the values of every run in file order.
+type suite struct {
+	order []string // benchmark names in first-appearance order
+	units []string // units in first-appearance order
+	vals  map[string]map[string][]float64
+}
+
+func newSuite() *suite {
+	return &suite{vals: make(map[string]map[string][]float64)}
+}
+
+func (s *suite) add(name, unit string, v float64) {
+	m, ok := s.vals[name]
+	if !ok {
+		m = make(map[string][]float64)
+		s.vals[name] = m
+		s.order = append(s.order, name)
+	}
+	if _, ok := m[unit]; !ok {
+		found := false
+		for _, u := range s.units {
+			if u == unit {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.units = append(s.units, unit)
+		}
+	}
+	m[unit] = append(m[unit], v)
+}
+
+// parse reads `go test -bench` output. Lines that are not benchmark result
+// lines (headers, PASS, ok, log output) are ignored.
+func parse(r io.Reader) (*suite, error) {
+	s := newSuite()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		// f[1] is the iteration count; then (value, unit) pairs follow.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q on line %q", f[i], sc.Text())
+			}
+			s.add(name, f[i+1], v)
+		}
+	}
+	return s, sc.Err()
+}
+
+// stat summarises one benchmark/unit sample set.
+type stat struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Max    float64 `json:"max"`
+}
+
+func summarize(vals []float64) stat {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	med := sorted[n/2]
+	if n%2 == 0 {
+		med = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return stat{N: n, Min: sorted[0], Median: med, Max: sorted[n-1]}
+}
+
+// cell is the JSON record for one benchmark × unit comparison.
+type cell struct {
+	Old      *stat    `json:"old,omitempty"`
+	New      stat     `json:"new"`
+	DeltaPct *float64 `json:"delta_pct,omitempty"`
+}
+
+type report struct {
+	Units      []string                   `json:"units"`
+	Benchmarks []map[string]any           `json:"benchmarks"`
+	byName     map[string]map[string]cell `json:"-"`
+}
+
+func build(old, cur *suite) *report {
+	rep := &report{Units: cur.units, byName: make(map[string]map[string]cell)}
+	for _, name := range cur.order {
+		row := map[string]any{"name": name}
+		cells := make(map[string]cell)
+		for _, unit := range cur.units {
+			vals, ok := cur.vals[name][unit]
+			if !ok {
+				continue
+			}
+			c := cell{New: summarize(vals)}
+			if old != nil {
+				if ovals, ok := old.vals[name][unit]; ok {
+					os := summarize(ovals)
+					c.Old = &os
+					if os.Median != 0 {
+						d := (c.New.Median - os.Median) / os.Median * 100
+						c.DeltaPct = &d
+					}
+				}
+			}
+			cells[unit] = c
+			row[unit] = c
+		}
+		rep.byName[name] = cells
+		rep.Benchmarks = append(rep.Benchmarks, row)
+	}
+	return rep
+}
+
+// fmtVal renders a value compactly: integers stay integral, large numbers
+// keep their magnitude readable without scientific notation.
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+func (r *report) table(w io.Writer, withOld bool) {
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	for _, unit := range r.Units {
+		any := false
+		for _, name := range namesOf(r) {
+			if _, ok := r.byName[name][unit]; ok {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		if withOld {
+			fmt.Fprintf(tw, "%-28s %16s %16s %9s\n", "name", "old "+unit, "new "+unit, "delta")
+		} else {
+			fmt.Fprintf(tw, "%-28s %16s %19s\n", "name", unit, "(min..max)")
+		}
+		for _, name := range namesOf(r) {
+			c, ok := r.byName[name][unit]
+			if !ok {
+				continue
+			}
+			if withOld {
+				oldS, delta := "-", "-"
+				if c.Old != nil {
+					oldS = fmtVal(c.Old.Median)
+				}
+				if c.DeltaPct != nil {
+					delta = fmt.Sprintf("%+.2f%%", *c.DeltaPct)
+				}
+				fmt.Fprintf(tw, "%-28s %16s %16s %9s\n", name, oldS, fmtVal(c.New.Median), delta)
+			} else {
+				spread := fmt.Sprintf("(%s..%s)", fmtVal(c.New.Min), fmtVal(c.New.Max))
+				fmt.Fprintf(tw, "%-28s %16s %19s\n", name, fmtVal(c.New.Median), spread)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+}
+
+func namesOf(r *report) []string {
+	names := make([]string, 0, len(r.Benchmarks))
+	for _, row := range r.Benchmarks {
+		names = append(names, row["name"].(string))
+	}
+	return names
+}
+
+func parseFile(path string) (*suite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `go test -bench` output to compare against")
+	jsonPath := flag.String("json", "", "write the structured comparison as JSON to this file")
+	flag.Parse()
+
+	var cur *suite
+	var err error
+	switch flag.NArg() {
+	case 0:
+		cur, err = parse(os.Stdin)
+	case 1:
+		cur, err = parseFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "benchfmt: at most one input file (or stdin)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+	if len(cur.order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt: no benchmark results in input")
+		os.Exit(1)
+	}
+
+	var old *suite
+	if *oldPath != "" {
+		if old, err = parseFile(*oldPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: -old: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := build(old, cur)
+	rep.table(os.Stdout, old != nil)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

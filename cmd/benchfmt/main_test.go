@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const newOut = `goos: linux
+goarch: amd64
+pkg: gnbody/internal/align
+BenchmarkSeedExtend1k-8     	   10000	    101500 ns/op	         0 B/op	       0 allocs/op	     25087 cells/op
+BenchmarkSeedExtend1k-8     	   10000	     99000 ns/op	         0 B/op	       0 allocs/op	     25087 cells/op
+BenchmarkSeedExtend1k-8     	   10000	    105000 ns/op	         0 B/op	       0 allocs/op	     25087 cells/op
+BenchmarkSeedExtend10k-8    	    1000	    900000 ns/op	        90 B/op	       0 allocs/op	    248708 cells/op
+PASS
+ok  	gnbody/internal/align	2.3s
+`
+
+const oldOut = `BenchmarkSeedExtend1k-8     	    5000	    220000 ns/op	     17408 B/op	       6 allocs/op	     25087 cells/op
+BenchmarkSeedExtend10k-8    	     500	   2400000 ns/op	    174592 B/op	       6 allocs/op	    248708 cells/op
+`
+
+func TestParseStripsSuffixAndKeepsOrder(t *testing.T) {
+	s, err := parse(strings.NewReader(newOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.order) != 2 || s.order[0] != "SeedExtend1k" || s.order[1] != "SeedExtend10k" {
+		t.Fatalf("order = %v", s.order)
+	}
+	if got := s.vals["SeedExtend1k"]["ns/op"]; len(got) != 3 {
+		t.Fatalf("1k ns/op runs = %v", got)
+	}
+	if got := s.vals["SeedExtend10k"]["cells/op"]; len(got) != 1 || got[0] != 248708 {
+		t.Fatalf("10k cells/op = %v", got)
+	}
+}
+
+func TestSummarizeMedian(t *testing.T) {
+	st := summarize([]float64{105000, 99000, 101500})
+	if st.Median != 101500 || st.Min != 99000 || st.Max != 105000 || st.N != 3 {
+		t.Fatalf("summarize = %+v", st)
+	}
+	if even := summarize([]float64{10, 20}); even.Median != 15 {
+		t.Fatalf("even median = %v", even.Median)
+	}
+}
+
+func TestBuildDelta(t *testing.T) {
+	cur, _ := parse(strings.NewReader(newOut))
+	old, _ := parse(strings.NewReader(oldOut))
+	rep := build(old, cur)
+	c := rep.byName["SeedExtend1k"]["ns/op"]
+	if c.Old == nil || c.Old.Median != 220000 {
+		t.Fatalf("old stat = %+v", c.Old)
+	}
+	if c.DeltaPct == nil || *c.DeltaPct > -50 {
+		t.Fatalf("1k delta = %v, want < -50%%", c.DeltaPct)
+	}
+	// allocs/op went 6 -> 0: delta is -100%.
+	a := rep.byName["SeedExtend10k"]["allocs/op"]
+	if a.DeltaPct == nil || *a.DeltaPct != -100 {
+		t.Fatalf("allocs delta = %v", a.DeltaPct)
+	}
+	var sb strings.Builder
+	rep.table(&sb, true)
+	if !strings.Contains(sb.String(), "SeedExtend10k") || !strings.Contains(sb.String(), "-100.00%") {
+		t.Fatalf("table missing rows:\n%s", sb.String())
+	}
+}
+
+func TestBuildWithoutBaseline(t *testing.T) {
+	cur, _ := parse(strings.NewReader(newOut))
+	rep := build(nil, cur)
+	if c := rep.byName["SeedExtend1k"]["ns/op"]; c.Old != nil || c.DeltaPct != nil {
+		t.Fatalf("no-baseline cell has old data: %+v", c)
+	}
+	var sb strings.Builder
+	rep.table(&sb, false)
+	if !strings.Contains(sb.String(), "(99000..105000)") {
+		t.Fatalf("spread missing:\n%s", sb.String())
+	}
+}

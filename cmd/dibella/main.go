@@ -44,6 +44,7 @@ import (
 	"gnbody/internal/par"
 	"gnbody/internal/partition"
 	"gnbody/internal/pipeline"
+	"gnbody/internal/prof"
 	"gnbody/internal/rt"
 	"gnbody/internal/seq"
 	"gnbody/internal/stats"
@@ -100,6 +101,8 @@ func main() {
 		addr     = flag.String("addr", "", "rendezvous address host:port of rank 0 in a -dist job (auto-picked when self-forking)")
 		deadline = flag.Duration("progress-deadline", dist.DefaultProgressDeadline,
 			"-dist: fail a rank blocked in a collective with no inbound traffic for this long (0 disables)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file (rank-suffixed in -dist mode)")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit (rank-suffixed in -dist mode)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -155,6 +158,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, format, args...)
 		}
 	}
+
+	// Profiling starts after the coordinator's self-fork return above, so in
+	// -dist mode only the workers profile, each into a rank-suffixed file
+	// (same convention as -trace and -metrics).
+	cpuPath, memPath := *cpuProf, *memProf
+	if isDist {
+		if cpuPath != "" {
+			cpuPath += fmt.Sprintf(".rank%d", myRank)
+		}
+		if memPath != "" {
+			memPath += fmt.Sprintf(".rank%d", myRank)
+		}
+	}
+	stopProf, profErr := prof.Start(cpuPath, memPath)
+	if profErr != nil {
+		fail(profErr)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "dibella: %v\n", err)
+		}
+	}()
 
 	// Owner-only data residency: in -dist mode no process ever loads the
 	// whole read set. Every worker scans the input once for metadata (the

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"gnbody/internal/expt"
+	"gnbody/internal/prof"
 	"gnbody/internal/stats"
 	"gnbody/internal/trace"
 )
@@ -58,8 +59,20 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the last simulated run")
 		metricsOut = flag.String("metrics", "", "write per-rank metrics of the last simulated run (CSV, or JSON if path ends in .json)")
 		sample     = flag.Int("sample", 1, "trace sampling: keep every Nth high-volume event")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+		}
+	}()
 
 	p := expt.Params{
 		ScaleEColi30x:  *scale30,

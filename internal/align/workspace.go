@@ -1,0 +1,307 @@
+package align
+
+import (
+	"fmt"
+
+	"gnbody/internal/seq"
+)
+
+// negInf32 mirrors negInf for the int32 row representation: far enough
+// below any reachable score to act as -infinity without overflowing when a
+// gap penalty is added.
+const negInf32 = int32(-1)<<29 - 1
+
+// Workspace is the reusable scratch of one alignment lane: DP rows grown
+// monotonically, the 5×5 substitution table for the current scoring scheme,
+// and a reverse-complement buffer. With a warm workspace, SeedExtend runs
+// allocation-free — the property the hot path depends on, since every one
+// of the millions of tasks would otherwise churn the allocator (§4.2's
+// per-task overhead).
+//
+// Ownership: one workspace per rank. Every call mutates its buffers, so a
+// workspace must never be shared across goroutines; the drivers obtain one
+// per rank via core's PerRankExecutor hook. Under the progress contract all
+// callbacks of a rank run on that rank's goroutine, so even the stealing
+// driver needs no more than the rank's own workspace.
+type Workspace struct {
+	prev, cur []int32
+	sub       [seq.NumBases][seq.NumBases]int32
+	subFor    Scoring
+	subOK     bool
+	rc        seq.Seq
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use and
+// are retained across calls.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure sizes the DP rows for a b of length blen and refreshes the
+// substitution table when the scoring scheme changed.
+func (w *Workspace) ensure(sc Scoring, blen int) {
+	if cap(w.prev) < blen+1 {
+		n := 2 * cap(w.prev)
+		if n < blen+1 {
+			n = blen + 1
+		}
+		if n < 256 {
+			n = 256
+		}
+		w.prev = make([]int32, n)
+		w.cur = make([]int32, n)
+	}
+	if !w.subOK || w.subFor != sc {
+		for x := 0; x < seq.NumBases; x++ {
+			for y := 0; y < seq.NumBases; y++ {
+				w.sub[x][y] = int32(sub(sc, seq.Base(x), seq.Base(y)))
+			}
+		}
+		w.subFor, w.subOK = sc, true
+	}
+}
+
+// RevComp writes the reverse complement of s into the workspace's scratch
+// buffer and returns it. The result is valid until the next RevComp call on
+// this workspace; a caller that retains it must Clone it first.
+func (w *Workspace) RevComp(s seq.Seq) seq.Seq {
+	if cap(w.rc) < len(s) {
+		w.rc = make(seq.Seq, len(s))
+	}
+	out := w.rc[:len(s)]
+	for i, b := range s {
+		out[len(s)-1-i] = b.Complement()
+	}
+	return out
+}
+
+// fitsInt32 reports whether every DP value for these inputs provably fits
+// the int32 row representation. Genomic inputs (reads up to a few hundred
+// kilobases, single-digit scoring constants) pass by orders of magnitude;
+// pathological parameters fall back to the reference int kernel.
+func fitsInt32(alen, blen int, sc Scoring, x int) bool {
+	const lim = 1 << 29
+	abs := func(v int) int64 {
+		w := int64(v)
+		if w < 0 {
+			return -w
+		}
+		return w
+	}
+	mag := abs(sc.Match)
+	if m := abs(sc.Mismatch); m > mag {
+		mag = m
+	}
+	if g := abs(sc.Gap); g > mag {
+		mag = g
+	}
+	if mag >= lim || int64(x) >= lim {
+		return false
+	}
+	n := int64(alen) + int64(blen) + 2
+	if n >= 1<<31 {
+		return false
+	}
+	return n*mag+int64(x) < lim
+}
+
+// ExtendRight is the package-level ExtendRight running on this workspace's
+// buffers: identical scores, extents and cell counts, no per-call
+// allocation once the rows are warm.
+func (w *Workspace) ExtendRight(a, b seq.Seq, sc Scoring, x int) Extension {
+	return w.extend(a, b, sc, x, false)
+}
+
+// extend runs the X-drop extension over a and b, walking both backward when
+// rev is set — the left extension runs over reversed indices instead of the
+// reference kernel's heap-materialised reversed copies. Results (Score,
+// AExt, BExt, Cells) are identical to extendRightRef on the corresponding
+// (possibly reversed) inputs.
+//
+// Inner-loop structure relative to the reference: the three window-membership
+// tests per cell are replaced by peeled first/last columns (only the middle
+// columns have all three moves in-window), the per-cell sub() call by the
+// precomputed substitution row, the per-cell cells++ by one per-row addition,
+// and the per-cell best-x recomputation by a threshold updated only when
+// best improves. The diagonal and left DP inputs are carried in registers.
+func (w *Workspace) extend(a, b seq.Seq, sc Scoring, x int, rev bool) Extension {
+	if x < 0 {
+		x = 0
+	}
+	alen, blen := len(a), len(b)
+	if !fitsInt32(alen, blen, sc, x) {
+		// Pathological scoring magnitudes: use the int-rowed reference.
+		if rev {
+			return extendRightRef(reverse(a), reverse(b), sc, x)
+		}
+		return extendRightRef(a, b, sc, x)
+	}
+	w.ensure(sc, blen)
+	gap := int32(sc.Gap)
+	x32 := int32(x)
+	prev, cur := w.prev[:blen+1], w.cur[:blen+1]
+
+	best, bestI, bestJ := int32(0), 0, 0
+	thresh := -x32
+	cells := 0
+
+	// Row 0: gaps in a only. Cells here are not counted (reference
+	// behaviour).
+	hi := 0
+	prev[0] = 0
+	s := int32(0)
+	for j := 1; j <= blen; j++ {
+		s += gap
+		if s < thresh {
+			break
+		}
+		prev[j] = s
+		hi = j
+	}
+
+	bstep := 1
+	if rev {
+		bstep = -1
+	}
+
+	plo, phi := 0, hi
+	for i := 1; i <= alen; i++ {
+		// Columns reachable this row: [plo, phi+1] clipped to b.
+		lo := plo
+		hi = phi + 1
+		tail := hi <= blen // does the phi+1 column exist?
+		if !tail {
+			hi = blen
+		}
+		cells += hi - lo + 1
+
+		ca := a[i-1]
+		if rev {
+			ca = a[alen-i]
+		}
+		if ca > seq.N {
+			ca = seq.N // any out-of-alphabet code scores like N
+		}
+		srow := &w.sub[ca]
+
+		// b index of column lo's base: b[lo-1] forward, b[blen-lo] reversed.
+		bj := lo - 1
+		if rev {
+			bj = blen - lo
+		}
+
+		// Column lo: only the vertical move is in-window (diagonal and left
+		// would read column lo-1, below the live window).
+		v := prev[lo] + gap
+		if v < thresh {
+			v = negInf32
+		}
+		cur[lo] = v
+		rowBest := v
+		if v > best {
+			best, bestI, bestJ = v, i, lo
+			thresh = best - x32
+		}
+		left := v
+		diag := prev[lo]
+		bj += bstep
+
+		// Middle columns (lo, mid]: all three moves are in-window.
+		mid := hi
+		if tail {
+			mid = hi - 1
+		}
+		for j := lo + 1; j <= mid; j++ {
+			up := prev[j]
+			cb := b[bj]
+			if cb > seq.N {
+				cb = seq.N
+			}
+			v := diag + srow[cb]
+			if u := up + gap; u > v {
+				v = u
+			}
+			if l := left + gap; l > v {
+				v = l
+			}
+			if v < thresh {
+				v = negInf32
+			}
+			cur[j] = v
+			if v > rowBest {
+				rowBest = v
+			}
+			if v > best {
+				best, bestI, bestJ = v, i, j
+				thresh = best - x32
+			}
+			diag = up
+			left = v
+			bj += bstep
+		}
+
+		// Column phi+1, when it exists: the previous row ends at phi, so
+		// there is no vertical move.
+		if tail {
+			cb := b[bj]
+			if cb > seq.N {
+				cb = seq.N
+			}
+			v := diag + srow[cb]
+			if l := left + gap; l > v {
+				v = l
+			}
+			if v < thresh {
+				v = negInf32
+			}
+			cur[hi] = v
+			if v > rowBest {
+				rowBest = v
+			}
+			if v > best {
+				best, bestI, bestJ = v, i, hi
+				thresh = best - x32
+			}
+		}
+
+		if rowBest == negInf32 {
+			break // X-drop termination: every live cell pruned
+		}
+		// Shrink the window to live cells.
+		for lo <= hi && cur[lo] == negInf32 {
+			lo++
+		}
+		for hi >= lo && cur[hi] == negInf32 {
+			hi--
+		}
+		prev, cur = cur, prev
+		plo, phi = lo, hi
+	}
+	return Extension{Score: int(best), AExt: bestI, BExt: bestJ, Cells: cells}
+}
+
+// SeedExtend is the package-level SeedExtend running on this workspace:
+// identical results, with the left extension walking reversed indices in
+// place of the reference's reversed copies, and zero allocations once the
+// workspace is warm.
+func (w *Workspace) SeedExtend(a, b seq.Seq, posA, posB, k int, sc Scoring, x int) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if posA < 0 || posB < 0 || posA+k > len(a) || posB+k > len(b) || k <= 0 {
+		return Result{}, fmt.Errorf("align: seed [%d,%d)+%d out of range for lengths %d,%d",
+			posA, posB, k, len(a), len(b))
+	}
+	seedScore := 0
+	for j := 0; j < k; j++ {
+		seedScore += sub(sc, a[posA+j], b[posB+j])
+	}
+	right := w.extend(a[posA+k:], b[posB+k:], sc, x, false)
+	left := w.extend(a[:posA], b[:posB], sc, x, true)
+	return Result{
+		Score:  seedScore + right.Score + left.Score,
+		AStart: posA - left.AExt,
+		AEnd:   posA + k + right.AExt,
+		BStart: posB - left.BExt,
+		BEnd:   posB + k + right.BExt,
+		Cells:  right.Cells + left.Cells,
+	}, nil
+}

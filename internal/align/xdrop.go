@@ -1,8 +1,6 @@
 package align
 
 import (
-	"fmt"
-
 	"gnbody/internal/seq"
 )
 
@@ -25,89 +23,12 @@ type Extension struct {
 // early-termination behaviour §4.2 identifies as a major source of task
 // cost variability: false-positive candidates die within a few rows, while
 // true overlaps extend across the whole overlap region.
+//
+// This convenience form allocates a transient Workspace per call; the hot
+// path holds one Workspace per rank and calls its methods instead.
 func ExtendRight(a, b seq.Seq, sc Scoring, x int) Extension {
-	if x < 0 {
-		x = 0
-	}
-	best, bestI, bestJ := 0, 0, 0
-	cells := 0
-
-	// Row 0: gaps in a only.
-	lo, hi := 0, 0 // inclusive window of live columns in the current row
-	prev := make([]int, len(b)+1)
-	prev[0] = 0
-	for j := 1; j <= len(b); j++ {
-		s := j * sc.Gap
-		if s < best-x {
-			break
-		}
-		prev[j] = s
-		hi = j
-	}
-	cur := make([]int, len(b)+1)
-
-	plo, phi := lo, hi
-	for i := 1; i <= len(a); i++ {
-		// Columns reachable this row: [plo, phi+1] clipped to b.
-		lo = plo
-		hi = phi + 1
-		if hi > len(b) {
-			hi = len(b)
-		}
-		rowBest := negInf
-		for j := lo; j <= hi; j++ {
-			v := negInf
-			if j >= plo && j <= phi { // up: gap in b
-				if w := prev[j] + sc.Gap; w > v {
-					v = w
-				}
-			}
-			if j-1 >= plo && j-1 <= phi { // diagonal
-				if w := prev[j-1] + sub(sc, a[i-1], b[j-1]); w > v {
-					v = w
-				}
-			}
-			if j > lo { // left: gap in a
-				if w := cur[j-1] + sc.Gap; w > v {
-					v = w
-				}
-			}
-			cells++
-			if v < best-x {
-				v = negInf
-			}
-			cur[j] = v
-			if v > rowBest {
-				rowBest = v
-			}
-			if v > best {
-				best, bestI, bestJ = v, i, j
-			}
-		}
-		if rowBest == negInf {
-			break // X-drop termination: every live cell pruned
-		}
-		// Shrink the window to live cells.
-		for lo <= hi && cur[lo] == negInf {
-			lo++
-		}
-		for hi >= lo && cur[hi] == negInf {
-			hi--
-		}
-		prev, cur = cur, prev
-		plo, phi = lo, hi
-	}
-	return Extension{Score: best, AExt: bestI, BExt: bestJ, Cells: cells}
-}
-
-// reverse returns s reversed (not complemented): left extension runs the
-// right-extension kernel on reversed prefixes.
-func reverse(s seq.Seq) seq.Seq {
-	out := make(seq.Seq, len(s))
-	for i, b := range s {
-		out[len(s)-1-i] = b
-	}
-	return out
+	var w Workspace
+	return w.extend(a, b, sc, x, false)
 }
 
 // Result is a completed seed-and-extend pairwise alignment between a pair
@@ -126,26 +47,10 @@ type Result struct {
 // b[posB]: the seed is scored by direct comparison (sequencing errors can
 // land inside it), then gapped X-drop extensions run right of the seed and
 // left of it. x is the X-drop parameter.
+//
+// This convenience form allocates a transient Workspace per call; the hot
+// path holds one Workspace per rank and calls Workspace.SeedExtend.
 func SeedExtend(a, b seq.Seq, posA, posB, k int, sc Scoring, x int) (Result, error) {
-	if err := sc.Validate(); err != nil {
-		return Result{}, err
-	}
-	if posA < 0 || posB < 0 || posA+k > len(a) || posB+k > len(b) || k <= 0 {
-		return Result{}, fmt.Errorf("align: seed [%d,%d)+%d out of range for lengths %d,%d",
-			posA, posB, k, len(a), len(b))
-	}
-	seedScore := 0
-	for j := 0; j < k; j++ {
-		seedScore += sub(sc, a[posA+j], b[posB+j])
-	}
-	right := ExtendRight(a[posA+k:], b[posB+k:], sc, x)
-	left := ExtendRight(reverse(a[:posA]), reverse(b[:posB]), sc, x)
-	return Result{
-		Score:  seedScore + right.Score + left.Score,
-		AStart: posA - left.AExt,
-		AEnd:   posA + k + right.AExt,
-		BStart: posB - left.BExt,
-		BEnd:   posB + k + right.BExt,
-		Cells:  right.Cells + left.Cells,
-	}, nil
+	var w Workspace
+	return w.SeedExtend(a, b, posA, posB, k, sc, x)
 }

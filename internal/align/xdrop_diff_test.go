@@ -1,0 +1,191 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnbody/internal/seq"
+)
+
+// The differential battery: the optimised Workspace kernel must reproduce
+// the retained reference kernel bit for bit — Score, AExt, BExt and the
+// Cells work measure — on any input, with the workspace deliberately kept
+// dirty across cases to prove stale row contents never leak into a result.
+
+// diffCase runs both kernels on one ExtendRight input and compares.
+func diffCase(t *testing.T, w *Workspace, a, b seq.Seq, sc Scoring, x int) {
+	t.Helper()
+	want := extendRightRef(a, b, sc, x)
+	got := w.ExtendRight(a, b, sc, x)
+	if got != want {
+		t.Fatalf("ExtendRight(|a|=%d,|b|=%d,%+v,x=%d):\n workspace %+v\n reference %+v",
+			len(a), len(b), sc, x, got, want)
+	}
+}
+
+func randSeq(rng *rand.Rand, n int) seq.Seq {
+	s := make(seq.Seq, n)
+	for i := range s {
+		s[i] = seq.Base(rng.Intn(seq.NumBases)) // includes N
+	}
+	return s
+}
+
+func TestWorkspaceMatchesReferenceExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := NewWorkspace() // shared across all cases: dirty-buffer reuse is the point
+	schemes := []Scoring{
+		DefaultScoring(),
+		{Match: 2, Mismatch: -3, Gap: -2},
+		{Match: 5, Mismatch: -4, Gap: -11},
+		{Match: 1, Mismatch: -16, Gap: -1},
+	}
+	for iter := 0; iter < 400; iter++ {
+		sc := schemes[rng.Intn(len(schemes))]
+		x := rng.Intn(60)
+		la, lb := rng.Intn(200), rng.Intn(200)
+		var a, b seq.Seq
+		switch rng.Intn(3) {
+		case 0: // unrelated
+			a, b = randSeq(rng, la), randSeq(rng, lb)
+		case 1: // mutated copy: long extensions
+			a = randSeq(rng, la)
+			b = a.Clone()
+			for m := 0; m < la/8; m++ {
+				if la > 0 {
+					b[rng.Intn(la)] = seq.Base(rng.Intn(seq.NumBases))
+				}
+			}
+		default: // shared prefix, then divergence: mid-run termination
+			a = randSeq(rng, la)
+			b = append(randSeq(rng, 0), a[:la/2]...)
+			b = append(b, randSeq(rng, lb/2)...)
+		}
+		diffCase(t, w, a, b, sc, x)
+	}
+}
+
+func TestWorkspaceMatchesReferenceSeedExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := NewWorkspace()
+	for iter := 0; iter < 400; iter++ {
+		sc := DefaultScoring()
+		if iter%3 == 0 {
+			sc = Scoring{Match: 1 + rng.Intn(4), Mismatch: -1 - rng.Intn(6), Gap: -1 - rng.Intn(6)}
+		}
+		n := 20 + rng.Intn(300)
+		a := randSeq(rng, n)
+		b := a.Clone()
+		for m := 0; m < n/10; m++ {
+			b[rng.Intn(n)] = seq.Base(rng.Intn(seq.NumBases))
+		}
+		k := 1 + rng.Intn(17)
+		posA := rng.Intn(n - k + 1)
+		posB := rng.Intn(n - k + 1)
+		x := rng.Intn(50)
+		want, errW := seedExtendRef(a, b, posA, posB, k, sc, x)
+		got, errG := w.SeedExtend(a, b, posA, posB, k, sc, x)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("error mismatch: ref %v, workspace %v", errW, errG)
+		}
+		if errW == nil && got != want {
+			t.Fatalf("SeedExtend(n=%d,posA=%d,posB=%d,k=%d,x=%d):\n workspace %+v\n reference %+v",
+				n, posA, posB, k, x, got, want)
+		}
+	}
+}
+
+// TestWorkspaceOverflowFallback drives the int32-overflow guard: scoring
+// magnitudes near the int32 ceiling must route to the reference kernel and
+// still agree with it.
+func TestWorkspaceOverflowFallback(t *testing.T) {
+	w := NewWorkspace()
+	a := seq.MustFromString("ACGTACGTAC")
+	b := seq.MustFromString("ACGTTCGTAC")
+	sc := Scoring{Match: 1 << 28, Mismatch: -(1 << 28), Gap: -(1 << 28)}
+	if fitsInt32(len(a), len(b), sc, 10) {
+		t.Fatal("guard accepted a scheme that can overflow int32")
+	}
+	diffCase(t, w, a, b, sc, 1<<27)
+}
+
+// TestSeedExtendWarmWorkspaceAllocFree is the tentpole's allocation guard:
+// with a warm workspace the whole seed-and-extend path — including the
+// reversed-index left extension — performs zero heap allocations.
+func TestSeedExtendWarmWorkspaceAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 2000
+	a := randSeq(rng, n)
+	b := a.Clone()
+	for m := 0; m < n/10; m++ {
+		b[rng.Intn(n)] = seq.Base(rng.Intn(4))
+	}
+	w := NewWorkspace()
+	sc := DefaultScoring()
+	if _, err := w.SeedExtend(a, b, n/2, n/2, 17, sc, 15); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := w.SeedExtend(a, b, n/2, n/2, 17, sc, 15); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm-workspace SeedExtend allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestRevCompWarmAllocFree pins the reverse-complement scratch: warm
+// workspaces serve opposite-strand tasks without allocating.
+func TestRevCompWarmAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := randSeq(rng, 3000)
+	w := NewWorkspace()
+	got := w.RevComp(s)
+	want := s.ReverseComplement()
+	if len(got) != len(want) {
+		t.Fatalf("RevComp length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("RevComp[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() { w.RevComp(s) })
+	if allocs != 0 {
+		t.Fatalf("warm RevComp allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzXDropDiff is the differential fuzz target: arbitrary sequences,
+// seeds and X parameters through both kernels, on a package-shared dirty
+// workspace. Any divergence in Score/AExt/BExt/Cells fails.
+func FuzzXDropDiff(f *testing.F) {
+	f.Add([]byte("\x00\x01\x02\x03"), []byte("\x00\x01\x02\x03"), 2, 2, 2, 15)
+	f.Add([]byte("\x00\x00\x01\x01\x02\x02"), []byte("\x02\x02\x01\x01"), 0, 0, 3, 4)
+	f.Add([]byte(""), []byte(""), 0, 0, 1, 0)
+	w := NewWorkspace()
+	f.Fuzz(func(t *testing.T, ab, bb []byte, posA, posB, k, x int) {
+		a := fuzzSeq(ab, 300)
+		b := fuzzSeq(bb, 300)
+		if x < -1000 || x > 1000 {
+			x %= 1000
+		}
+		sc := DefaultScoring()
+
+		want := extendRightRef(a, b, sc, x)
+		got := w.ExtendRight(a, b, sc, x)
+		if got != want {
+			t.Fatalf("ExtendRight diverged:\n workspace %+v\n reference %+v", got, want)
+		}
+
+		wantR, errR := seedExtendRef(a, b, posA, posB, k, sc, x)
+		gotR, errG := w.SeedExtend(a, b, posA, posB, k, sc, x)
+		if (errR == nil) != (errG == nil) {
+			t.Fatalf("error mismatch: ref %v, workspace %v", errR, errG)
+		}
+		if errR == nil && gotR != wantR {
+			t.Fatalf("SeedExtend diverged:\n workspace %+v\n reference %+v", gotR, wantR)
+		}
+	})
+}

@@ -64,6 +64,7 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	// unsolicited pushes can pile up (§3.2). Reads are batched per owner
 	// when FetchBatch > 1.
 	tb := r.Tracer()
+	var scratch seqScratch
 	issue := func(ids []seq.ReadID) {
 		batch := append([]seq.ReadID(nil), ids...)
 		// Charge the response's planned size against the in-flight meter at
@@ -82,11 +83,19 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 			tBatch := tb.Now()
 			tasksRun := 0
 			buf := val
+			// Check a decode buffer out for the whole batch: the Progress
+			// calls below can run other completion callbacks before this one
+			// returns, and each needs its own buffer.
+			dbuf := scratch.get()
+			defer func() { scratch.put(dbuf) }()
 			for _, rid := range batch {
-				read, used, err := in.Codec.Decode(buf)
+				read, used, err := in.Codec.DecodeInto(dbuf, buf)
 				if err != nil || read.ID != rid {
 					cbErr = fmt.Errorf("core: rank %d: bad RPC payload for read %d: %v", r.Rank(), rid, err)
 					return
+				}
+				if cap(read.Seq) > cap(dbuf) {
+					dbuf = read.Seq
 				}
 				buf = buf[used:]
 				for i, t := range store.byRemote[rid] {

@@ -39,6 +39,11 @@ type Config struct {
 }
 
 func (cfg *Config) defaults() {
+	// cfg is a per-Run value copy, so binding per-rank executor state here
+	// gives each rank its own instance (one alignment workspace per rank).
+	if pr, ok := cfg.Exec.(PerRankExecutor); ok {
+		cfg.Exec = pr.ForRank()
+	}
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 64
 	}
@@ -121,6 +126,7 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	// rank has reads left to fetch.
 	next := 0
 	tb := r.Tracer()
+	var dbuf seq.Seq // reused across all supersteps' unpack loops
 	budget := r.MemBudget()
 	if budget > 0 {
 		budget -= base // the input partition occupies part of the budget
@@ -192,12 +198,18 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		r.Alloc(recvBytes)
 		out.ExchangeRecvBytes += recvBytes
 
-		// Compute alignments as reads are unpacked from receive buffers.
+		// Compute alignments as reads are unpacked from receive buffers. One
+		// decode buffer serves the whole unpack: every task of a read runs
+		// before the next read is decoded over it, and nothing below this
+		// loop retains the sequence.
 		for src, buf := range recvPay {
 			for len(buf) > 0 {
-				read, n, err := in.Codec.Decode(buf)
+				read, n, err := in.Codec.DecodeInto(dbuf, buf)
 				if err != nil {
 					return nil, fmt.Errorf("core: rank %d: bad payload from %d: %v", r.Rank(), src, err)
+				}
+				if cap(read.Seq) > cap(dbuf) {
+					dbuf = read.Seq
 				}
 				buf = buf[n:]
 				tasks, ok := groupOf[read.ID]

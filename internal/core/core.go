@@ -67,6 +67,10 @@ type Codec interface {
 	// Decode parses one read from buf, returning the read (Seq may be nil
 	// under the phantom codec) and bytes consumed.
 	Decode(buf []byte) (seq.Read, int, error)
+	// DecodeInto is Decode reusing dst (grown as needed) for the bases, so
+	// unpack loops stop allocating per read. The returned Seq may alias dst;
+	// it is valid until dst's next reuse and must be Cloned if retained.
+	DecodeInto(dst seq.Seq, buf []byte) (seq.Read, int, error)
 }
 
 // RealCodec ships actual read payloads. It encodes from the rank's
@@ -87,29 +91,39 @@ func (c RealCodec) WireSize(id seq.ReadID) int { return seq.WireSizeOf(c.Store.L
 // Decode parses one wire-encoded read.
 func (c RealCodec) Decode(buf []byte) (seq.Read, int, error) { return seq.DecodeWire(buf) }
 
+// DecodeInto parses one wire-encoded read into dst.
+func (c RealCodec) DecodeInto(dst seq.Seq, buf []byte) (seq.Read, int, error) {
+	return seq.DecodeWireInto(dst, buf)
+}
+
 // PhantomCodec ships zero-filled payloads of the true wire size: exchange
 // volumes, memory accounting and message pricing stay exact while the
 // simulated dataset needs no actual bases (the model executor works from
 // task metadata).
 type PhantomCodec struct{ Lens []int32 }
 
-// Encode appends a header plus a zero body of the read's length.
+// Encode appends a header plus a zero body of the read's length, without
+// materialising a sequence to throw away.
 func (c PhantomCodec) Encode(dst []byte, id seq.ReadID) []byte {
-	r := seq.Read{ID: id, Seq: make(seq.Seq, c.Lens[id])}
-	return seq.AppendWire(dst, &r)
+	return seq.AppendWireZero(dst, id, int(c.Lens[id]))
 }
 
 // WireSize returns the modeled wire size.
 func (c PhantomCodec) WireSize(id seq.ReadID) int { return seq.WireSizeOf(int(c.Lens[id])) }
 
-// Decode parses the header and discards the body (Seq nil).
+// Decode parses the header and skips the body (Seq nil): phantom payloads
+// carry no bases worth copying or validating.
 func (c PhantomCodec) Decode(buf []byte) (seq.Read, int, error) {
-	r, n, err := seq.DecodeWire(buf)
+	id, n, err := seq.DecodeWireMeta(buf)
 	if err != nil {
-		return r, n, err
+		return seq.Read{}, 0, err
 	}
-	r.Seq = nil
-	return r, n, nil
+	return seq.Read{ID: id}, n, nil
+}
+
+// DecodeInto is Decode; there is no body to land in dst.
+func (c PhantomCodec) DecodeInto(_ seq.Seq, buf []byte) (seq.Read, int, error) {
+	return c.Decode(buf)
 }
 
 // Input is one rank's share of the problem, as produced by the earlier

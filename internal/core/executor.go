@@ -20,20 +20,46 @@ type Executor interface {
 	Align(r rt.Runtime, t overlap.Task, a, b seq.Seq) (res align.Result, ok bool)
 }
 
+// PerRankExecutor is implemented by executors that want per-rank mutable
+// state (the alignment workspace, for the real executor). The drivers call
+// ForRank once per run, before the first task, and route every task on that
+// rank through the returned instance. The progress contract guarantees all
+// of a rank's callbacks run on the rank's own goroutine, so the instance —
+// and the workspace inside it — needs no synchronisation, but it must never
+// leak to another goroutine.
+type PerRankExecutor interface {
+	Executor
+	ForRank() Executor
+}
+
 // RealExecutor runs the X-drop seed-and-extend kernel under wall-clock
-// timing (rt.CatAlign).
+// timing (rt.CatAlign). A zero RealExecutor works but allocates a transient
+// workspace per task; the drivers call ForRank so every task on a rank runs
+// on one warm workspace, allocation-free.
 type RealExecutor struct {
 	Scoring align.Scoring
 	X       int
+
+	ws *align.Workspace // per-rank scratch; nil until ForRank
+}
+
+// ForRank returns a copy bound to a fresh alignment workspace.
+func (e RealExecutor) ForRank() Executor {
+	e.ws = align.NewWorkspace()
+	return e
 }
 
 // Align runs the kernel. Seeds are validated at candidate construction, so
 // a kernel error here is a programming error and panics.
 func (e RealExecutor) Align(r rt.Runtime, t overlap.Task, a, b seq.Seq) (align.Result, bool) {
+	w := e.ws
+	if w == nil {
+		w = align.NewWorkspace()
+	}
 	var res align.Result
 	var err error
 	r.Timed(rt.CatAlign, func() {
-		res, err = overlap.AlignTask(a, b, t, e.Scoring, e.X)
+		res, err = overlap.AlignTaskWS(w, a, b, t, e.Scoring, e.X)
 	})
 	if err != nil {
 		panic("core: invalid task reached the aligner: " + err.Error())

@@ -78,6 +78,12 @@ func (c PackedCodec) WireSize(id seq.ReadID) int {
 
 // Decode parses one packed wire read.
 func (c PackedCodec) Decode(buf []byte) (seq.Read, int, error) {
+	return c.DecodeInto(nil, buf)
+}
+
+// DecodeInto parses one packed wire read, unpacking the bases into dst
+// (grown as needed) instead of a fresh allocation per read.
+func (c PackedCodec) DecodeInto(dst seq.Seq, buf []byte) (seq.Read, int, error) {
 	if len(buf) < 8 {
 		return seq.Read{}, 0, fmt.Errorf("core: packed wire: short header")
 	}
@@ -92,7 +98,12 @@ func (c PackedCodec) Decode(buf []byte) (seq.Read, int, error) {
 	if len(buf) < body {
 		return seq.Read{}, 0, fmt.Errorf("core: packed wire: short body (%d < %d)", len(buf), body)
 	}
-	s := make(seq.Seq, n)
+	var s seq.Seq
+	if dst != nil && cap(dst) >= n {
+		s = dst[:n]
+	} else {
+		s = make(seq.Seq, n) // non-nil even for n == 0, matching Decode
+	}
 	if packed {
 		for i := 0; i < n; i++ {
 			s[i] = seq.Base(buf[8+i/4] >> uint((i%4)*2) & 3)

@@ -1,0 +1,31 @@
+package core
+
+import "gnbody/internal/seq"
+
+// seqScratch hands out decode buffers to RPC completion callbacks. The
+// async drivers poll runtime progress between tasks inside a callback, and
+// progress can run *other* completion callbacks on the same goroutine
+// before the first returns — so a single shared buffer per rank would be
+// clobbered mid-batch. Each callback checks one buffer out for its whole
+// batch and returns it on exit; a nested callback checks out its own.
+// Under the progress contract every checkout happens on the rank's own
+// goroutine, so the free list needs no locking.
+type seqScratch struct{ free []seq.Seq }
+
+// get checks out a buffer (nil when the pool is empty: DecodeInto grows it
+// and put recovers the grown buffer afterwards).
+func (p *seqScratch) get() seq.Seq {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return nil
+}
+
+// put returns a buffer to the pool.
+func (p *seqScratch) put(s seq.Seq) {
+	if cap(s) > 0 {
+		p.free = append(p.free, s)
+	}
+}

@@ -12,8 +12,9 @@ import (
 // rank count and memory budget — the test suite's central invariant.
 func SerialHits(reads *seq.ReadSet, tasks []overlap.Task, sc align.Scoring, x, minScore int) ([]Hit, error) {
 	var hits []Hit
+	w := align.NewWorkspace()
 	for _, t := range tasks {
-		res, err := overlap.AlignTask(reads.Get(t.A).Seq, reads.Get(t.B).Seq, t, sc, x)
+		res, err := overlap.AlignTaskWS(w, reads.Get(t.A).Seq, reads.Get(t.B).Seq, t, sc, x)
 		if err != nil {
 			return nil, err
 		}

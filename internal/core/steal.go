@@ -80,6 +80,7 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	wait()
 
 	// Phase 1: own queue, front to wherever stealing leaves it.
+	var scratch seqScratch
 	for next <= tail {
 		rid := store.order[next]
 		next++
@@ -91,11 +92,21 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 			n := int64(len(val))
 			r.Alloc(n)
 			defer r.Free(n)
-			read, used, err := in.Codec.Decode(val)
+			// Per-callback decode buffer: Progress below can run other
+			// completion callbacks before this one finishes its tasks.
+			// (The stolen-group path keeps plain Decode — it retains the
+			// sequence across nested fetch callbacks.)
+			dbuf := scratch.get()
+			read, used, err := in.Codec.DecodeInto(dbuf, val)
 			if err != nil || used != len(val) {
+				scratch.put(dbuf)
 				cbErr = fmt.Errorf("core: rank %d: bad RPC payload for read %d: %v", r.Rank(), rid, err)
 				return
 			}
+			if cap(read.Seq) > cap(dbuf) {
+				dbuf = read.Seq
+			}
+			defer scratch.put(dbuf)
 			for i, t := range tasks {
 				execTask(r, in, &cfg, *t, read.Seq, t.A == rid, out)
 				if (i+1)%cfg.PollEvery == 0 {

@@ -135,6 +135,9 @@ type Rank struct {
 	redEpoch  uint64
 	redGot    map[srcKey]int64
 	redResult map[uint64]int64
+
+	rec    transport.FrameRecycler // non-nil when the fabric reuses delivered frames
+	rpcBuf []byte                  // reused RPC wire-frame scratch (Send snapshots before returning)
 }
 
 var _ rt.Runtime = (*Rank)(nil)
@@ -153,6 +156,7 @@ func NewRank(tp transport.Transport, cfg Config) *Rank {
 		redGot:    make(map[srcKey]int64),
 		redResult: make(map[uint64]int64),
 	}
+	r.rec, _ = tp.(transport.FrameRecycler)
 	r.eng = transport.NewEngine(transport.EngineConfig{
 		Rank:    r.id,
 		Send:    r.sendRPC,
@@ -297,16 +301,19 @@ func (r *Rank) sendFrame(op string, dst int, frame []byte) {
 	}
 }
 
-// sendRPC is the engine's conduit: wrap the message in a wire frame.
+// sendRPC is the engine's conduit: wrap the message in a wire frame. The
+// frame is built in a per-rank scratch buffer — Send snapshots it before
+// returning, and sendRPC only runs on this rank's goroutine, so the scratch
+// is free again as soon as sendFrame returns.
 func (r *Rank) sendRPC(dst int, m transport.Msg) {
 	typ := byte(msgRPCResp)
 	if m.Req {
 		typ = msgRPCReq
 	}
-	frame := make([]byte, 0, 5+len(m.Val))
-	frame = append(frame, typ)
+	frame := append(r.rpcBuf[:0], typ)
 	frame = binary.BigEndian.AppendUint32(frame, m.Seq)
 	frame = append(frame, m.Val...)
+	r.rpcBuf = frame[:0]
 	r.sendFrame(r.op("rpc"), dst, frame)
 }
 
@@ -333,6 +340,14 @@ func (r *Rank) Progress() bool {
 // dispatch files one decoded wire frame. Malformed frames are protocol
 // corruption on the link from that rank — this rank fails (and names the
 // sender), the process survives to report it.
+//
+// Frames whose bytes are provably dead once dispatch returns — barrier
+// tokens, allreduce values, and RPC *request* frames (Engine.Deliver runs
+// the handler and sends the response before returning, and handlers must
+// not retain the request) — are recycled back to the transport. A2A
+// payloads are retained in a2aGot until the collective collects them, and
+// RPC *response* values may be retained by the completion callback (the
+// stealing driver keeps its bundle), so neither is ever recycled.
 func (r *Rank) dispatch(from int, frame []byte) {
 	if len(frame) == 0 {
 		r.raise(r.op("progress"), fmt.Errorf("empty frame from rank %d", from))
@@ -345,6 +360,7 @@ func (r *Rank) dispatch(from int, frame []byte) {
 		}
 		k := barKey{kind: body[0], epoch: binary.BigEndian.Uint64(body[1:9]), round: body[9]}
 		r.barGot[k] = struct{}{}
+		r.recycle(frame)
 	case msgA2A:
 		if len(body) < 8 {
 			r.raise(r.op("progress"), fmt.Errorf("malformed alltoallv frame from rank %d", from))
@@ -362,6 +378,7 @@ func (r *Rank) dispatch(from int, frame []byte) {
 		} else {
 			r.redResult[epoch] = val
 		}
+		r.recycle(frame)
 	case msgRPCReq, msgRPCResp:
 		if len(body) < 4 {
 			r.raise(r.op("progress"), fmt.Errorf("malformed rpc frame from rank %d", from))
@@ -374,8 +391,19 @@ func (r *Rank) dispatch(from int, frame []byte) {
 		}); err != nil {
 			r.raise(r.op("rpc"), err)
 		}
+		if typ == msgRPCReq {
+			r.recycle(frame)
+		}
 	default:
 		r.raise(r.op("progress"), fmt.Errorf("unknown frame type %d from rank %d", typ, from))
+	}
+}
+
+// recycle hands a dead frame back to the transport's buffer pool, when the
+// fabric supports that.
+func (r *Rank) recycle(frame []byte) {
+	if r.rec != nil {
+		r.rec.RecycleFrame(frame)
 	}
 }
 

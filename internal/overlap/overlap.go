@@ -122,13 +122,21 @@ func FromReadSet(rs *seq.ReadSet, cfg Config) ([]Task, int, int, error) {
 }
 
 // AlignTask runs the seed-and-extend alignment for one task, handling
-// strand orientation. It is the serial reference executor; the BSP and
-// Async drivers call it with whichever read copies they hold.
+// strand orientation. This convenience form allocates a transient workspace
+// per call; the drivers hold one workspace per rank and call AlignTaskWS.
 func AlignTask(a, b seq.Seq, t Task, sc align.Scoring, x int) (align.Result, error) {
+	return AlignTaskWS(align.NewWorkspace(), a, b, t, sc, x)
+}
+
+// AlignTaskWS is AlignTask on a caller-owned workspace: the DP rows and the
+// reverse-complement buffer for opposite-strand tasks both come from w, so a
+// warm workspace aligns without allocating. The workspace must not be shared
+// across goroutines.
+func AlignTaskWS(w *align.Workspace, a, b seq.Seq, t Task, sc align.Scoring, x int) (align.Result, error) {
 	if t.Seed.RC {
-		b = b.ReverseComplement()
+		b = w.RevComp(b)
 	}
-	return align.SeedExtend(a, b, int(t.Seed.PosA), int(t.Seed.PosB), int(t.Seed.K), sc, x)
+	return w.SeedExtend(a, b, int(t.Seed.PosA), int(t.Seed.PosB), int(t.Seed.K), sc, x)
 }
 
 // SortTasks orders tasks by (A, B) for deterministic comparisons.

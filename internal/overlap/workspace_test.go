@@ -1,0 +1,80 @@
+package overlap
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnbody/internal/align"
+	"gnbody/internal/seq"
+)
+
+// TestAlignTaskWSMatchesAlignTask pins the workspace form to the transient
+// form — forward and reverse-complement tasks alike — on one dirty,
+// reused workspace.
+func TestAlignTaskWSMatchesAlignTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := align.NewWorkspace()
+	sc := align.DefaultScoring()
+	for iter := 0; iter < 200; iter++ {
+		n := 30 + rng.Intn(200)
+		a := make(seq.Seq, n)
+		for i := range a {
+			a[i] = seq.Base(rng.Intn(seq.NumBases))
+		}
+		b := a.Clone()
+		for m := 0; m < n/10; m++ {
+			b[rng.Intn(n)] = seq.Base(rng.Intn(seq.NumBases))
+		}
+		k := 1 + rng.Intn(17)
+		task := Task{A: 0, B: 1, Seed: Seed{
+			PosA: int32(rng.Intn(n - k + 1)),
+			PosB: int32(rng.Intn(n - k + 1)),
+			K:    int16(k),
+			RC:   iter%2 == 1,
+		}}
+		want, errW := AlignTask(a, b, task, sc, 15)
+		got, errG := AlignTaskWS(w, a, b, task, sc, 15)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("error mismatch: transient %v, workspace %v", errW, errG)
+		}
+		if errW == nil && got != want {
+			t.Fatalf("task %+v:\n workspace %+v\n transient %+v", task, got, want)
+		}
+	}
+}
+
+// TestAlignTaskWSAllocFree: a warm workspace serves both strand
+// orientations without heap allocation — the RC path included, since the
+// reverse complement comes from the workspace scratch.
+func TestAlignTaskWSAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 1500
+	a := make(seq.Seq, n)
+	for i := range a {
+		a[i] = seq.Base(rng.Intn(4))
+	}
+	b := a.Clone()
+	for m := 0; m < n/10; m++ {
+		b[rng.Intn(n)] = seq.Base(rng.Intn(4))
+	}
+	sc := align.DefaultScoring()
+	w := align.NewWorkspace()
+	fw := Task{A: 0, B: 1, Seed: Seed{PosA: int32(n / 2), PosB: int32(n / 2), K: 17}}
+	rc := fw
+	rc.Seed.RC = true
+	rc.Seed.PosB = int32(n) - rc.Seed.PosB - int32(rc.Seed.K)
+	for _, task := range []Task{fw, rc} {
+		task := task
+		if _, err := AlignTaskWS(w, a, b, task, sc, 15); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := AlignTaskWS(w, a, b, task, sc, 15); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("AlignTaskWS(RC=%v) allocates %.1f times per run, want 0", task.Seed.RC, allocs)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package prof wires the standard pprof profilers into the CLI commands:
+// one call starts CPU profiling and schedules a heap snapshot, one call
+// flushes both. Used by cmd/scaling and cmd/dibella behind their
+// -cpuprofile/-memprofile flags (in dibella's -dist mode each worker
+// process writes rank-suffixed files, like -trace and -metrics).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges a heap profile into
+// memPath; either may be empty to skip that profile. The returned stop
+// function stops the CPU profile and writes the heap snapshot (after a GC,
+// so it reflects live bytes); call it exactly once on the way out of the
+// program's success path.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("prof: %s: %w", cpuPath, err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				runtime.GC() // snapshot live bytes, not garbage awaiting collection
+				if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+					first = err
+				}
+				if err := f.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		if first != nil {
+			return fmt.Errorf("prof: %w", first)
+		}
+		return nil
+	}, nil
+}

@@ -159,7 +159,9 @@ type Runtime interface {
 	// this rank. Must be registered (and a barrier crossed) before peers
 	// may call in — the async driver's split-phase barrier provides
 	// exactly that synchronisation. The handler runs during this rank's
-	// polling; it must not block.
+	// polling; it must not block, and it must not retain the request bytes
+	// past its return — the runtime may recycle the request buffer for a
+	// later delivery.
 	Serve(handler func(req []byte) []byte)
 
 	// AsyncCall sends req to owner's handler; cb receives the response on

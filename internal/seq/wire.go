@@ -30,6 +30,15 @@ func AppendWire(dst []byte, r *Read) []byte {
 // DecodeWire decodes one read from the front of buf, returning the read and
 // the number of bytes consumed.
 func DecodeWire(buf []byte) (Read, int, error) {
+	return DecodeWireInto(nil, buf)
+}
+
+// DecodeWireInto is DecodeWire decoding the bases into dst (grown as
+// needed), so a caller looping over a receive buffer reuses one sequence
+// buffer instead of allocating per read. The returned read's Seq aliases
+// dst's backing array; it is valid until the buffer's next reuse, and a
+// caller that retains it must Clone it first.
+func DecodeWireInto(dst Seq, buf []byte) (Read, int, error) {
 	if len(buf) < 8 {
 		return Read{}, 0, fmt.Errorf("seq: wire: short header (%d bytes)", len(buf))
 	}
@@ -38,7 +47,12 @@ func DecodeWire(buf []byte) (Read, int, error) {
 	if len(buf) < 8+n {
 		return Read{}, 0, fmt.Errorf("seq: wire: short body: need %d bytes, have %d", 8+n, len(buf))
 	}
-	s := make(Seq, n)
+	var s Seq
+	if dst != nil && cap(dst) >= n {
+		s = dst[:n]
+	} else {
+		s = make(Seq, n) // non-nil even for n == 0, matching DecodeWire
+	}
 	for i := 0; i < n; i++ {
 		b := buf[8+i]
 		if b >= NumBases {
@@ -47,6 +61,32 @@ func DecodeWire(buf []byte) (Read, int, error) {
 		s[i] = Base(b)
 	}
 	return Read{ID: ReadID(id), Seq: s}, 8 + n, nil
+}
+
+// DecodeWireMeta reads just the header of the next read on the wire — its
+// ID and consumed size — without touching or validating the body. Callers
+// that only need identity (the phantom codec) skip the body copy entirely.
+func DecodeWireMeta(buf []byte) (ReadID, int, error) {
+	if len(buf) < 8 {
+		return 0, 0, fmt.Errorf("seq: wire: short header (%d bytes)", len(buf))
+	}
+	id := binary.LittleEndian.Uint32(buf[0:4])
+	n := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if len(buf) < 8+n {
+		return 0, 0, fmt.Errorf("seq: wire: short body: need %d bytes, have %d", 8+n, len(buf))
+	}
+	return ReadID(id), 8 + n, nil
+}
+
+// AppendWireZero appends the wire encoding of an n-base all-A read without
+// materialising a sequence — the phantom codec's encoder, byte-compatible
+// with AppendWire on a zeroed Seq of the same length.
+func AppendWireZero(dst []byte, id ReadID, n int) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(id))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(n))
+	dst = append(dst, hdr[:]...)
+	return append(dst, make([]byte, n)...) // compiles to a zeroing grow, no temp
 }
 
 // DecodeWireAll decodes a whole message of concatenated reads.

@@ -1,0 +1,90 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The buffer-reuse decode helpers must agree with the allocating forms —
+// same reads, same consumed sizes, same errors — and actually be
+// allocation-free once the destination buffer is warm.
+
+func TestDecodeWireIntoMatchesDecodeWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var dst Seq
+	for iter := 0; iter < 100; iter++ {
+		want := Read{ID: ReadID(rng.Intn(1 << 20)), Seq: make(Seq, rng.Intn(200))}
+		for i := range want.Seq {
+			want.Seq[i] = Base(rng.Intn(NumBases))
+		}
+		buf := AppendWire(nil, &want)
+
+		got, n, err := DecodeWireInto(dst, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(buf) || got.ID != want.ID || len(got.Seq) != len(want.Seq) {
+			t.Fatalf("DecodeWireInto = (%+v, %d), want (%+v, %d)", got, n, want, len(buf))
+		}
+		for i := range got.Seq {
+			if got.Seq[i] != want.Seq[i] {
+				t.Fatalf("base %d = %d, want %d", i, got.Seq[i], want.Seq[i])
+			}
+		}
+		if cap(got.Seq) > cap(dst) {
+			dst = got.Seq // adopt the grown buffer, as looping callers do
+		}
+
+		id, mn, err := DecodeWireMeta(buf)
+		if err != nil || id != want.ID || mn != n {
+			t.Fatalf("DecodeWireMeta = (%d, %d, %v), want (%d, %d, nil)", id, mn, err, want.ID, n)
+		}
+	}
+}
+
+func TestDecodeWireIntoErrors(t *testing.T) {
+	dst := make(Seq, 0, 64)
+	if _, _, err := DecodeWireInto(dst, []byte{1, 2, 3}); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, _, err := DecodeWireMeta([]byte{1, 2, 3}); err == nil {
+		t.Error("meta: short header accepted")
+	}
+	r := Read{ID: 9, Seq: MustFromString("ACGTN")}
+	buf := AppendWire(nil, &r)
+	if _, _, err := DecodeWireInto(dst, buf[:len(buf)-1]); err == nil {
+		t.Error("short body accepted")
+	}
+	if _, _, err := DecodeWireMeta(buf[:len(buf)-1]); err == nil {
+		t.Error("meta: short body accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-1] = 0xEE
+	if _, _, err := DecodeWireInto(dst, bad); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestDecodeWireIntoAllocFree(t *testing.T) {
+	r := Read{ID: 3, Seq: make(Seq, 500)}
+	buf := AppendWire(nil, &r)
+	dst := make(Seq, 0, len(r.Seq))
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := DecodeWireInto(dst, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DecodeWireInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestAppendWireZeroMatchesAppendWire(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 300} {
+		want := AppendWire(nil, &Read{ID: 42, Seq: make(Seq, n)})
+		got := AppendWireZero(nil, 42, n)
+		if string(got) != string(want) {
+			t.Fatalf("AppendWireZero(n=%d) differs from AppendWire on zeroed seq", n)
+		}
+	}
+}

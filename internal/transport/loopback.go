@@ -68,9 +68,11 @@ func (q *loopQueue) close() {
 type Loopback struct {
 	rank   int
 	queues []*loopQueue // shared across the fabric; queues[i] is rank i's inbox
+	pool   *framePool   // shared across the fabric: receivers recycle what senders draw
 }
 
 var _ Transport = (*Loopback)(nil)
+var _ FrameRecycler = (*Loopback)(nil)
 
 // NewLoopback builds an n-rank in-memory fabric and returns the per-rank
 // endpoints. Endpoint i must only be used by rank i's goroutine.
@@ -82,9 +84,10 @@ func NewLoopback(n int) []Transport {
 	for i := range queues {
 		queues[i] = &loopQueue{}
 	}
+	pool := &framePool{}
 	eps := make([]Transport, n)
 	for i := range eps {
-		eps[i] = &Loopback{rank: i, queues: queues}
+		eps[i] = &Loopback{rank: i, queues: queues, pool: pool}
 	}
 	return eps
 }
@@ -105,7 +108,7 @@ func (l *Loopback) Send(dst int, frame []byte) error {
 	}
 	var cp []byte
 	if len(frame) > 0 {
-		cp = make([]byte, len(frame))
+		cp = l.pool.get(len(frame))
 		copy(cp, frame)
 	}
 	if err := l.queues[dst].push(loopItem{from: l.rank, frame: cp}); err != nil {
@@ -133,6 +136,10 @@ func (l *Loopback) Close() error {
 	l.queues[l.rank].close()
 	return nil
 }
+
+// RecycleFrame returns a delivered (or otherwise dead) frame buffer to the
+// fabric's pool for reuse by later Sends.
+func (l *Loopback) RecycleFrame(frame []byte) { l.pool.put(frame) }
 
 // DepartedPeers returns the ranks whose endpoints have been closed, in
 // ascending order.

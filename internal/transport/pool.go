@@ -1,0 +1,40 @@
+package transport
+
+import "sync"
+
+// FrameRecycler is implemented by fabrics that can reuse delivered frame
+// buffers. A receiver that has fully consumed a Recv frame — decoded it and
+// retained no reference into it — may hand the buffer back through
+// RecycleFrame; the transport is then free to fill it for a future
+// delivery. Recycling is strictly opt-in and per-frame: a caller that
+// cannot prove a frame is dead simply drops it, and the ownership contract
+// on Transport is unchanged for frames that are never recycled.
+type FrameRecycler interface {
+	RecycleFrame(frame []byte)
+}
+
+// framePool recycles frame buffers between deliveries. Recycled buffers
+// come back from receiving ranks' goroutines while senders draw from
+// arbitrary ones, so the pool is a sync.Pool (of *[]byte, keeping the
+// header allocation off the Put path).
+type framePool struct{ p sync.Pool }
+
+// get returns a length-n buffer, reusing a pooled allocation when one is
+// large enough. Too-small buffers are dropped rather than requeued, so the
+// pool converges on the fabric's actual frame sizes.
+func (fp *framePool) get(n int) []byte {
+	if v, ok := fp.p.Get().(*[]byte); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]byte, n)
+}
+
+// put returns a buffer for reuse; zero-capacity slices carry nothing worth
+// keeping.
+func (fp *framePool) put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	fp.p.Put(&b)
+}

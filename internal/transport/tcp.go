@@ -27,8 +27,10 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -67,6 +69,7 @@ type tcpTransport struct {
 	conns      []net.Conn   // per peer; nil at self
 	wmu        []sync.Mutex // per-peer write locks (RPC replies can be sent from Progress)
 	inbox      loopQueue
+	pool       framePool // recycled delivery buffers (readers draw, receiver returns)
 	closed     atomic.Bool
 
 	failMu  sync.Mutex
@@ -285,22 +288,39 @@ func (t *tcpTransport) rendezvousPeer(cfg TCPConfig, deadline time.Time) error {
 }
 
 // reader pumps one connection's frames into the inbox until the peer says
-// bye, the connection dies, or the endpoint closes.
+// bye, the connection dies, or the endpoint closes. Payloads land in pooled
+// buffers (the tag byte is peeled off while parsing, so a recycled buffer
+// keeps its full capacity), and the header reads go through a buffered
+// reader rather than extra syscalls.
 func (t *tcpTransport) reader(from int, c net.Conn) {
+	linkErr := func(err error) {
+		if !t.closed.Load() {
+			t.fail(&PeerError{Peer: from,
+				Err: fmt.Errorf("transport: rank %d link to rank %d: %v: %w", t.rank, from, err, ErrPeerLost)})
+		}
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
 	for {
-		frame, err := readFrame(c)
-		if err != nil {
-			if !t.closed.Load() {
-				t.fail(&PeerError{Peer: from,
-					Err: fmt.Errorf("transport: rank %d link to rank %d: %v: %w", t.rank, from, err, ErrPeerLost)})
-			}
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			linkErr(err)
 			return
 		}
-		if len(frame) == 0 {
+		ln := binary.BigEndian.Uint32(hdr[:])
+		if ln > MaxFrame {
+			linkErr(fmt.Errorf("transport: frame length %d exceeds MaxFrame %d", ln, MaxFrame))
+			return
+		}
+		if ln == 0 {
 			t.fail(fmt.Errorf("transport: rank %d got untagged frame from rank %d", t.rank, from))
 			return
 		}
-		switch frame[0] {
+		tag, err := br.ReadByte()
+		if err != nil {
+			linkErr(err)
+			return
+		}
+		switch tag {
 		case tcpBye:
 			// Graceful: everything the peer sent is already queued. Remember
 			// the departure so a later Send to this peer fails with the
@@ -308,11 +328,16 @@ func (t *tcpTransport) reader(from int, c net.Conn) {
 			t.depart(from)
 			return
 		case tcpData:
-			if t.inbox.push(loopItem{from: from, frame: frame[1:]}) != nil {
+			payload := t.pool.get(int(ln) - 1)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				linkErr(err)
+				return
+			}
+			if t.inbox.push(loopItem{from: from, frame: payload}) != nil {
 				return // endpoint closed
 			}
 		default:
-			t.fail(fmt.Errorf("transport: rank %d got frame tag %#x from rank %d", t.rank, frame[0], from))
+			t.fail(fmt.Errorf("transport: rank %d got frame tag %#x from rank %d", t.rank, tag, from))
 			return
 		}
 	}
@@ -377,7 +402,7 @@ func (t *tcpTransport) Send(dst int, frame []byte) error {
 		return fmt.Errorf("transport: tcp send to rank %d of %d", dst, t.size)
 	}
 	if dst == t.rank {
-		cp := make([]byte, len(frame))
+		cp := t.pool.get(len(frame))
 		copy(cp, frame)
 		return t.inbox.push(loopItem{from: t.rank, frame: cp})
 	}
@@ -401,6 +426,10 @@ func (t *tcpTransport) Send(dst int, frame []byte) error {
 	}
 	return nil
 }
+
+// RecycleFrame returns a delivered (or otherwise dead) frame buffer to the
+// endpoint's pool for reuse by the connection readers and self-sends.
+func (t *tcpTransport) RecycleFrame(frame []byte) { t.pool.put(frame) }
 
 // departedErr builds the typed send-to-departed-peer error.
 func (t *tcpTransport) departedErr(dst int) error {
