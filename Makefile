@@ -25,7 +25,7 @@ GO      ?= go
 FUZZT   ?= 10s
 BENCHN  ?= 5
 
-.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke bench bench-smoke ci
+.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke bench bench-smoke bench-comm ci
 
 check: vet fmtcheck build test
 
@@ -55,6 +55,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzXDrop -fuzztime $(FUZZT) ./internal/align/
 	$(GO) test -fuzz=FuzzXDropDiff -fuzztime $(FUZZT) ./internal/align/
 	$(GO) test -fuzz=FuzzFrame -fuzztime $(FUZZT) ./internal/transport/
+	$(GO) test -fuzz=FuzzCacheEvict -fuzztime $(FUZZT) ./internal/core/
 
 golden:
 	$(GO) test -run TestGolden ./internal/trace/ -update
@@ -108,6 +109,19 @@ bench:
 		./internal/align/ | tee bench/bench_new.txt
 	$(GO) run ./cmd/benchfmt -old bench/bench_baseline.txt \
 		-json BENCH_5.json bench/bench_new.txt
+
+# Communication-volume comparison on the degree-skewed workload: the same
+# benchmark run cache-off/flat (baseline) then cache-on/aggregated, diffed
+# into BENCH_6.json. wirefetches/op and interbytes/op are the numbers to
+# watch: the cache halves the former, hierarchical aggregation trims the
+# latter.
+bench-comm:
+	$(GO) test -run '^$$' -bench CommExchange -benchtime 1x \
+		./internal/workload/ -args -cachebudget=0 | tee bench/comm_off.txt
+	$(GO) test -run '^$$' -bench CommExchange -benchtime 1x \
+		./internal/workload/ -args -cachebudget=-1 | tee bench/comm_on.txt
+	$(GO) run ./cmd/benchfmt -old bench/comm_off.txt \
+		-json BENCH_6.json bench/comm_on.txt
 
 # Fast allocation-regression gate for CI: the AllocsPerRun guard tests
 # (kernel, codecs, wire decode, overlap workspace) plus one short bench

@@ -87,6 +87,8 @@ func main() {
 		loFreq   = flag.Int("lofreq", 0, "explicit k-mer frequency lower bound (overrides BELLA model)")
 		hiFreq   = flag.Int("hifreq", 0, "explicit k-mer frequency upper bound (overrides BELLA model)")
 		mem      = flag.Int64("mem", 0, "per-rank exchange memory budget in bytes (0 = unlimited)")
+		cacheB   = flag.Int64("cache-budget", 0, "per-rank remote-read cache budget in bytes (0 disables, negative = unbounded)")
+		nodeSize = flag.Int("node-size", 0, "-dist: group this many consecutive ranks per node and aggregate collectives hierarchically (0/1 = flat)")
 		outPath  = flag.String("out", "", "output path (default stdout)")
 		paf      = flag.Bool("paf", false, "emit PAF records (with cg:Z cigar tags) instead of TSV")
 		distrib  = flag.Bool("distributed", false, "run k-mer analysis and candidate discovery as a distributed SPMD stage (DiBELLA stages 1-2) instead of serially")
@@ -233,7 +235,8 @@ func main() {
 			pd = -1 // flag 0 means "disable"; dist.Config 0 means "default"
 		}
 		distRank = dist.NewRank(tp, dist.Config{
-			MemBudget: *mem, Tracer: tracer, ProgressDeadline: pd})
+			MemBudget: *mem, Tracer: tracer, ProgressDeadline: pd,
+			NodeSize: *nodeSize})
 		world = distRankWorld{distRank}
 	} else {
 		pw, err := par.NewWorld(par.Config{P: *procs, MemBudget: *mem, Tracer: tracer})
@@ -365,7 +368,7 @@ func main() {
 		}
 		input := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
 			Codec: codec, Store: st}
-		cfg := core.Config{Exec: exec, MinScore: *minScore}
+		cfg := core.Config{Exec: exec, MinScore: *minScore, CacheBudget: *cacheB}
 		switch {
 		case *mode == "async" && *steal:
 			results[r.Rank()], errs[r.Rank()] = core.RunAsyncStealing(r, input, cfg)

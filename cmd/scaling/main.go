@@ -50,6 +50,8 @@ func main() {
 		rpn        = flag.Int("rpn", 0, "simulated ranks per node (default 4)")
 		nodesFlag  = flag.String("nodes", "", "comma-separated node counts (default per experiment)")
 		seed       = flag.Int64("seed", 1, "workload and noise seed")
+		cacheB     = flag.Int64("cache-budget", 0, "per-rank remote-read cache budget in bytes (0 disables, negative = unbounded)")
+		nodeSize   = flag.Int("node-size", 0, "ranks per node for hierarchical collectives: dist experiment grouping, and node-aggregated alltoallv pricing in simulated runs (0/1 = flat)")
 		intrascale = flag.Int("intrascale", 0, "intranode pipeline scale divisor (default 150)")
 		distscale  = flag.Int("distscale", 0, "dist experiment pipeline scale divisor (default 300)")
 		distranks  = flag.Int("distranks", 0, "dist experiment rank count (default 4)")
@@ -80,6 +82,8 @@ func main() {
 		ScaleHumanCCS:  *scaleccs,
 		RanksPerNode:   *rpn,
 		Seed:           *seed,
+		CacheBudget:    *cacheB,
+		NodeSize:       *nodeSize,
 	}
 	if *nodesFlag != "" {
 		for _, part := range strings.Split(*nodesFlag, ",") {
@@ -128,12 +132,14 @@ func main() {
 		{"fig12", wrapM(expt.Fig12)},
 		{"fig13", wrapM(expt.Fig13)},
 		{"intranode", func() (*stats.Table, []*expt.Row, error) {
-			t, _, err := expt.Intranode(expt.IntranodeParams{Scale: *intrascale, Seed: *seed})
+			t, _, err := expt.Intranode(expt.IntranodeParams{Scale: *intrascale, Seed: *seed,
+				CacheBudget: *cacheB})
 			return t, nil, err
 		}},
 		{"dist", func() (*stats.Table, []*expt.Row, error) {
 			t, _, err := expt.Dist(expt.DistParams{Scale: *distscale, Ranks: *distranks,
-				Transport: *disttrans, Seed: *seed})
+				Transport: *disttrans, Seed: *seed,
+				CacheBudget: *cacheB, NodeSize: *nodeSize})
 			return t, nil, err
 		}},
 		{"ablations", func() (*stats.Table, []*expt.Row, error) {

@@ -39,6 +39,11 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	defer r.Free(base)
 	r.Metrics().StoreBytes = in.storeBytes(r.Rank())
 	meter := rpcMeter{m: r.Metrics()}
+	cache := cfg.Cache
+	if cache != nil {
+		unbind := cache.bind(r)
+		defer unbind()
+	}
 
 	// Serve lookups into this rank's partition. The split-phase barrier
 	// below guarantees no request arrives before every rank has
@@ -67,6 +72,7 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	var scratch seqScratch
 	issue := func(ids []seq.ReadID) {
 		batch := append([]seq.ReadID(nil), ids...)
+		out.WireFetches += len(batch)
 		// Charge the response's planned size against the in-flight meter at
 		// issue time; the callback releases it. Both run on this rank's
 		// goroutine (progress contract), so no synchronisation is needed.
@@ -98,6 +104,16 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 					dbuf = read.Seq
 				}
 				buf = buf[used:]
+				if cache != nil {
+					// Keep an owned copy for reuse by later Runs (read.Seq
+					// aliases the scratch buffer), pinned until this read's
+					// tasks are done.
+					var cp seq.Seq
+					if read.Seq != nil {
+						cp = read.Seq.Clone()
+					}
+					cache.Insert(rid, cp, int64(in.planSize(rid)), 1)
+				}
 				for i, t := range store.byRemote[rid] {
 					execTask(r, in, &cfg, *t, read.Seq, t.A == rid, out)
 					tasksRun++
@@ -107,6 +123,9 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 					if (i+1)%cfg.PollEvery == 0 {
 						r.Progress()
 					}
+				}
+				if cache != nil {
+					cache.Release(rid, 1)
 				}
 			}
 			tb.Span(trace.KindBatch, tBatch, int64(tasksRun))
@@ -120,6 +139,21 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	}
 	var pend []seq.ReadID
 	for _, rid := range store.order {
+		if cache != nil {
+			// The fetch decision: a resident read (retained by an earlier
+			// Run) runs its alignments without touching the wire.
+			if bases, ok := cache.Acquire(rid, 1); ok {
+				out.CacheHits++
+				for i, t := range store.byRemote[rid] {
+					execTask(r, in, &cfg, *t, bases, t.A == rid, out)
+					if (i+1)%cfg.PollEvery == 0 {
+						r.Progress()
+					}
+				}
+				cache.Release(rid, 1)
+				continue
+			}
+		}
 		if len(pend) > 0 && (in.Part.Owner(pend[0]) != in.Part.Owner(rid) || len(pend) >= cfg.FetchBatch) {
 			issue(pend)
 			pend = pend[:0]

@@ -36,6 +36,19 @@ type Config struct {
 	// StealBatch is how many task groups one work-steal request transfers
 	// in RunAsyncStealing. Default 8.
 	StealBatch int
+
+	// CacheBudget enables the per-rank remote-read cache (DESIGN.md §13):
+	// fetched bases are retained under an LRU bound of this many bytes of
+	// planned wire size, so a read referenced by several tasks — or by a
+	// later Run over the same world — crosses the wire once. 0 disables
+	// the cache; negative means retain without bound.
+	CacheBudget int64
+
+	// Cache supplies a caller-owned cache instead of the fresh per-Run one
+	// CacheBudget builds, letting retained reads survive across Runs on
+	// the same rank. Takes precedence over CacheBudget. A cache must only
+	// ever be used by a single rank (it is unlocked by design).
+	Cache *ReadCache
 }
 
 func (cfg *Config) defaults() {
@@ -55,6 +68,11 @@ func (cfg *Config) defaults() {
 	}
 	if cfg.StealBatch <= 0 {
 		cfg.StealBatch = 8
+	}
+	if cfg.Cache == nil && cfg.CacheBudget != 0 {
+		// Like the executor binding above: cfg is a per-Run value copy, so
+		// this cache is private to the calling rank.
+		cfg.Cache = NewReadCache(cfg.CacheBudget)
 	}
 }
 
@@ -121,6 +139,30 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		execLocal(r, in, &cfg, t, out)
 	}
 
+	// Cache pre-pass: any remote read already resident (retained by an
+	// earlier Run over the same world) runs its tasks now and drops out of
+	// the exchange plan entirely — the superstep loop below only ever sees
+	// the misses. One Acquire per group is the fetch decision.
+	cache := cfg.Cache
+	groups := store.groups
+	if cache != nil {
+		unbind := cache.bind(r)
+		defer unbind()
+		misses := groups[:0:0]
+		for _, g := range groups {
+			if bases, ok := cache.Acquire(g.read, 1); ok {
+				out.CacheHits++
+				for _, t := range store.tasksOf(g) {
+					execTask(r, in, &cfg, t, bases, t.A == g.read, out)
+				}
+				cache.Release(g.read, 1)
+				continue
+			}
+			misses = append(misses, g)
+		}
+		groups = misses
+	}
+
 	// Dynamically-sized supersteps: request remote reads in chunks that fit
 	// the memory budget, exchange, compute while unpacking, repeat until no
 	// rank has reads left to fetch.
@@ -145,15 +187,15 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		// remote reads themselves — residency forbids sizing a read this
 		// rank does not hold. Exact for real/phantom wire sizes; a safe
 		// overestimate when the sender packs.
-		for end < len(store.groups) {
-			sz := int64(in.planSize(store.groups[end].read))
+		for end < len(groups) {
+			sz := int64(in.planSize(groups[end].read))
 			if end > next && budget > 0 && planned+sz > budget {
 				break // chunk full; always take at least one read
 			}
 			planned += sz
 			end++
 		}
-		chunk := store.groups[next:end]
+		chunk := groups[next:end]
 		out.Supersteps++
 
 		// Round trip 1: request lists (read IDs grouped by owner).
@@ -167,6 +209,7 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 			sendReq[owner] = append(sendReq[owner], idb[:]...)
 			reqBytes += 4
 			groupOf[g.read] = store.tasksOf(g)
+			out.WireFetches++
 		}
 		r.Alloc(reqBytes)
 		recvReq := r.Alltoallv(sendReq)
@@ -216,8 +259,21 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 				if !ok {
 					return nil, fmt.Errorf("core: rank %d: unsolicited read %d from %d", r.Rank(), read.ID, src)
 				}
+				if cache != nil {
+					// Retain an owned copy for later reuse (read.Seq aliases
+					// the shared decode buffer), pinned while this group's
+					// tasks still reference the read.
+					var cp seq.Seq
+					if read.Seq != nil {
+						cp = read.Seq.Clone()
+					}
+					cache.Insert(read.ID, cp, int64(in.planSize(read.ID)), 1)
+				}
 				for _, t := range tasks {
 					execTask(r, in, &cfg, t, read.Seq, t.A == read.ID, out)
+				}
+				if cache != nil {
+					cache.Release(read.ID, 1)
 				}
 			}
 		}
@@ -228,7 +284,7 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		}
 
 		next = end
-		remaining := r.Allreduce(int64(len(store.groups)-next), rt.OpSum)
+		remaining := r.Allreduce(int64(len(groups)-next), rt.OpSum)
 		tb.Span(trace.KindSuperstep, tStep, int64(len(chunk)))
 		if remaining == 0 {
 			break

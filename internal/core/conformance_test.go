@@ -43,9 +43,14 @@ type confRun struct {
 	rpcsSent int64
 	oopGets  int64 // out-of-partition Store.Gets summed over ranks
 	maxStore int64 // largest per-rank resident store footprint
+	bytes    int64 // payload bytes sent summed over ranks
+	wire     int   // remote reads actually fetched over the wire, all ranks
+	evicts   int64 // cache evictions summed over ranks
 }
 
-func runConfPar(t *testing.T, w *testWorkload, mode string) confRun {
+// cacheBudget threads the remote-read cache through each backend runner:
+// 0 leaves the cache off (the original battery), anything else enables it.
+func runConfPar(t *testing.T, w *testWorkload, mode string, cacheBudget int64) confRun {
 	t.Helper()
 	lens := w.lens()
 	lensInt := make([]int, len(lens))
@@ -71,7 +76,8 @@ func runConfPar(t *testing.T, w *testWorkload, mode string) confRun {
 		lo, hi := pt.Range(r.Rank())
 		st := seq.ScopeCounting(w.reads, lo, hi, lens, &r.Metrics().OOPGets)
 		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}, Store: st}
-		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4}
+		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4,
+			CacheBudget: cacheBudget}
 		switch mode {
 		case "async":
 			results[r.Rank()], errs[r.Rank()] = RunAsync(r, in, cfg)
@@ -90,6 +96,9 @@ func runConfPar(t *testing.T, w *testWorkload, mode string) confRun {
 		out.msgs += world.Metrics(rk).Msgs
 		out.rpcsSent += world.Metrics(rk).RPCsSent
 		out.oopGets += world.Metrics(rk).OOPGets
+		out.bytes += world.Metrics(rk).BytesSent
+		out.wire += results[rk].WireFetches
+		out.evicts += world.Metrics(rk).CacheEvicts
 		if sb := world.Metrics(rk).StoreBytes; sb > out.maxStore {
 			out.maxStore = sb
 		}
@@ -98,7 +107,7 @@ func runConfPar(t *testing.T, w *testWorkload, mode string) confRun {
 	return out
 }
 
-func runConfSim(t *testing.T, w *testWorkload, mode string) confRun {
+func runConfSim(t *testing.T, w *testWorkload, mode string, cacheBudget int64) confRun {
 	t.Helper()
 	lens := w.lens()
 	lensInt := make([]int, len(lens))
@@ -122,7 +131,8 @@ func runConfSim(t *testing.T, w *testWorkload, mode string) confRun {
 		lo, hi := pt.Range(r.Rank())
 		st := seq.ScopeCounting(w.reads, lo, hi, lens, &r.Metrics().OOPGets)
 		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}, Store: st}
-		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4}
+		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4,
+			CacheBudget: cacheBudget}
 		switch mode {
 		case "async":
 			results[r.Rank()], errs[r.Rank()] = RunAsync(r, in, cfg)
@@ -144,6 +154,9 @@ func runConfSim(t *testing.T, w *testWorkload, mode string) confRun {
 		out.msgs += eng.Metrics(rk).Msgs
 		out.rpcsSent += eng.Metrics(rk).RPCsSent
 		out.oopGets += eng.Metrics(rk).OOPGets
+		out.bytes += eng.Metrics(rk).BytesSent
+		out.wire += results[rk].WireFetches
+		out.evicts += eng.Metrics(rk).CacheEvicts
 		if sb := eng.Metrics(rk).StoreBytes; sb > out.maxStore {
 			out.maxStore = sb
 		}
@@ -183,7 +196,7 @@ func confTCPFabric(t *testing.T) []transport.Transport {
 	return fabric
 }
 
-func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun {
+func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string, cacheBudget int64, nodeSize int) confRun {
 	t.Helper()
 	lens := w.lens()
 	lensInt := make([]int, len(lens))
@@ -195,7 +208,8 @@ func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun
 		t.Fatal(err)
 	}
 	byRank := partition.AssignTasks(w.tasks, pt)
-	cfg := dist.Config{MemBudget: confBudget, Tracer: trace.New(confRanks, trace.Config{})}
+	cfg := dist.Config{MemBudget: confBudget, NodeSize: nodeSize,
+		Tracer: trace.New(confRanks, trace.Config{})}
 	var world *dist.World
 	if fabricKind == "tcp" {
 		world, err = dist.NewWorldOver(confTCPFabric(t), cfg)
@@ -221,7 +235,8 @@ func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun
 			panic(serr)
 		}
 		in := &Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()], Codec: PhantomCodec{Lens: lens}, Store: st}
-		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4}
+		cfg := Config{Exec: exec, MinScore: confMinScore, MaxOutstanding: 4, PollEvery: 4,
+			CacheBudget: cacheBudget}
 		switch mode {
 		case "async":
 			results[r.Rank()], errs[r.Rank()] = RunAsync(r, in, cfg)
@@ -242,6 +257,9 @@ func runConfDist(t *testing.T, w *testWorkload, mode, fabricKind string) confRun
 		out.msgs += world.Metrics(rk).Msgs
 		out.rpcsSent += world.Metrics(rk).RPCsSent
 		out.oopGets += world.Metrics(rk).OOPGets
+		out.bytes += world.Metrics(rk).BytesSent
+		out.wire += results[rk].WireFetches
+		out.evicts += world.Metrics(rk).CacheEvicts
 		if sb := world.Metrics(rk).StoreBytes; sb > out.maxStore {
 			out.maxStore = sb
 		}
@@ -281,10 +299,10 @@ func TestCrossBackendConformance(t *testing.T) {
 	distLoop := map[string]confRun{}
 	distTCP := map[string]confRun{}
 	for _, mode := range []string{"bsp", "async", "steal"} {
-		parRuns[mode] = runConfPar(t, w, mode)
-		simRuns[mode] = runConfSim(t, w, mode)
-		distLoop[mode] = runConfDist(t, w, mode, "loopback")
-		distTCP[mode] = runConfDist(t, w, mode, "tcp")
+		parRuns[mode] = runConfPar(t, w, mode, 0)
+		simRuns[mode] = runConfSim(t, w, mode, 0)
+		distLoop[mode] = runConfDist(t, w, mode, "loopback", 0, 0)
+		distTCP[mode] = runConfDist(t, w, mode, "tcp", 0, 0)
 	}
 
 	// Owner-only residency holds in every configuration: no rank performed
@@ -348,5 +366,73 @@ func TestCrossBackendConformance(t *testing.T) {
 	}
 	if asy := simRuns["async"]; asy.rpcsSent == 0 {
 		t.Error("async issued no RPCs; remote reads were never pulled")
+	}
+}
+
+// TestCachedConformance re-runs the battery's configurations with the
+// remote-read cache enabled — unbounded, under a tiny eviction-forcing
+// budget, and over the hierarchical dist fabric — and requires the exact
+// hit set of the uncached runs while moving no more (and usually less)
+// data. The cache is an optimization layer: any result difference at any
+// budget on any backend is a coherence bug.
+func TestCachedConformance(t *testing.T) {
+	w := makeWorkload(t, 10000, 6, 53)
+	want := SerialModelHits(w.tasks, taskMetaFromTruth(w), confMinScore)
+	if len(want) == 0 {
+		t.Fatal("serial model reference is empty; workload broken")
+	}
+	// tinyBudget holds a couple of plan-sized entries at most, so evictions
+	// are guaranteed on this workload.
+	const tinyBudget = 512
+	for _, mode := range []string{"bsp", "async", "steal"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			base := runConfPar(t, w, mode, 0)
+			baseSim := runConfSim(t, w, mode, 0)
+			baseDist := runConfDist(t, w, mode, "loopback", 0, 0)
+			for name, got := range map[string]confRun{
+				"par-unbounded": runConfPar(t, w, mode, -1),
+				"par-tiny":      runConfPar(t, w, mode, tinyBudget),
+				"sim-unbounded": runConfSim(t, w, mode, -1),
+				"sim-tiny":      runConfSim(t, w, mode, tinyBudget),
+			} {
+				if !reflect.DeepEqual(got.hits, want) {
+					t.Errorf("%s: %d hits differ from serial reference (%d)", name, len(got.hits), len(want))
+				}
+				// Volume comparisons need a deterministic fetch-decision
+				// count: on the real runtime steal's stolen-group fetches
+				// are timing-dependent, so only the virtual-time backend
+				// pins that mode's volumes.
+				if name[:3] == "sim" {
+					if got.wire > baseSim.wire {
+						t.Errorf("%s: cache increased wire fetches: %d > %d", name, got.wire, baseSim.wire)
+					}
+					if got.bytes > baseSim.bytes {
+						t.Errorf("%s: cache increased bytes sent: %d > %d", name, got.bytes, baseSim.bytes)
+					}
+				} else if mode != "steal" {
+					if got.wire > base.wire {
+						t.Errorf("%s: cache increased wire fetches: %d > %d", name, got.wire, base.wire)
+					}
+					if got.bytes > base.bytes {
+						t.Errorf("%s: cache increased bytes sent: %d > %d", name, got.bytes, base.bytes)
+					}
+				}
+			}
+			if tiny := runConfPar(t, w, mode, tinyBudget); tiny.evicts == 0 {
+				t.Errorf("par-tiny: %d-byte budget forced no evictions", tinyBudget)
+			}
+			// Hierarchical dist (2 ranks per node) with the cache on: the
+			// aggregation layer must be invisible to results, and the cached
+			// hierarchical run must not move more payload than the flat
+			// uncached one.
+			hier := runConfDist(t, w, mode, "loopback", -1, 2)
+			if !reflect.DeepEqual(hier.hits, want) {
+				t.Errorf("dist-hier: %d hits differ from serial reference (%d)", len(hier.hits), len(want))
+			}
+			if mode != "steal" && hier.wire > baseDist.wire {
+				t.Errorf("dist-hier: cache increased wire fetches: %d > %d", hier.wire, baseDist.wire)
+			}
+		})
 	}
 }

@@ -186,6 +186,14 @@ type Result struct {
 	ExchangeRecvBytes int64 // BSP: payload bytes received (Figure 6 series)
 	TasksStolen       int   // stealing driver: tasks this rank executed for others
 	TasksShed         int   // stealing driver: tasks handed away by this rank
+
+	// WireFetches counts remote reads actually pulled over the wire, and
+	// CacheHits the fetch decisions the remote-read cache answered instead.
+	// With the cache off WireFetches equals the fetch-decision count
+	// (RemoteReads for bsp/async; per-task for stolen groups) and CacheHits
+	// is zero. The coherence battery pins hits+fetches == decisions.
+	WireFetches int
+	CacheHits   int
 }
 
 // validate checks the owner invariant over the rank's tasks and, when a

@@ -46,6 +46,11 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	defer r.Free(base)
 	r.Metrics().StoreBytes = in.storeBytes(r.Rank())
 	meter := rpcMeter{m: r.Metrics()}
+	fc := newFetchCtx(r, in, &meter, out, cfg.Cache)
+	if fc.cache != nil {
+		unbind := fc.cache.bind(r)
+		defer unbind()
+	}
 
 	// The steal queue: store.order[next..tail] is unclaimed. The owner
 	// consumes from the front; steal requests pop from the tail. Both run
@@ -79,14 +84,37 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	}
 	wait()
 
-	// Phase 1: own queue, front to wherever stealing leaves it.
+	// Phase 1: own queue, front to wherever stealing leaves it. With the
+	// cache enabled every pull routes through the fetch context (decision
+	// point + retention); without it the original zero-alloc scratch path
+	// runs unchanged.
 	var scratch seqScratch
 	for next <= tail {
 		rid := store.order[next]
 		next++
 		tasks := store.byRemote[rid]
+		if fc.cache != nil {
+			fc.fetch(rid, func(s seq.Seq, err error) {
+				if err != nil {
+					cbErr = err
+					return
+				}
+				for i, t := range tasks {
+					execTask(r, in, &cfg, *t, s, t.A == rid, out)
+					if (i+1)%cfg.PollEvery == 0 {
+						r.Progress()
+					}
+				}
+				fc.done(rid)
+			})
+			if r.Outstanding() > cfg.MaxOutstanding {
+				r.Drain(cfg.MaxOutstanding)
+			}
+			continue
+		}
 		est := int64(in.planSize(rid))
 		meter.add(est)
+		out.WireFetches++
 		r.AsyncCall(in.Part.Owner(rid), encodeReadReq(rid), func(val []byte) {
 			meter.sub(est)
 			n := int64(len(val))
@@ -153,7 +181,7 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 				for _, g := range groups {
 					out.TasksStolen += len(g.tasks)
 					pendingWork++
-					runStolenGroupImpl(r, in, &cfg, &meter, g, out, &pendingWork, &cbErr)
+					runStolenGroupImpl(r, in, &cfg, fc, g, out, &pendingWork, &cbErr)
 					if r.Outstanding() > cfg.MaxOutstanding {
 						r.Drain(cfg.MaxOutstanding)
 					}
@@ -243,36 +271,113 @@ func decodeStolenGroups(buf []byte) ([]stolenGroup, error) {
 	return out, nil
 }
 
-// fetchSeq resolves one read for a thief: local partition reads come from
-// the store; anything else is pulled from its owner.
-func fetchSeq(r rt.Runtime, in *Input, meter *rpcMeter, id seq.ReadID, cb func(seq.Seq, error)) {
-	lo, hi := in.Part.Range(r.Rank())
-	if int(id) >= lo && int(id) < hi {
-		cb(in.localSeq(id), nil)
+// fetchCtx routes every thief-side read pull through one decision point:
+// the local store, the remote-read cache, an already-in-flight pull for the
+// same read (coalesced), or — only then — the wire. It is what turns the
+// steal driver's degree-k duplication (one pull per stolen task touching a
+// hub read) back into one pull per distinct read.
+type fetchCtx struct {
+	r      rt.Runtime
+	in     *Input
+	meter  *rpcMeter
+	out    *Result
+	cache  *ReadCache // nil: cache disabled, behave exactly as before
+	lo, hi int        // this rank's partition range
+	// inflight holds, per read currently on the wire, the callbacks of the
+	// fetch decisions that arrived while it was in flight. All access is on
+	// this rank's goroutine (progress contract).
+	inflight map[seq.ReadID][]func(seq.Seq, error)
+}
+
+func newFetchCtx(r rt.Runtime, in *Input, meter *rpcMeter, out *Result, cache *ReadCache) *fetchCtx {
+	fc := &fetchCtx{r: r, in: in, meter: meter, out: out, cache: cache}
+	fc.lo, fc.hi = in.Part.Range(r.Rank())
+	if cache != nil {
+		fc.inflight = make(map[seq.ReadID][]func(seq.Seq, error))
+	}
+	return fc
+}
+
+func (fc *fetchCtx) local(id seq.ReadID) bool { return int(id) >= fc.lo && int(id) < fc.hi }
+
+// fetch resolves one read and hands it to cb — synchronously for local or
+// cached reads, from a completion callback otherwise. On success of a
+// non-local fetch with the cache enabled, the callee holds one pin on id
+// and must call done(id) after its last use of the bases; on error no pin
+// is held. cb(nil, err) reports decode failures.
+func (fc *fetchCtx) fetch(id seq.ReadID, cb func(seq.Seq, error)) {
+	if fc.local(id) {
+		cb(fc.in.localSeq(id), nil)
 		return
 	}
-	est := int64(in.planSize(id))
-	meter.add(est)
-	r.AsyncCall(in.Part.Owner(id), encodeReadReq(id), func(val []byte) {
-		meter.sub(est)
-		n := int64(len(val))
-		r.Alloc(n)
-		defer r.Free(n)
-		read, used, err := in.Codec.Decode(val)
-		if err != nil || used != len(val) {
-			cb(nil, fmt.Errorf("bad payload for read %d: %v", id, err))
+	if fc.cache != nil {
+		if waiters, ok := fc.inflight[id]; ok {
+			// A pull for id is already on the wire: ride it rather than
+			// fetch again. The completion pins once per rider.
+			fc.cache.NoteCoalescedHit()
+			fc.out.CacheHits++
+			fc.inflight[id] = append(waiters, cb)
 			return
 		}
+		if bases, ok := fc.cache.Acquire(id, 1); ok {
+			fc.out.CacheHits++
+			cb(bases, nil)
+			return
+		}
+		fc.inflight[id] = nil // mark in flight before going to the wire
+	}
+	est := int64(fc.in.planSize(id))
+	fc.meter.add(est)
+	fc.out.WireFetches++
+	fc.r.AsyncCall(fc.in.Part.Owner(id), encodeReadReq(id), func(val []byte) {
+		fc.meter.sub(est)
+		n := int64(len(val))
+		fc.r.Alloc(n)
+		defer fc.r.Free(n)
+		read, used, err := fc.in.Codec.Decode(val)
+		if err != nil || used != len(val) {
+			err = fmt.Errorf("bad payload for read %d: %v", id, err)
+			if fc.cache != nil {
+				waiters := fc.inflight[id]
+				delete(fc.inflight, id)
+				for _, w := range waiters {
+					w(nil, err)
+				}
+			}
+			cb(nil, err)
+			return
+		}
+		if fc.cache == nil {
+			cb(read.Seq, nil)
+			return
+		}
+		// Plain Decode returned owned bases (the stolen-group paths retain
+		// them anyway), so they go into the cache as-is: one pin for this
+		// caller plus one per coalesced rider.
+		waiters := fc.inflight[id]
+		delete(fc.inflight, id)
+		fc.cache.Insert(id, read.Seq, est, 1+len(waiters))
 		cb(read.Seq, nil)
+		for _, w := range waiters {
+			w(read.Seq, nil)
+		}
 	})
+}
+
+// done releases the pin a successful non-local fetch acquired.
+func (fc *fetchCtx) done(id seq.ReadID) {
+	if fc.cache == nil || fc.local(id) {
+		return
+	}
+	fc.cache.Release(id, 1)
 }
 
 // runStolenGroupImpl executes a stolen task group: fetch the group's
 // remote read, then per task fetch the other side (the victim's local
 // read — usually remote to the thief too: stealing pays double
 // communication, which is exactly the overhead §5 asks about).
-func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, meter *rpcMeter, g stolenGroup, out *Result, pendingWork *int, cbErr *error) {
-	fetchSeq(r, in, meter, g.rid, func(ridSeq seq.Seq, err error) {
+func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, fc *fetchCtx, g stolenGroup, out *Result, pendingWork *int, cbErr *error) {
+	fc.fetch(g.rid, func(ridSeq seq.Seq, err error) {
 		if err != nil {
 			*cbErr = err
 			*pendingWork--
@@ -280,6 +385,7 @@ func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, meter *rpcMeter, g
 		}
 		remaining := len(g.tasks)
 		if remaining == 0 {
+			fc.done(g.rid)
 			*pendingWork--
 			return
 		}
@@ -289,7 +395,7 @@ func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, meter *rpcMeter, g
 			if other == g.rid {
 				other = t.B
 			}
-			fetchSeq(r, in, meter, other, func(otherSeq seq.Seq, err error) {
+			fc.fetch(other, func(otherSeq seq.Seq, err error) {
 				if err != nil {
 					*cbErr = err
 				} else {
@@ -304,9 +410,13 @@ func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, meter *rpcMeter, g
 					if res, ok := cfg.Exec.Align(r, t, a, b); ok && res.Score >= cfg.MinScore {
 						out.Hits = append(out.Hits, mkHit(t, res))
 					}
+					fc.done(other)
 				}
 				remaining--
 				if remaining == 0 {
+					// The group's read outlives every per-task fetch: its
+					// pin drops only when the last task completes.
+					fc.done(g.rid)
 					*pendingWork--
 				}
 			})

@@ -70,6 +70,24 @@ type Config struct {
 	// disables the deadline entirely (a stalled peer then hangs the job,
 	// as it would without this backend's failure handling).
 	ProgressDeadline time.Duration
+
+	// NodeSize groups consecutive ranks into "nodes" of this many ranks
+	// (the last node may be smaller when P is not divisible). With
+	// NodeSize > 1 the collectives aggregate hierarchically: alltoallv
+	// rows and allreduce values combine node-locally first and cross the
+	// node boundary once, through the node's leader (its first rank) —
+	// hier.go documents the plans. Wire traffic is also classified into
+	// the IntraBytes/InterBytes tiers by destination node. 0 or 1 means
+	// every rank is its own node: flat collectives, all traffic
+	// inter-node. Logical accounting (BytesSent/BytesRecv/Msgs) is
+	// identical either way — aggregation changes what the wire carries,
+	// not what the application exchanged.
+	NodeSize int
+
+	// NoAggregation keeps the flat collective algorithms while still
+	// classifying per-tier bytes by NodeSize — the measurement baseline
+	// that quantifies what hierarchical aggregation saves.
+	NoAggregation bool
 }
 
 // deadline resolves the configured progress deadline.
@@ -91,6 +109,12 @@ const (
 	msgRedResult = 4 // [epoch:8][val:8] folded result from rank 0
 	msgRPCReq    = 5 // [seq:4][payload...]
 	msgRPCResp   = 6 // [seq:4][payload...]
+
+	// Hierarchical alltoallv frames (hier.go). Records pack only non-empty
+	// rows; ranks are uint16 (NodeSize > 1 requires P <= 65535).
+	msgA2AUp   = 7 // [epoch:8][{dst:2,len:4,payload}...] member -> leader
+	msgA2AX    = 8 // [epoch:8][{src:2,dst:2,len:4,payload}...] leader -> leader
+	msgA2ADown = 9 // [epoch:8][{src:2,len:4,payload}...] leader -> member
 )
 
 // barrier kinds.
@@ -128,10 +152,15 @@ type Rank struct {
 	curOp    string        // collective currently blocked in (error context)
 	failErr  *RankError    // sticky first failure; the rank is dead once set
 
+	ns int // normalized node size (>= 1); 1 means flat
+
 	barEpoch  [2]uint64 // next epoch per barrier kind
 	barGot    map[barKey]struct{}
 	a2aEpoch  uint64
 	a2aGot    map[srcKey][]byte
+	upGot     map[srcKey][]byte // hierarchical A2A: member rows at the leader
+	xGot      map[srcKey][]byte // hierarchical A2A: cross-node leader frames
+	downGot   map[uint64][]byte // hierarchical A2A: leader's delivery, by epoch
 	redEpoch  uint64
 	redGot    map[srcKey]int64
 	redResult map[uint64]int64
@@ -153,8 +182,18 @@ func NewRank(tp transport.Transport, cfg Config) *Rank {
 		tr:        cfg.Tracer.Rank(tp.Rank()),
 		barGot:    make(map[barKey]struct{}),
 		a2aGot:    make(map[srcKey][]byte),
+		upGot:     make(map[srcKey][]byte),
+		xGot:      make(map[srcKey][]byte),
+		downGot:   make(map[uint64][]byte),
 		redGot:    make(map[srcKey]int64),
 		redResult: make(map[uint64]int64),
+	}
+	r.ns = cfg.NodeSize
+	if r.ns < 1 || r.p > 65535 {
+		r.ns = 1 // flat; hierarchical record headers carry uint16 ranks
+	}
+	if r.ns > r.p {
+		r.ns = r.p
 	}
 	r.rec, _ = tp.(transport.FrameRecycler)
 	r.eng = transport.NewEngine(transport.EngineConfig{
@@ -293,9 +332,23 @@ func (r *Rank) op(fallback string) string {
 	return fallback
 }
 
-// sendFrame ships one wire frame; a transport failure fails this rank with
-// the operation's name and unwinds.
+// nodeOf returns the node index rank q belongs to.
+func (r *Rank) nodeOf(q int) int { return q / r.ns }
+
+// leaderOf returns the leader (first rank) of q's node.
+func (r *Rank) leaderOf(q int) int { return (q / r.ns) * r.ns }
+
+// sendFrame ships one wire frame, classifying its bytes into the
+// intra/inter tier by destination node (with NodeSize unset every rank is
+// its own node, so all dist traffic is inter — each rank is a separate
+// process). A transport failure fails this rank with the operation's name
+// and unwinds.
 func (r *Rank) sendFrame(op string, dst int, frame []byte) {
+	if r.nodeOf(dst) == r.nodeOf(r.id) {
+		r.met.IntraBytes += int64(len(frame))
+	} else {
+		r.met.InterBytes += int64(len(frame))
+	}
 	if err := r.tp.Send(dst, frame); err != nil {
 		r.raise(op, err)
 	}
@@ -367,6 +420,21 @@ func (r *Rank) dispatch(from int, frame []byte) {
 		}
 		k := srcKey{epoch: binary.BigEndian.Uint64(body[:8]), src: from}
 		r.a2aGot[k] = body[8:]
+	case msgA2AUp, msgA2AX, msgA2ADown:
+		// Hierarchical alltoallv traffic: bodies are retained (records are
+		// handed to the caller as recv slices), so never recycled.
+		if len(body) < 8 {
+			r.raise(r.op("progress"), fmt.Errorf("malformed hierarchical alltoallv frame from rank %d", from))
+		}
+		epoch := binary.BigEndian.Uint64(body[:8])
+		switch typ {
+		case msgA2AUp:
+			r.upGot[srcKey{epoch: epoch, src: from}] = body[8:]
+		case msgA2AX:
+			r.xGot[srcKey{epoch: epoch, src: from}] = body[8:]
+		default:
+			r.downGot[epoch] = body[8:]
+		}
 	case msgRedVal, msgRedResult:
 		if len(body) != 16 {
 			r.raise(r.op("progress"), fmt.Errorf("malformed allreduce frame from rank %d", from))
@@ -550,24 +618,28 @@ func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 		recv[r.id] = []byte{}
 	}
 	r.met.BytesRecv += int64(len(self))
-	var hdr [9]byte
-	hdr[0] = msgA2A
-	binary.BigEndian.PutUint64(hdr[1:], epoch)
-	for step := 1; step < r.p; step++ {
-		dst := (r.id + step) % r.p
-		src := (r.id - step + r.p) % r.p
-		frame := make([]byte, 0, 9+len(send[dst]))
-		frame = append(frame, hdr[:]...)
-		frame = append(frame, send[dst]...)
-		r.sendFrame("alltoallv", dst, frame)
-		k := srcKey{epoch: epoch, src: src}
-		r.waitLoop(rt.CatComm, "alltoallv", func() []int { return []int{src} }, func() bool {
-			_, ok := r.a2aGot[k]
-			return ok
-		})
-		recv[src] = r.a2aGot[k]
-		delete(r.a2aGot, k)
-		r.met.BytesRecv += int64(len(recv[src]))
+	if r.hier() {
+		r.alltoallvHier(epoch, send, recv)
+	} else {
+		var hdr [9]byte
+		hdr[0] = msgA2A
+		binary.BigEndian.PutUint64(hdr[1:], epoch)
+		for step := 1; step < r.p; step++ {
+			dst := (r.id + step) % r.p
+			src := (r.id - step + r.p) % r.p
+			frame := make([]byte, 0, 9+len(send[dst]))
+			frame = append(frame, hdr[:]...)
+			frame = append(frame, send[dst]...)
+			r.sendFrame("alltoallv", dst, frame)
+			k := srcKey{epoch: epoch, src: src}
+			r.waitLoop(rt.CatComm, "alltoallv", func() []int { return []int{src} }, func() bool {
+				_, ok := r.a2aGot[k]
+				return ok
+			})
+			recv[src] = r.a2aGot[k]
+			delete(r.a2aGot, k)
+			r.met.BytesRecv += int64(len(recv[src]))
+		}
 	}
 	if d := time.Since(t0) - (r.nestedWall - n0); d > 0 {
 		// Residual transfer time not already attributed by the waits.
@@ -600,6 +672,9 @@ func (r *Rank) Allreduce(v int64, op rt.Op) int64 {
 	r.redEpoch++
 	if r.p == 1 {
 		return v
+	}
+	if r.hier() {
+		return r.allreduceHier(epoch, v, op)
 	}
 	if r.id == 0 {
 		vals := make([]int64, r.p)

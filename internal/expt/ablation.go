@@ -36,7 +36,7 @@ func AblationOutstanding(p Params, caps []int) (*stats.Table, []*Row, error) {
 	for _, c := range caps {
 		row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: nodes,
 			RanksPerNode: p.RanksPerNode, Mode: Async, SkipCompute: true,
-			MaxOutstanding: c, Seed: p.Seed, NewTracer: p.NewTracer})
+			MaxOutstanding: c, Seed: p.Seed, NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -74,7 +74,7 @@ func AblationAggregation(p Params, factors []float64) (*stats.Table, []*Row, err
 		// Scale the budget by shrinking per-core memory.
 		m.AppMemPerCore = int64(float64(m.AppMemPerCore) * f)
 		row, err := RunSim(SimSpec{Workload: w, Machine: m, Nodes: nodes,
-			RanksPerNode: p.RanksPerNode, Mode: BSP, Seed: p.Seed, NewTracer: p.NewTracer})
+			RanksPerNode: p.RanksPerNode, Mode: BSP, Seed: p.Seed, NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -106,7 +106,7 @@ func AblationDynamicBalance(p Params) (*stats.Table, map[Mode][]*Row, error) {
 		var rows [2]*Row
 		for i, mode := range []Mode{Async, AsyncSteal} {
 			row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: n,
-				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed, NewTracer: p.NewTracer})
+				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed, NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -151,7 +151,7 @@ func AblationFetchBatch(p Params, batches []int) (*stats.Table, []*Row, error) {
 	}
 	for _, b := range batches {
 		row, err := RunSim(SimSpec{Workload: w, Machine: sim.HighLatencyCloud(), Nodes: nodes,
-			RanksPerNode: p.RanksPerNode, Mode: Async, FetchBatch: b, SkipCompute: true, Seed: p.Seed, NewTracer: p.NewTracer})
+			RanksPerNode: p.RanksPerNode, Mode: Async, FetchBatch: b, SkipCompute: true, Seed: p.Seed, NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -177,7 +177,7 @@ func AblationNetwork(p Params) (*stats.Table, map[Mode][]*Row, error) {
 	for _, n := range nodes {
 		for _, mode := range []Mode{BSP, Async} {
 			row, err := RunSim(SimSpec{Workload: w, Machine: sim.HighLatencyCloud(), Nodes: n,
-				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed, NewTracer: p.NewTracer})
+				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed, NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 			if err != nil {
 				return nil, nil, err
 			}

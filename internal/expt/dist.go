@@ -37,6 +37,9 @@ type DistParams struct {
 	Ranks     int    // rank count (default 4)
 	Transport string // "loopback", "tcp" or "both" (default "both")
 	Seed      int64
+
+	CacheBudget int64 // per-rank remote-read cache bytes (0 off, <0 unbounded)
+	NodeSize    int   // ranks per node for hierarchical collectives (0/1 flat)
 }
 
 // tcpFabric rendezvouses an n-rank localhost socket mesh in-process.
@@ -126,12 +129,12 @@ func Dist(p DistParams) (*stats.Table, []DistRow, error) {
 				if err != nil {
 					return nil, nil, err
 				}
-				world, err = dist.NewWorldOver(eps, dist.Config{})
+				world, err = dist.NewWorldOver(eps, dist.Config{NodeSize: p.NodeSize})
 				if err != nil {
 					return nil, nil, err
 				}
 			} else {
-				world, err = dist.NewWorld(dist.Config{P: p.Ranks})
+				world, err = dist.NewWorld(dist.Config{P: p.Ranks, NodeSize: p.NodeSize})
 				if err != nil {
 					return nil, nil, err
 				}
@@ -147,7 +150,7 @@ func Dist(p DistParams) (*stats.Table, []DistRow, error) {
 				st := seq.Scope(reads, lo, hi, lens)
 				in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
 					Codec: core.RealCodec{Store: st}, Store: st}
-				cfg := core.Config{Exec: exec, MinScore: 100}
+				cfg := core.Config{Exec: exec, MinScore: 100, CacheBudget: p.CacheBudget}
 				if mode == Async {
 					results[r.Rank()], errs[r.Rank()] = core.RunAsync(r, in, cfg)
 				} else {

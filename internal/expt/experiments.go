@@ -21,6 +21,12 @@ type Params struct {
 	Nodes          []int // node counts for strong-scaling sweeps
 	Seed           int64
 
+	// CacheBudget enables the per-rank remote-read cache in every driver
+	// run (bytes; 0 disables, negative unbounded). NodeSize > 1 prices the
+	// simulated alltoallv as the node-aggregated hierarchical plan.
+	CacheBudget int64
+	NodeSize    int
+
 	// NewTracer, when set, is passed to every RunSim so each simulated run
 	// records structured events; cmd/scaling exports the last traced run.
 	NewTracer func(ranks int) *trace.Tracer
@@ -93,7 +99,7 @@ func Fig3(p Params) (*stats.Table, []*Row, error) {
 		for _, mode := range []Mode{BSP, Async} {
 			row, err := RunSim(SimSpec{Workload: w, Machine: m, Nodes: 1,
 				RanksPerNode: m.CoresPerNode, Mode: mode, Seed: p.Seed,
-				NewTracer: p.NewTracer})
+				NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -121,7 +127,7 @@ func Fig4(p Params) (*stats.Table, []*Row, error) {
 		for _, mode := range []Mode{BSP, Async} {
 			row, err := RunSim(SimSpec{Workload: w, Machine: m, Nodes: 1,
 				RanksPerNode: m.CoresPerNode, Mode: mode, Seed: p.Seed,
-				NewTracer: p.NewTracer})
+				NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -142,7 +148,7 @@ func ccsSweep(p Params, nodes []int, mode Mode, skipCompute bool) ([]*Row, error
 	for _, n := range nodes {
 		row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: n,
 			RanksPerNode: p.RanksPerNode, Mode: mode, SkipCompute: skipCompute, Seed: p.Seed,
-			NewTracer: p.NewTracer})
+			NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +248,7 @@ func Fig8(p Params) (*stats.Table, map[Mode][]*Row, error) {
 		for _, mode := range []Mode{BSP, Async} {
 			row, err := RunSim(SimSpec{Workload: w, Machine: sim.CoriKNL(), Nodes: n,
 				RanksPerNode: p.RanksPerNode, Mode: mode, Seed: p.Seed,
-				NewTracer: p.NewTracer})
+				NewTracer: p.NewTracer, CacheBudget: p.CacheBudget, Hierarchical: p.NodeSize > 1})
 			if err != nil {
 				return nil, nil, err
 			}

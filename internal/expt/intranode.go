@@ -28,9 +28,10 @@ type IntranodeRow struct {
 
 // IntranodeParams sizes the real-pipeline workload.
 type IntranodeParams struct {
-	Scale    int // E. coli 30x ÷ scale through the full real pipeline
-	MaxCores int // highest rank count (default: host CPUs)
-	Seed     int64
+	Scale       int // E. coli 30x ÷ scale through the full real pipeline
+	MaxCores    int // highest rank count (default: host CPUs)
+	Seed        int64
+	CacheBudget int64 // per-rank remote-read cache bytes (0 off, <0 unbounded)
 }
 
 // Intranode runs the full real pipeline (synthetic genome → reads → k-mer
@@ -83,7 +84,7 @@ func Intranode(p IntranodeParams) (*stats.Table, []IntranodeRow, error) {
 				st := seq.Scope(reads, lo, hi, lens)
 				in := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
 					Codec: core.RealCodec{Store: st}, Store: st}
-				cfg := core.Config{Exec: exec, MinScore: 100}
+				cfg := core.Config{Exec: exec, MinScore: 100, CacheBudget: p.CacheBudget}
 				if mode == Async {
 					results[r.Rank()], errs[r.Rank()] = core.RunAsync(r, in, cfg)
 				} else {

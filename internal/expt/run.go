@@ -66,7 +66,9 @@ type SimSpec struct {
 	Mode           Mode
 	SkipCompute    bool // §4.3 communication-only mode
 	MaxOutstanding int
-	FetchBatch     int // async reads per RPC (§5 aggregation knob)
+	FetchBatch     int   // async reads per RPC (§5 aggregation knob)
+	CacheBudget    int64 // per-rank remote-read cache bytes (0 off, <0 unbounded)
+	Hierarchical   bool  // price the alltoallv as the node-aggregated plan
 	Seed           int64
 
 	// NewTracer, when set, builds the structured-event tracer for the run
@@ -96,6 +98,8 @@ type Row struct {
 	MemBudget   int64         // configured per-rank budget
 	Supersteps  int64         // BSP rounds (Figure 9 commentary)
 	RPCsSent    int64         // total RPCs issued (async)
+	WireFetches int64         // remote reads actually pulled over the wire
+	CacheHits   int64         // fetch decisions answered by the remote-read cache
 	Hits        int64
 	TasksStolen int64 // dynamic-balance ablation
 
@@ -134,10 +138,11 @@ var rowCache sync.Map
 
 func cacheKey(spec SimSpec) string {
 	w := spec.Workload
-	return fmt.Sprintf("%s|%d|%d|%s|%d|%d|%d|%s|%v|%d|%d|%d",
+	return fmt.Sprintf("%s|%d|%d|%s|%d|%d|%d|%s|%v|%d|%d|%d|%d|%v",
 		w.Preset.Name, w.Scale, len(w.Tasks), spec.Machine.Name,
 		spec.Machine.AppMemPerCore, spec.Nodes, spec.RanksPerNode,
-		spec.Mode, spec.SkipCompute, spec.MaxOutstanding, spec.FetchBatch, spec.Seed)
+		spec.Mode, spec.SkipCompute, spec.MaxOutstanding, spec.FetchBatch, spec.Seed,
+		spec.CacheBudget, spec.Hierarchical)
 }
 
 // RunSim executes one simulated driver run and reduces its metrics.
@@ -179,6 +184,7 @@ func RunSim(spec SimSpec) (*Row, error) {
 		MemBudget:    budget,
 		Seed:         spec.Seed,
 		Tracer:       tracer,
+		Hierarchical: spec.Hierarchical,
 	})
 	if err != nil {
 		return nil, err
@@ -206,7 +212,7 @@ func RunSim(spec SimSpec) (*Row, error) {
 			Codec: core.PhantomCodec{Lens: w.Lens},
 		}
 		cfg := core.Config{Exec: exec, MinScore: 1, MaxOutstanding: spec.MaxOutstanding,
-			FetchBatch: spec.FetchBatch}
+			FetchBatch: spec.FetchBatch, CacheBudget: spec.CacheBudget}
 		switch spec.Mode {
 		case Async:
 			results[r.Rank()], errs[r.Rank()] = core.RunAsync(r, in, cfg)
@@ -246,6 +252,8 @@ func RunSim(spec SimSpec) (*Row, error) {
 			row.Supersteps = s
 		}
 		row.RPCsSent += m.RPCsSent
+		row.WireFetches += int64(results[rk].WireFetches)
+		row.CacheHits += int64(results[rk].CacheHits)
 		row.Hits += int64(len(results[rk].Hits))
 		row.TasksStolen += int64(results[rk].TasksStolen)
 	}

@@ -219,6 +219,7 @@ func (r *Rank) Alltoallv(send [][]byte) [][]byte {
 	tEnter := r.tr.Now()
 	for _, m := range send {
 		r.met.BytesSent += int64(len(m))
+		r.met.IntraBytes += int64(len(m)) // shared memory: all intra-node
 		if len(m) > 0 {
 			r.met.Msgs++
 		}
@@ -274,8 +275,10 @@ func (r *Rank) AsyncCall(owner int, req []byte, cb func([]byte)) {
 }
 
 // send delivers msg to dst's inbox, servicing our own inbox if dst's is
-// full (prevents mutual-full deadlock).
+// full (prevents mutual-full deadlock). Goroutine ranks share one address
+// space, so every byte moved is intra-node by definition.
 func (r *Rank) send(dst int, msg transport.Msg) {
+	r.met.IntraBytes += int64(len(msg.Val))
 	in := r.w.ranks[dst].inbox
 	for {
 		select {

@@ -104,6 +104,24 @@ type Metrics struct {
 	PeakExchange int64
 	PeakRPCBytes int64
 	OOPGets      int64
+
+	// Remote-read cache accounting (DESIGN.md §13). Hits/misses count
+	// fetch decisions (one per remote read a driver is about to pull);
+	// evicts count entries dropped by the LRU bound; CachePinnedPeak is the
+	// high-water mark of bytes pinned by in-flight tasks.
+	CacheHits       int64
+	CacheMisses     int64
+	CacheEvicts     int64
+	CachePinnedPeak int64
+
+	// Per-tier wire bytes: IntraBytes crossed only cheap intra-node links,
+	// InterBytes crossed a node boundary. Backends classify at their send
+	// conduits (dist: whole frames by destination node; sim: modeled frames
+	// under the two-tier LogGP machine; par: everything intra — one
+	// process is one node). Unlike BytesSent these include coordination
+	// framing, because the tier split is about what the network carries.
+	IntraBytes int64
+	InterBytes int64
 }
 
 // Alloc records n live bytes (message buffers, retained remote reads).
@@ -254,5 +272,11 @@ func TraceRow(rank int, m *Metrics, b *trace.Buf) trace.RankMetrics {
 		RPCPeak:     b.RPCHighWater(),
 		Events:      int64(b.Len()) + b.Dropped(),
 		Dropped:     b.Dropped(),
+		CacheHits:   m.CacheHits,
+		CacheMisses: m.CacheMisses,
+		CacheEvicts: m.CacheEvicts,
+		CachePinned: m.CachePinnedPeak,
+		IntraBytes:  m.IntraBytes,
+		InterBytes:  m.InterBytes,
 	}
 }

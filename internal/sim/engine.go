@@ -19,6 +19,18 @@ type Config struct {
 	MemBudget    int64         // per-rank exchange budget; <=0 → Machine.AppMemPerCore
 	Seed         int64         // noise RNG seed
 	Tracer       *trace.Tracer // structured-event layer (virtual-clock stamps); nil disables
+
+	// Hierarchical prices the alltoallv as the node-aggregated plan the
+	// dist backend runs at NodeSize > 1 (hier.go): members relay
+	// cross-node rows through their node leader over the intra-node
+	// fabric, and only leaders inject onto the network — one aggregated
+	// frame per peer node. The inter-node injection term then serialises
+	// each node's whole cross-node volume through its leader, the
+	// per-peer software overhead shrinks from (P - RanksPerNode) messages
+	// to (Nodes - 1), and members' InterBytes drop to zero. With one
+	// node, one rank per node, or Hierarchical false, the flat pairwise
+	// pricing applies.
+	Hierarchical bool
 }
 
 // Ranks returns the total simulated rank count.

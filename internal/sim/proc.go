@@ -183,6 +183,11 @@ func (p *proc) serve(ev *event) {
 	p.met.RPCserved++
 	p.met.BytesSent += int64(len(val))
 	p.met.Msgs++
+	if p.sameNode(ev.from) {
+		p.met.IntraBytes += int64(len(val))
+	} else {
+		p.met.InterBytes += int64(len(val))
+	}
 	p.tr.Event(trace.KindServe, tEnter, p.clock, int64(len(val)))
 	arr := p.clock + p.linkAlpha(ev.from) + int64(len(val))*p.linkByteTime(ev.from)
 	p.eng.post(ev.from, &event{arrival: arr, kind: evResponse, from: p.id, seq: ev.seq, val: val})
@@ -339,6 +344,7 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 		// imbalance of Figure 6 translates into everyone's communication
 		// latency.
 		rpn := e.cfg.RanksPerNode
+		hier := e.cfg.Hierarchical && e.cfg.Nodes > 1 && rpn > 1
 		interSend := make([]int64, e.p)
 		interRecv := make([]int64, e.p)
 		intraSend := make([]int64, e.p)
@@ -350,17 +356,83 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 		}
 		for src := 0; src < e.p; src++ {
 			row := c.store[src]
+			met := &e.procs[src].met
 			for dst := 0; dst < e.p; dst++ {
 				n := int64(len(row[dst]))
 				if src/rpn == dst/rpn { // shared-memory peers
 					intraSend[src] += n
 					intraRecv[dst] += n
+					if n > 0 {
+						met.IntraBytes += n + a2aEnvelope
+					}
 				} else {
 					interSend[src] += n
 					interRecv[dst] += n
 					interTot += n
+					if n > 0 && !hier {
+						met.InterBytes += n + a2aEnvelope
+					}
 				}
 				recvs[dst][src] = row[dst]
+			}
+		}
+		if hier {
+			// Hierarchical plan: members relay their cross-node volume
+			// through the leader (rank 0 of the node) on the intra fabric;
+			// only leaders inject onto the network, one aggregated frame
+			// per peer node. Wire tiers follow the relay (writes into peer
+			// procs' metrics are safe: the release closure runs under the
+			// strict scheduler handoff).
+			nodes := e.cfg.Nodes
+			nodeOut := make([]int64, nodes)
+			nodeIn := make([]int64, nodes)
+			nodePair := make([]int64, nodes*nodes) // aggregated frames out
+			for src := 0; src < e.p; src++ {
+				row := c.store[src]
+				for dst := 0; dst < e.p; dst++ {
+					if src/rpn != dst/rpn {
+						nodePair[(src/rpn)*nodes+dst/rpn] += int64(len(row[dst]))
+					}
+				}
+			}
+			for q := 0; q < e.p; q++ {
+				node := q / rpn
+				leader := node * rpn
+				nodeOut[node] += interSend[q]
+				nodeIn[node] += interRecv[q]
+				if q != leader {
+					// Up and down relay: member<->leader volume rides the
+					// intra-node fabric and its byte tier.
+					if interSend[q] > 0 {
+						intraSend[q] += interSend[q]
+						intraRecv[leader] += interSend[q]
+						e.procs[q].met.IntraBytes += interSend[q] + a2aEnvelope
+					}
+					if interRecv[q] > 0 {
+						intraSend[leader] += interRecv[q]
+						intraRecv[q] += interRecv[q]
+						e.procs[leader].met.IntraBytes += interRecv[q] + a2aEnvelope
+					}
+				}
+			}
+			for a := 0; a < nodes; a++ {
+				leader := a * rpn
+				for b := 0; b < nodes; b++ {
+					if v := nodePair[a*nodes+b]; v > 0 {
+						e.procs[leader].met.InterBytes += v + a2aEnvelope
+					}
+				}
+			}
+			// Pricing below reads the per-node loads through the leaders'
+			// inter arrays: the leader's NIC serialises the node's volume.
+			for q := 0; q < e.p; q++ {
+				if q%rpn == 0 {
+					interSend[q] = nodeOut[q/rpn]
+					interRecv[q] = nodeIn[q/rpn]
+				} else {
+					interSend[q] = 0
+					interRecv[q] = 0
+				}
 			}
 		}
 		max2 := func(xs, ys []int64) int64 {
@@ -379,6 +451,11 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 		intraPeers := int64(rpn - 1)
 		if interPeers < 0 {
 			interPeers = 0
+		}
+		if hier {
+			// One aggregated frame per peer node from each leader instead
+			// of every rank messaging every off-node rank.
+			interPeers = int64(e.cfg.Nodes - 1)
 		}
 		// Per-peer software cost, rescaled from per-core to per-sim-rank
 		// (each sim rank stands for CoresPerNode/rpn cores, and the real
@@ -446,6 +523,12 @@ func (p *proc) Serve(handler func([]byte) []byte) { p.handler = handler }
 // requestEnvelope is the on-wire overhead of a request (headers).
 const requestEnvelope = 8
 
+// a2aEnvelope is the per-frame on-wire overhead of one alltoallv frame
+// (kind byte + epoch), matching the dist backend's framing; the tier byte
+// counters include it so simulated and real IntraBytes/InterBytes agree in
+// shape.
+const a2aEnvelope = 9
+
 // AsyncCall issues an RPC: injection overhead now, response later.
 func (p *proc) AsyncCall(owner int, req []byte, cb func([]byte)) {
 	if cb == nil {
@@ -463,6 +546,11 @@ func (p *proc) AsyncCall(owner int, req []byte, cb func([]byte)) {
 	p.met.Msgs++
 	wire := int64(len(req)) + requestEnvelope
 	p.met.BytesSent += wire
+	if p.sameNode(owner) {
+		p.met.IntraBytes += wire
+	} else {
+		p.met.InterBytes += wire
+	}
 	d := p.noisy(int64(m.RPCOverhead))
 	p.met.Time[rt.CatComm] += time.Duration(d)
 	arr := p.clock + d + p.linkAlpha(owner) + wire*p.linkByteTime(owner)
