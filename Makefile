@@ -13,6 +13,12 @@
 #                dibella run must byte-match the single-process output,
 #                and kill -9 of one rank must fail the job promptly,
 #                naming the lost rank
+#   make serve-smoke  resident-service check under the race detector: a
+#                race-built dibserve takes two concurrent jobs, one of
+#                which chaos-kills a worker rank mid-run; the victim job
+#                must be retried to completion or fail naming the rank,
+#                the other must complete, and SIGTERM must drain the
+#                server to a clean exit with job metrics flushed
 #   make bench   full kernel benchmark run (count 5): writes the raw
 #                output to bench/bench_new.txt and the before/after
 #                comparison against bench/bench_baseline.txt (the
@@ -25,7 +31,7 @@ GO      ?= go
 FUZZT   ?= 10s
 BENCHN  ?= 5
 
-.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke bench bench-smoke bench-comm ci
+.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke serve-smoke bench bench-smoke bench-comm ci
 
 check: vet fmtcheck build test
 
@@ -56,6 +62,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzXDropDiff -fuzztime $(FUZZT) ./internal/align/
 	$(GO) test -fuzz=FuzzFrame -fuzztime $(FUZZT) ./internal/transport/
 	$(GO) test -fuzz=FuzzCacheEvict -fuzztime $(FUZZT) ./internal/core/
+	$(GO) test -fuzz=FuzzJobRequest -fuzztime $(FUZZT) ./internal/serve/
 
 golden:
 	$(GO) test -run TestGolden ./internal/trace/ -update
@@ -100,6 +107,51 @@ dist-smoke:
 	grep -q "rank 1" $$tmp/kill.err || { echo "dist-smoke kill: failure does not name rank 1:"; cat $$tmp/kill.err; exit 1; }; \
 	echo "dist-smoke kill-one-rank: OK (job failed promptly, naming rank 1)"
 
+# Resident-service smoke: dibserve (race-built) over the dist backend with
+# chaos enabled. Two jobs run concurrently on separate resident worlds; the
+# victim job arms chaos_kill_rank=1, so its world loses a rank mid-run and
+# the job is either rescheduled onto a rebuilt world (retries >= 1) or
+# fails with a typed error naming rank 1. The healthy job must stream hits
+# regardless, and SIGTERM must drain to exit 0 with per-job metrics on disk.
+serve-smoke:
+	@tmp=$$(mktemp -d); srv=; trap 'kill $$srv 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o $$tmp/dibserve ./cmd/dibserve && \
+	$(GO) build -o $$tmp/genreads ./cmd/genreads && \
+	$$tmp/genreads -genome 60000 -coverage 8 -meanlen 3000 -seed 3 -out $$tmp/reads.fa && \
+	$$tmp/dibserve -addr 127.0.0.1:0 -backend dist -procs 3 -worlds 2 -chaos \
+		-progress-deadline 2s -max-retries 1 -ready-file $$tmp/addr \
+		-metrics $$tmp/jobs.csv 2>$$tmp/serve.log & srv=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "serve-smoke: server never became ready"; cat $$tmp/serve.log; exit 1; }; \
+	base="http://$$(cat $$tmp/addr)"; \
+	spec="k=15&lofreq=2&hifreq=60&x=15&minscore=100&mode=bsp"; \
+	curl -sf -X POST -H 'Content-Type: text/x-fasta' --data-binary @$$tmp/reads.fa \
+		"$$base/v1/jobs?$$spec&chaos_kill_rank=1" > $$tmp/victim.json || { echo "serve-smoke: victim submit failed"; cat $$tmp/serve.log; exit 1; }; \
+	curl -sf -X POST -H 'Content-Type: text/x-fasta' --data-binary @$$tmp/reads.fa \
+		"$$base/v1/jobs?$$spec" > $$tmp/healthy.json || { echo "serve-smoke: healthy submit failed"; exit 1; }; \
+	vid=$$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' $$tmp/victim.json); \
+	hid=$$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' $$tmp/healthy.json); \
+	[ -n "$$vid" ] && [ -n "$$hid" ] || { echo "serve-smoke: no job ids in submit responses"; exit 1; }; \
+	curl -s -m 300 -o $$tmp/victim.tsv -w '%{http_code}' "$$base/v1/jobs/$$vid/hits?wait=1" > $$tmp/victim.code & poll=$$!; \
+	hcode=$$(curl -s -m 300 -o $$tmp/healthy.tsv -w '%{http_code}' "$$base/v1/jobs/$$hid/hits?wait=1"); \
+	wait $$poll; vcode=$$(cat $$tmp/victim.code); \
+	[ "$$hcode" = 200 ] && [ -s $$tmp/healthy.tsv ] || { echo "serve-smoke: healthy job did not stream hits (status $$hcode)"; cat $$tmp/serve.log; exit 1; }; \
+	echo "serve-smoke healthy: OK ($$(wc -l < $$tmp/healthy.tsv) hits)"; \
+	if [ "$$vcode" = 200 ]; then \
+		retries=$$(curl -s "$$base/v1/jobs/$$vid" | sed -n 's/.*"retries":\([0-9]*\).*/\1/p'); \
+		[ "$$retries" -ge 1 ] || { echo "serve-smoke: victim completed with $$retries retries — the chaos kill never bit"; exit 1; }; \
+		cmp $$tmp/victim.tsv $$tmp/healthy.tsv || { echo "serve-smoke: retried victim's hits differ from the healthy job's"; exit 1; }; \
+		echo "serve-smoke victim: OK (retried $$retries time(s), hits match)"; \
+	else \
+		grep -q "rank 1" $$tmp/victim.tsv || { echo "serve-smoke: victim failure does not name rank 1:"; cat $$tmp/victim.tsv; exit 1; }; \
+		echo "serve-smoke victim: OK (failed naming rank 1 after retry budget)"; \
+	fi; \
+	kill -TERM $$srv; \
+	if ! wait $$srv; then echo "serve-smoke: server did not drain cleanly:"; cat $$tmp/serve.log; exit 1; fi; \
+	srv=; \
+	grep -q "$$hid" $$tmp/jobs.csv || { echo "serve-smoke: drained server left no job metrics"; exit 1; }; \
+	echo "serve-smoke drain: OK (clean exit, job metrics flushed)"
+
 # Full kernel benchmark run. bench/bench_baseline.txt is the committed
 # output of the same benchmarks from before the workspace kernel landed
 # (allocating reference path); BENCH_5.json records median/min/max per
@@ -132,4 +184,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench SeedExtend -benchtime 50x -benchmem \
 		./internal/align/ | $(GO) run ./cmd/benchfmt
 
-ci: check race fuzz chaos bench-smoke dist-smoke
+ci: check race fuzz chaos bench-smoke dist-smoke serve-smoke

@@ -32,7 +32,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"gnbody/internal/align"
@@ -238,6 +241,21 @@ func main() {
 			MemBudget: *mem, Tracer: tracer, ProgressDeadline: pd,
 			NodeSize: *nodeSize})
 		world = distRankWorld{distRank}
+		// Graceful drain: a signal aborts the transport, so the collective
+		// this rank is blocked in fails with a typed RankError instead of
+		// the process dying mid-exchange — the failure path below then
+		// flushes this rank's trace and metrics before exiting.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sigc
+			fmt.Fprintf(os.Stderr, "dibella: rank %d: %v — draining (aborting transport)\n", myRank, s)
+			if ab, ok := tp.(transport.Aborter); ok {
+				ab.Abort()
+			} else {
+				tp.Close()
+			}
+		}()
 	} else {
 		pw, err := par.NewWorld(par.Config{P: *procs, MemBudget: *mem, Tracer: tracer})
 		if err != nil {
@@ -272,6 +290,29 @@ func main() {
 			myRank, lo, hi, stats.FmtBytes(myStore.LocalBytes()),
 			stats.FmtBytes(seq.StatsFromLens(lens).TotalBases), time.Since(tl).Round(time.Millisecond))
 	}
+	// Artifact flushing is an exit hook, not straight-line code at the end
+	// of main: fail() exits without running defers, and the graceful drain
+	// above deliberately routes through it, so a drained or failed run
+	// still exports whatever trace and metrics it accumulated.
+	var distMet rt.Metrics // align-phase snapshot (-dist), set before the hit gather
+	distMetSet := false
+	var flushOnce sync.Once
+	flushArtifacts := func() {
+		flushOnce.Do(func() {
+			metricsFor := func(rk int) *rt.Metrics {
+				if isDist {
+					if distMetSet {
+						return &distMet
+					}
+					return world.Metrics(myRank)
+				}
+				return world.Metrics(rk)
+			}
+			writeRunArtifacts(tracer, *traceOut, *metrics, *mode, isDist, myRank, *procs, metricsFor, logf)
+		})
+	}
+	onExit(flushArtifacts)
+
 	// storeFor hands a rank its owner-only view of the reads: the physical
 	// per-rank slice in -dist mode, an enforcing scoped view of the shared
 	// set in-process. Out-of-partition Gets panic in -dist workers and are
@@ -383,12 +424,12 @@ func main() {
 	}
 	alignWall := time.Since(t2)
 	var hits []core.Hit
-	var distMet rt.Metrics // align-phase snapshot, before the hit gather
 	if isDist {
 		if errs[myRank] != nil {
 			fail(fmt.Errorf("rank %d: %w", myRank, errs[myRank]))
 		}
 		distMet = *world.Metrics(myRank)
+		distMetSet = true
 		if err := world.Run(func(r rt.Runtime) {
 			hits = core.GatherHits(r, results[r.Rank()].Hits)
 		}); err != nil {
@@ -479,9 +520,17 @@ func main() {
 		table.Render(os.Stderr)
 	}
 
-	// In -dist mode every worker exports its own rank's slice into a
-	// rank-suffixed file; in-process mode writes one file with all ranks.
-	tracePath, metricsPath := *traceOut, *metrics
+	flushArtifacts()
+}
+
+// writeRunArtifacts exports the Chrome trace and per-rank metrics files:
+// in -dist mode every worker writes its own rank's slice into a
+// rank-suffixed file, in-process mode one file with all ranks. Errors are
+// reported rather than fatal — this also runs on the failure path, where
+// an exit is already in progress.
+func writeRunArtifacts(tracer *trace.Tracer, traceOut, metricsOut, mode string,
+	isDist bool, myRank, procs int, metricsFor func(int) *rt.Metrics, logf func(string, ...any)) {
+	tracePath, metricsPath := traceOut, metricsOut
 	if isDist {
 		if tracePath != "" {
 			tracePath += fmt.Sprintf(".rank%d", myRank)
@@ -491,7 +540,7 @@ func main() {
 		}
 	}
 	if tracePath != "" {
-		label := fmt.Sprintf("dibella %s procs=%d", *mode, *procs)
+		label := fmt.Sprintf("dibella %s procs=%d", mode, procs)
 		f, err := os.Create(tracePath)
 		if err == nil {
 			err = trace.WriteChromeTrace(f, tracer, label)
@@ -500,23 +549,24 @@ func main() {
 			}
 		}
 		if err != nil {
-			fail(fmt.Errorf("-trace: %w", err))
+			fmt.Fprintf(os.Stderr, "dibella: -trace: %v\n", err)
+			return
 		}
 		logf("dibella: trace -> %s\n", tracePath)
 	}
 	if metricsPath != "" {
 		var rows []trace.RankMetrics
 		if isDist {
-			rows = []trace.RankMetrics{rt.TraceRow(myRank, &distMet, tracer.Rank(myRank))}
+			rows = []trace.RankMetrics{rt.TraceRow(myRank, metricsFor(myRank), tracer.Rank(myRank))}
 		} else {
-			rows = make([]trace.RankMetrics, *procs)
-			for rk := 0; rk < *procs; rk++ {
-				rows[rk] = rt.TraceRow(rk, world.Metrics(rk), tracer.Rank(rk))
+			rows = make([]trace.RankMetrics, procs)
+			for rk := 0; rk < procs; rk++ {
+				rows[rk] = rt.TraceRow(rk, metricsFor(rk), tracer.Rank(rk))
 			}
 		}
 		f, err := os.Create(metricsPath)
 		if err == nil {
-			if strings.HasSuffix(*metrics, ".json") {
+			if strings.HasSuffix(metricsOut, ".json") {
 				err = trace.WriteMetricsJSON(f, rows)
 			} else {
 				err = trace.WriteMetricsCSV(f, rows)
@@ -526,7 +576,8 @@ func main() {
 			}
 		}
 		if err != nil {
-			fail(fmt.Errorf("-metrics: %w", err))
+			fmt.Fprintf(os.Stderr, "dibella: -metrics: %v\n", err)
+			return
 		}
 		logf("dibella: metrics -> %s\n", metricsPath)
 	}
@@ -561,7 +612,38 @@ func writePAF(w io.Writer, reads *seq.ReadSet, t overlap.Task, h core.Hit, x int
 	return err
 }
 
+// exitHooks are cleanups that must survive fail(): os.Exit skips defers,
+// so anything that has to flush on the failure path (trace and metrics
+// export during a graceful drain, most importantly) registers here.
+var exitHooks struct {
+	mu  sync.Mutex
+	ran bool
+	fns []func()
+}
+
+// onExit registers f to run (once, reverse order) before any exit path.
+func onExit(f func()) {
+	exitHooks.mu.Lock()
+	exitHooks.fns = append(exitHooks.fns, f)
+	exitHooks.mu.Unlock()
+}
+
+// runExitHooks runs the registered hooks exactly once.
+func runExitHooks() {
+	exitHooks.mu.Lock()
+	fns, ran := exitHooks.fns, exitHooks.ran
+	exitHooks.ran, exitHooks.fns = true, nil
+	exitHooks.mu.Unlock()
+	if ran {
+		return
+	}
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+}
+
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "dibella: %v\n", err)
+	runExitHooks()
 	os.Exit(1)
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|dist|all
+//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|dist|serve|all
 //	        [-scale30 N] [-scale100 N] [-scaleccs N]   workload scale divisors
 //	        [-rpn N]                                   simulated ranks per node
 //	        [-nodes 8,16,32]                           node counts for sweeps
@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, dist, ablations, all)")
+		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, dist, serve, ablations, all)")
 		scale30    = flag.Int("scale30", 0, "E. coli 30x scale divisor (default 8)")
 		scale100   = flag.Int("scale100", 0, "E. coli 100x scale divisor (default 64)")
 		scaleccs   = flag.Int("scaleccs", 0, "Human CCS scale divisor (default 256)")
@@ -56,6 +56,8 @@ func main() {
 		distscale  = flag.Int("distscale", 0, "dist experiment pipeline scale divisor (default 300)")
 		distranks  = flag.Int("distranks", 0, "dist experiment rank count (default 4)")
 		disttrans  = flag.String("disttransport", "", "dist experiment fabric: loopback, tcp or both (default both)")
+		servescale = flag.Int("servescale", 0, "serve experiment per-job scale divisor (default 600)")
+		servejobs  = flag.Int("servejobs", 0, "serve experiment jobs per phase (default 4)")
 		csvDir     = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 		jsonDir    = flag.String("json", "", "also write each experiment's table as JSON into this directory")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the last simulated run")
@@ -140,6 +142,11 @@ func main() {
 			t, _, err := expt.Dist(expt.DistParams{Scale: *distscale, Ranks: *distranks,
 				Transport: *disttrans, Seed: *seed,
 				CacheBudget: *cacheB, NodeSize: *nodeSize})
+			return t, nil, err
+		}},
+		{"serve", func() (*stats.Table, []*expt.Row, error) {
+			t, _, err := expt.Serve(expt.ServeParams{Scale: *servescale,
+				Jobs: *servejobs, Seed: *seed})
 			return t, nil, err
 		}},
 		{"ablations", func() (*stats.Table, []*expt.Row, error) {

@@ -290,6 +290,9 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 			break
 		}
 	}
-	r.Metrics().Supersteps = int64(out.Supersteps)
+	// Accumulate (not assign): metrics on a resident world add up across
+	// Runs, and job-scoped reporting recovers per-Run counts by Sub-ing
+	// snapshots.
+	r.Metrics().Supersteps += int64(out.Supersteps)
 	return out, nil
 }

@@ -299,6 +299,15 @@ func (w *World) Run(f func(rt.Runtime)) error {
 // Metrics returns the accounting for rank i. Call only between Runs.
 func (w *World) Metrics(i int) *rt.Metrics { return &w.ranks[i].met }
 
+// Size returns the world's rank count.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns the world's rank-i handle. Launchers use it to reach a
+// specific rank's transport (chaos hooks abort it to simulate a killed
+// worker; drain paths close it gracefully). The handle itself still obeys
+// the single-goroutine ownership rules of its methods.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
 // ResetMetrics zeroes every rank's accounting. Call only between Runs.
 func (w *World) ResetMetrics() {
 	for _, r := range w.ranks {

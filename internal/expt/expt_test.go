@@ -310,3 +310,19 @@ func TestAblationDynamicBalanceRuns(t *testing.T) {
 		t.Error("zero runtimes")
 	}
 }
+
+func TestServeAmortization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-pipeline experiment")
+	}
+	_, rows, err := Serve(ServeParams{Scale: 1500, Jobs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Phase != "cold" || rows[1].Phase != "warm" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if rows[0].Hits != rows[1].Hits || rows[0].Hits == 0 {
+		t.Errorf("hit counts: cold %d, warm %d", rows[0].Hits, rows[1].Hits)
+	}
+}

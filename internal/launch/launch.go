@@ -8,7 +8,10 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"sync"
+	"sync/atomic"
+	"syscall"
 )
 
 // FreeLocalAddr reserves a free localhost TCP port and returns it as
@@ -56,6 +59,31 @@ func SelfFork(n int, argv func(rank int) []string) error {
 		cmds[i] = cmd
 	}
 
+	// Graceful drain: a SIGINT/SIGTERM aimed at the coordinator forwards
+	// to every worker, whose own handlers abort their transports and flush
+	// artifacts; the normal reaping below then reports the failure. While
+	// draining, the first-exit teardown must NOT kill the survivors — they
+	// all got the signal and are flushing; killing them would race the
+	// flush. Their aborted transports fail every collective immediately,
+	// so they exit on their own. A second signal hard-kills everything.
+	var draining atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		for s := range sigc {
+			if draining.Swap(true) {
+				for _, c := range cmds {
+					c.Process.Kill()
+				}
+				return
+			}
+			for _, c := range cmds {
+				c.Process.Signal(s)
+			}
+		}
+	}()
+
 	// Reap concurrently; the teardown races are benign: os.Process is safe
 	// for concurrent use, and Kill on an already-exited child is a no-op
 	// error we ignore. The error blames the child that died first, not the
@@ -71,6 +99,10 @@ func SelfFork(n int, argv func(rank int) []string) error {
 			defer wg.Done()
 			if err := cmd.Wait(); err != nil {
 				once.Do(func() {
+					if draining.Load() {
+						first = fmt.Errorf("launch: rank %d: %w (job drained on signal)", i, err)
+						return
+					}
 					first = fmt.Errorf("launch: rank %d: %w (surviving ranks were torn down)", i, err)
 					for _, c := range cmds {
 						c.Process.Kill()

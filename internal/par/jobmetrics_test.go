@@ -1,0 +1,67 @@
+package par
+
+import (
+	"testing"
+
+	"gnbody/internal/rt"
+)
+
+// TestJobScopedMetricsDiff is the regression test for the resident-world
+// accounting contract: with several jobs sharing one world, per-job
+// metrics come from Snapshot before / Sub after — never from the global
+// ResetMetrics, which would destroy every other job's baseline. The diff
+// of the second job must equal what a fresh world reports for the same
+// job run alone.
+func TestJobScopedMetricsDiff(t *testing.T) {
+	const p = 4
+	job := func(w *World, rounds int) {
+		w.Run(func(r rt.Runtime) {
+			for i := 0; i < rounds; i++ {
+				send := make([][]byte, p)
+				for d := range send {
+					send[d] = []byte{byte(r.Rank()), byte(d), byte(i)}
+				}
+				r.Alltoallv(send)
+				r.Allreduce(int64(r.Rank()), rt.OpSum)
+			}
+		})
+	}
+	shared, err := NewWorld(Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job(shared, 2) // job 1 dirties the cumulative counters
+
+	before := make([]rt.Metrics, p)
+	for i := range before {
+		before[i] = shared.Metrics(i).Snapshot()
+	}
+	job(shared, 5) // job 2, the one being scoped
+
+	fresh, err := NewWorld(Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job(fresh, 5) // reference: the same job with clean accounting
+
+	for i := 0; i < p; i++ {
+		diff := rt.Sub(shared.Metrics(i).Snapshot(), before[i])
+		want := fresh.Metrics(i)
+		if diff.Msgs == 0 || diff.BytesSent == 0 {
+			t.Fatalf("rank %d: empty diff (msgs=%d bytes=%d); job 2 invisible", i, diff.Msgs, diff.BytesSent)
+		}
+		if diff.Msgs != want.Msgs {
+			t.Errorf("rank %d: job-scoped msgs %d, fresh-world reference %d", i, diff.Msgs, want.Msgs)
+		}
+		if diff.BytesSent != want.BytesSent || diff.BytesRecv != want.BytesRecv {
+			t.Errorf("rank %d: job-scoped bytes %d/%d, reference %d/%d",
+				i, diff.BytesSent, diff.BytesRecv, want.BytesSent, want.BytesRecv)
+		}
+		// Watermarks are world-lifetime values, carried from the later
+		// snapshot unchanged — a per-job peak is not recoverable from
+		// cumulative accounting.
+		if diff.MaxMem != shared.Metrics(i).MaxMem {
+			t.Errorf("rank %d: diff MaxMem %d, want carried %d", i, diff.MaxMem, shared.Metrics(i).MaxMem)
+		}
+	}
+}

@@ -124,6 +124,47 @@ type Metrics struct {
 	InterBytes int64
 }
 
+// Snapshot returns a value copy of the rank's accounting, taken so a later
+// Sub can scope a single job's activity out of a world whose metrics
+// accumulate across Runs. Call it only when the rank is quiescent (between
+// Runs on the world that owns m) — the fields are owned by the rank's
+// goroutine while a Run is in flight.
+func (m *Metrics) Snapshot() Metrics { return *m }
+
+// Sub returns the job-scoped delta between two snapshots of the same
+// rank's accounting: cur taken after the job, prev before it. Monotonic
+// counters (category times, Elapsed, byte/message/RPC counts, Supersteps,
+// cache and tier counters, OOPGets) subtract; CurMem becomes the job's net
+// live-byte delta. Gauges and high-water marks (MaxMem, StoreBytes,
+// PeakExchange, PeakRPCBytes, CachePinnedPeak) are carried from cur
+// unchanged — a per-job watermark is not recoverable from cumulative
+// accounting, so those fields read as world-lifetime values.
+//
+// This is how a resident multi-tenant world reports per-job metrics
+// without the global ResetMetrics, which cannot be used once jobs share a
+// world: resetting between jobs destroys every other job's baseline.
+func Sub(cur, prev Metrics) Metrics {
+	d := cur
+	for c := range d.Time {
+		d.Time[c] -= prev.Time[c]
+	}
+	d.Elapsed -= prev.Elapsed
+	d.CurMem -= prev.CurMem
+	d.BytesSent -= prev.BytesSent
+	d.BytesRecv -= prev.BytesRecv
+	d.Msgs -= prev.Msgs
+	d.RPCsSent -= prev.RPCsSent
+	d.RPCserved -= prev.RPCserved
+	d.Supersteps -= prev.Supersteps
+	d.OOPGets -= prev.OOPGets
+	d.CacheHits -= prev.CacheHits
+	d.CacheMisses -= prev.CacheMisses
+	d.CacheEvicts -= prev.CacheEvicts
+	d.IntraBytes -= prev.IntraBytes
+	d.InterBytes -= prev.InterBytes
+	return d
+}
+
 // Alloc records n live bytes (message buffers, retained remote reads).
 func (m *Metrics) Alloc(n int64) {
 	m.CurMem += n

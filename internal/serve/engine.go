@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gnbody/internal/align"
+	"gnbody/internal/core"
+	"gnbody/internal/dist"
+	"gnbody/internal/par"
+	"gnbody/internal/pipeline"
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+	"gnbody/internal/trace"
+	"gnbody/internal/transport"
+	"gnbody/internal/workload"
+)
+
+// errChaosKill is what a killed rank's endpoint returns: an abrupt local
+// death, as if the owning process took a SIGKILL mid-collective.
+var errChaosKill = errors.New("serve: chaos-killed endpoint")
+
+// killableTP wraps one rank's transport endpoint with a kill switch that
+// any goroutine may flip mid-run. Once dead, every Send/Recv fails — the
+// owning rank unwinds with a *dist.RankError naming itself, and peers
+// blocked on it fail via the progress deadline. The loopback fabric has no
+// Abort (in-process queues cannot crash), so the service grows its own
+// fault surface here rather than in the transport.
+type killableTP struct {
+	transport.Transport
+	dead atomic.Bool
+}
+
+// Kill flips the endpoint dead. Safe from any goroutine; idempotent.
+func (k *killableTP) Kill() { k.dead.Store(true) }
+
+func (k *killableTP) Send(dst int, frame []byte) error {
+	if k.dead.Load() {
+		return errChaosKill
+	}
+	return k.Transport.Send(dst, frame)
+}
+
+func (k *killableTP) Recv() (int, []byte, bool, error) {
+	if k.dead.Load() {
+		return 0, nil, false, errChaosKill
+	}
+	return k.Transport.Recv()
+}
+
+// RecycleFrame forwards frame recycling to the wrapped endpoint so the
+// loopback pool keeps working through the wrapper.
+func (k *killableTP) RecycleFrame(frame []byte) {
+	if rec, ok := k.Transport.(transport.FrameRecycler); ok {
+		rec.RecycleFrame(frame)
+	}
+}
+
+// DepartedPeers forwards graceful-departure tracking.
+func (k *killableTP) DepartedPeers() []int {
+	if dt, ok := k.Transport.(transport.DepartedTracker); ok {
+		return dt.DepartedPeers()
+	}
+	return nil
+}
+
+// engine is one resident world and its reusable per-rank state: the
+// expensive half of a job (world construction, workspace warm-up) built
+// once and re-entered job after job. An engine is owned by a single pool
+// worker goroutine; jobs on it are strictly serial.
+type engine struct {
+	backend     string // "par" or "dist"
+	ranks       int
+	memBudget   int64
+	cacheBudget int64
+	deadline    time.Duration
+
+	resident *core.Resident // survives world rebuilds: workspaces are plain memory
+
+	pw   *par.World
+	dw   *dist.World
+	taps []*killableTP // dist only: per-rank kill switches
+}
+
+// newEngine builds a resident world. backend "par" runs ranks as plain
+// goroutines (no failure surface, no chaos); "dist" runs the
+// message-passing backend over an in-process loopback fabric wrapped with
+// kill switches, with the full typed-failure model live.
+func newEngine(backend string, ranks int, memBudget, cacheBudget int64, deadline time.Duration) (*engine, error) {
+	e := &engine{
+		backend: backend, ranks: ranks,
+		memBudget: memBudget, cacheBudget: cacheBudget, deadline: deadline,
+		resident: core.NewResident(ranks),
+	}
+	if err := e.build(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// build constructs the world (initial build and post-failure rebuild).
+func (e *engine) build() error {
+	switch e.backend {
+	case "par":
+		pw, err := par.NewWorld(par.Config{P: e.ranks, MemBudget: e.memBudget})
+		if err != nil {
+			return err
+		}
+		e.pw = pw
+		return nil
+	case "dist":
+		eps := transport.NewLoopback(e.ranks)
+		taps := make([]*killableTP, e.ranks)
+		fabric := make([]transport.Transport, e.ranks)
+		for i, ep := range eps {
+			taps[i] = &killableTP{Transport: ep}
+			fabric[i] = taps[i]
+		}
+		pd := e.deadline
+		if pd == 0 {
+			pd = -1 // serve default is "no deadline" unless configured
+		}
+		dw, err := dist.NewWorldOver(fabric, dist.Config{
+			MemBudget: e.memBudget, ProgressDeadline: pd})
+		if err != nil {
+			return err
+		}
+		e.dw, e.taps = dw, taps
+		return nil
+	default:
+		return fmt.Errorf("serve: unknown backend %q (want par or dist)", e.backend)
+	}
+}
+
+// rebuild replaces a failed world. A dist rank's failure is sticky (the
+// world is poisoned once any rank raised), so retrying a job means a fresh
+// fabric — but the resident workspaces carry over: rebuild only re-creates
+// the cheap queues, not the warm DP state.
+func (e *engine) rebuild() error {
+	if e.dw != nil {
+		e.dw.Close() // best-effort; the failed world is already dead
+	}
+	e.dw, e.taps = nil, nil
+	return e.build()
+}
+
+func (e *engine) close() {
+	if e.dw != nil {
+		e.dw.Close()
+	}
+}
+
+// runWorld enters the SPMD region on whichever backend is live.
+func (e *engine) runWorld(f func(rt.Runtime)) error {
+	if e.pw != nil {
+		return e.pw.Run(f)
+	}
+	return e.dw.Run(f)
+}
+
+// metrics returns rank i's cumulative world metrics.
+func (e *engine) metrics(i int) *rt.Metrics {
+	if e.pw != nil {
+		return e.pw.Metrics(i)
+	}
+	return e.dw.Metrics(i)
+}
+
+// run executes one job on the resident world: a single collective region
+// covering stages 1-2 (discovery under the job's Plan), the align phase
+// under the job's mode, and the hit gather to rank 0. kill >= 0 arms the
+// chaos hook: that rank's endpoint dies right after discovery, so the
+// align phase's first collective fails and the caller sees a typed
+// *dist.RankError naming the victim. Per-job metrics come from
+// snapshot-before / subtract-after around the region.
+//
+// Job isolation: everything per-job — stores, partition, tasks, caches —
+// is built inside the region from the job's own read set; only the
+// alignment workspaces (resident, rank-private) and the world itself carry
+// over between jobs.
+func (e *engine) run(j *Job, kill int) (hits []core.Hit, tasks int64, rows []trace.JobRow, err error) {
+	lens := workload.LensOf(j.reads)
+	plan, err := pipeline.NewPlan(lens, e.ranks, pipeline.Spec{
+		K: j.Spec.K, Lo: j.Spec.LoFreq, Hi: j.Spec.HiFreq,
+		Coverage: j.Spec.Coverage, ErrRate: j.Spec.ErrRate,
+	})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	before := make([]rt.Metrics, e.ranks)
+	for i := range before {
+		before[i] = e.metrics(i).Snapshot()
+	}
+	exec := core.RealExecutor{Scoring: align.DefaultScoring(), X: j.Spec.X}
+	var (
+		taskCounts = make([]int64, e.ranks)
+		rankErrs   = make([]error, e.ranks)
+		gathered   []core.Hit
+	)
+	runErr := e.runWorld(func(r rt.Runtime) {
+		rank := r.Rank()
+		lo, hi := plan.Part.Range(rank)
+		st := seq.ScopeCounting(j.reads, lo, hi, lens, &r.Metrics().OOPGets)
+		out, perr := plan.Run(r, st)
+		// Agree to abort together: a rank failing alone would leave its
+		// peers blocked in the next collective.
+		if bad := r.Allreduce(boolToI64(perr != nil), rt.OpSum); bad > 0 {
+			rankErrs[rank] = perr
+			return
+		}
+		taskCounts[rank] = int64(len(out.Tasks))
+		if rank == kill {
+			e.taps[rank].Kill() // the align phase's first collective now fails
+		}
+		input := &core.Input{Part: plan.Part, Lens: lens, Tasks: out.Tasks,
+			Codec: core.RealCodec{Store: st}, Store: st}
+		cfg := core.Config{Exec: e.resident.Bind(rank, exec),
+			MinScore: j.Spec.MinScore, CacheBudget: e.cacheBudget}
+		var res *core.Result
+		switch j.Spec.Mode {
+		case "async":
+			res, perr = core.RunAsync(r, input, cfg)
+		case "steal":
+			res, perr = core.RunAsyncStealing(r, input, cfg)
+		default:
+			res, perr = core.RunBSP(r, input, cfg)
+		}
+		if bad := r.Allreduce(boolToI64(perr != nil), rt.OpSum); bad > 0 {
+			rankErrs[rank] = perr
+			return
+		}
+		g := core.GatherHits(r, res.Hits)
+		if rank == 0 {
+			gathered = g
+		}
+	})
+	if runErr != nil {
+		return nil, 0, nil, runErr
+	}
+	for rank, rerr := range rankErrs {
+		if rerr != nil {
+			return nil, 0, nil, fmt.Errorf("serve: job %s rank %d: %w", j.ID, rank, rerr)
+		}
+	}
+	for _, c := range taskCounts {
+		tasks += c
+	}
+	rows = make([]trace.JobRow, e.ranks)
+	for i := range rows {
+		diff := rt.Sub(e.metrics(i).Snapshot(), before[i])
+		rows[i] = trace.JobRow{Job: j.ID, RankMetrics: rt.TraceRow(i, &diff, nil)}
+	}
+	return gathered, tasks, rows, nil
+}
+
+func boolToI64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

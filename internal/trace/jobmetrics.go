@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// JobRow scopes one rank's metrics row to the job that produced it — the
+// export shape of a resident, multi-tenant world, where several jobs share
+// one rank pool and per-job accounting comes from snapshot/diff
+// (rt.Metrics Snapshot/Sub) rather than the global ResetMetrics. The
+// watermark columns (max_mem_bytes, peak_*) read as world-lifetime values;
+// everything else is the job's own delta.
+type JobRow struct {
+	Job string `json:"job"`
+	RankMetrics
+}
+
+// WriteJobMetricsCSV writes job-scoped rows under the stable per-rank
+// schema prefixed with a "job" column. Rows from several jobs may be
+// concatenated into one file; no imbalance footer is emitted, because rows
+// of different jobs do not reduce meaningfully together.
+func WriteJobMetricsCSV(w io.Writer, rows []JobRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"job"}, metricsHeader...)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Job,
+			strconv.Itoa(r.Rank), fsec(r.AlignSec), fsec(r.OverheadSec),
+			fsec(r.CommSec), fsec(r.SyncSec), fsec(r.ElapsedSec),
+			strconv.FormatInt(r.BytesSent, 10), strconv.FormatInt(r.BytesRecv, 10),
+			strconv.FormatInt(r.Msgs, 10), strconv.FormatInt(r.RPCsSent, 10),
+			strconv.FormatInt(r.RPCsServed, 10), strconv.FormatInt(r.Supersteps, 10),
+			strconv.FormatInt(r.MaxMem, 10), strconv.FormatInt(r.StoreBytes, 10),
+			strconv.FormatInt(r.PeakExch, 10), strconv.FormatInt(r.PeakRPC, 10),
+			strconv.FormatInt(r.OOPGets, 10), strconv.Itoa(r.RPCPeak),
+			strconv.FormatInt(r.Events, 10), strconv.FormatInt(r.Dropped, 10),
+			strconv.FormatInt(r.CacheHits, 10), strconv.FormatInt(r.CacheMisses, 10),
+			strconv.FormatInt(r.CacheEvicts, 10), strconv.FormatInt(r.CachePinned, 10),
+			strconv.FormatInt(r.IntraBytes, 10), strconv.FormatInt(r.InterBytes, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJobMetricsJSON writes {"jobs": [...]} with stable field order.
+func WriteJobMetricsJSON(w io.Writer, rows []JobRow) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Jobs []JobRow `json:"jobs"`
+	}{rows}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

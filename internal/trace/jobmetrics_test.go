@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+)
+
+func jobRows() []JobRow {
+	return []JobRow{
+		{Job: "job-1", RankMetrics: RankMetrics{Rank: 0, Msgs: 10, BytesSent: 100, Supersteps: 2}},
+		{Job: "job-1", RankMetrics: RankMetrics{Rank: 1, Msgs: 12, BytesSent: 120, Supersteps: 2}},
+		{Job: "job-2", RankMetrics: RankMetrics{Rank: 0, Msgs: 4, BytesSent: 40, Supersteps: 1}},
+		{Job: "job-2", RankMetrics: RankMetrics{Rank: 1, Msgs: 5, BytesSent: 50, Supersteps: 1}},
+	}
+}
+
+// TestJobMetricsCSVShape: a "job" column prefixes the stable per-rank
+// schema, rows of several jobs concatenate into one file, and no
+// imbalance footer is emitted (rows of different jobs do not reduce
+// together).
+func TestJobMetricsCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJobMetricsCSV(&buf, jobRows()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("%d records, want header + 4 rows", len(recs))
+	}
+	if recs[0][0] != "job" || recs[0][1] != "rank" {
+		t.Errorf("header starts %q,%q; want job,rank", recs[0][0], recs[0][1])
+	}
+	if len(recs[0]) != len(metricsHeader)+1 {
+		t.Errorf("header width %d, want %d", len(recs[0]), len(metricsHeader)+1)
+	}
+	if recs[1][0] != "job-1" || recs[3][0] != "job-2" {
+		t.Errorf("job column: %q, %q", recs[1][0], recs[3][0])
+	}
+	for _, rec := range recs[1:] {
+		if rec[0] == "imbalance" {
+			t.Error("imbalance footer emitted for job-scoped rows")
+		}
+	}
+}
+
+func TestJobMetricsJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJobMetricsJSON(&buf, jobRows()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Jobs []JobRow `json:"jobs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Jobs) != 4 {
+		t.Fatalf("%d rows, want 4", len(doc.Jobs))
+	}
+	if doc.Jobs[0].Job != "job-1" || doc.Jobs[0].Msgs != 10 || doc.Jobs[2].Job != "job-2" {
+		t.Errorf("round trip mangled rows: %+v", doc.Jobs)
+	}
+}
