@@ -13,6 +13,10 @@
 #                dibella run must byte-match the single-process output,
 #                and kill -9 of one rank must fail the job promptly,
 #                naming the lost rank
+#   make assemble-smoke  end-to-end assembly check: error-free synthetic
+#                reads must assemble into one contig spanning the genome,
+#                byte-identical (edges and contigs) between the serial run
+#                and a race-built 4-process TCP run
 #   make serve-smoke  resident-service check under the race detector: a
 #                race-built dibserve takes two concurrent jobs, one of
 #                which chaos-kills a worker rank mid-run; the victim job
@@ -31,7 +35,7 @@ GO      ?= go
 FUZZT   ?= 10s
 BENCHN  ?= 5
 
-.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke serve-smoke bench bench-smoke bench-comm ci
+.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke serve-smoke assemble-smoke bench bench-smoke bench-comm ci
 
 check: vet fmtcheck build test
 
@@ -63,6 +67,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzFrame -fuzztime $(FUZZT) ./internal/transport/
 	$(GO) test -fuzz=FuzzCacheEvict -fuzztime $(FUZZT) ./internal/core/
 	$(GO) test -fuzz=FuzzJobRequest -fuzztime $(FUZZT) ./internal/serve/
+	$(GO) test -fuzz=FuzzOverlapClassify -fuzztime $(FUZZT) ./internal/graph/
 
 golden:
 	$(GO) test -run TestGolden ./internal/trace/ -update
@@ -152,6 +157,31 @@ serve-smoke:
 	grep -q "$$hid" $$tmp/jobs.csv || { echo "serve-smoke: drained server left no job metrics"; exit 1; }; \
 	echo "serve-smoke drain: OK (clean exit, job metrics flushed)"
 
+# End-to-end assembly smoke: error-free reads sampled from a synthetic
+# genome must assemble back into one contig spanning it, and both the
+# reduced string graph's edge TSV and the contig FASTA must be
+# byte-identical between the 1-process serial run and a race-built
+# 4-process TCP run.
+assemble-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o $$tmp/dibella ./cmd/dibella && \
+	$(GO) build -o $$tmp/genreads ./cmd/genreads && \
+	$$tmp/genreads -genome 30000 -coverage 8 -meanlen 600 -sigma 0.1 -error 0 -both -seed 5 \
+		-out $$tmp/reads.fa -layout $$tmp/layout.tsv && \
+	[ "$$(tail -n +2 $$tmp/layout.tsv | wc -l)" = "$$(grep -c '^>' $$tmp/reads.fa)" ] || \
+		{ echo "assemble-smoke: layout rows != reads"; exit 1; }; \
+	args="-in $$tmp/reads.fa -k 15 -lofreq 2 -hifreq 60 -minscore 100 -x 20"; \
+	for st in reduce contigs; do \
+		$$tmp/dibella $$args -procs 1 -stages $$st -out $$tmp/$$st.serial 2>/dev/null && \
+		$$tmp/dibella $$args -dist -procs 4 -stages $$st -out $$tmp/$$st.dist 2>/dev/null && \
+		cmp $$tmp/$$st.serial $$tmp/$$st.dist && \
+		echo "assemble-smoke $$st: OK (serial == 4-rank dist)" || exit 1; \
+	done; \
+	[ "$$(grep -c '^>' $$tmp/contigs.serial)" = 1 ] || { echo "assemble-smoke: expected one contig"; exit 1; }; \
+	len=$$(sed -n '1s/.*len=\([0-9]*\).*/\1/p' $$tmp/contigs.serial); \
+	[ "$$len" -ge 29000 ] || { echo "assemble-smoke: contig $$len bp does not span the 30000 bp genome"; exit 1; }; \
+	echo "assemble-smoke: OK (one contig, $$len of 30000 bp)"
+
 # Full kernel benchmark run. bench/bench_baseline.txt is the committed
 # output of the same benchmarks from before the workspace kernel landed
 # (allocating reference path); BENCH_5.json records median/min/max per
@@ -184,4 +214,4 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench SeedExtend -benchtime 50x -benchmem \
 		./internal/align/ | $(GO) run ./cmd/benchfmt
 
-ci: check race fuzz chaos bench-smoke dist-smoke serve-smoke
+ci: check race fuzz chaos bench-smoke dist-smoke serve-smoke assemble-smoke

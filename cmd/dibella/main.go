@@ -17,12 +17,15 @@
 // (rank 0's host listens on -addr).
 //
 // Output: one line per saved alignment — readA readB score — plus a
-// per-rank runtime breakdown on stderr.
+// per-rank runtime breakdown on stderr. -stages runs the pipeline past
+// overlap detection into assembly (string graph, transitive reduction,
+// contigs) and writes that stage's artifact instead; see stages.go.
 //
 // Usage:
 //
 //	dibella -in reads.fa -mode async -procs 8 -k 17 -x 15 -minscore 100 \
 //	        [-coverage 30 -error 0.15 | -lofreq 2 -hifreq 40] [-mem BYTES] \
+//	        [-stages graph|reduce|contigs [-stage-metrics FILE]] \
 //	        [-dist [-rank R -peers P -addr HOST:PORT]]
 package main
 
@@ -93,6 +96,11 @@ func main() {
 		cacheB   = flag.Int64("cache-budget", 0, "per-rank remote-read cache budget in bytes (0 disables, negative = unbounded)")
 		nodeSize = flag.Int("node-size", 0, "-dist: group this many consecutive ranks per node and aggregate collectives hierarchically (0/1 = flat)")
 		outPath  = flag.String("out", "", "output path (default stdout)")
+		stages   = flag.String("stages", "overlap", "run the pipeline through this stage: overlap (hit TSV), graph (string-graph edge TSV), reduce (transitively reduced edge TSV) or contigs (FASTA); each includes all earlier stages")
+		slack    = flag.Int("slack", 50, "assembly stages: tolerated unaligned overhang at read ends when classifying overlaps")
+		minOv    = flag.Int("minoverlap", 100, "assembly stages: discard alignments spanning fewer bases on either read")
+		fuzz     = flag.Int("fuzz", 0, "assembly stages: transitive-reduction length tolerance in bases")
+		stageMet = flag.String("stage-metrics", "", "write per-stage per-rank metrics (CSV, or JSON if path ends in .json); needs -stages beyond overlap")
 		paf      = flag.Bool("paf", false, "emit PAF records (with cg:Z cigar tags) instead of TSV")
 		distrib  = flag.Bool("distributed", false, "run k-mer analysis and candidate discovery as a distributed SPMD stage (DiBELLA stages 1-2) instead of serially")
 		steal    = flag.Bool("steal", false, "async mode with dynamic load balancing (work stealing)")
@@ -117,6 +125,18 @@ func main() {
 	}
 	if *mode != "bsp" && *mode != "async" {
 		fmt.Fprintf(os.Stderr, "dibella: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if stageChainIndex(*stages) < 0 {
+		fmt.Fprintf(os.Stderr, "dibella: unknown -stages %q (want overlap, graph, reduce or contigs)\n", *stages)
+		os.Exit(2)
+	}
+	if *stages != "overlap" && *paf {
+		fmt.Fprintln(os.Stderr, "dibella: -paf emits overlap records and needs -stages overlap")
+		os.Exit(2)
+	}
+	if *stages == "overlap" && *stageMet != "" {
+		fmt.Fprintln(os.Stderr, "dibella: -stage-metrics needs -stages graph, reduce or contigs")
 		os.Exit(2)
 	}
 
@@ -324,6 +344,38 @@ func main() {
 		lo, hi := pt.Range(r.Rank())
 		return seq.ScopeCounting(reads, lo, hi, lens, &r.Metrics().OOPGets)
 	}
+	// Names and lengths come from the replicated metadata in -dist mode;
+	// rank 0 does not hold the other ranks' bases.
+	nameOf := func(id seq.ReadID) string {
+		if isDist {
+			return ix.Names[id]
+		}
+		return reads.Get(id).Name
+	}
+
+	// -stages beyond overlap: run the whole assembly chain as one staged
+	// collective region and write its artifact instead of the hit TSV.
+	if *stages != "overlap" {
+		modeStr := *mode
+		if modeStr == "async" && *steal {
+			modeStr = "steal"
+		}
+		if err := runStagedAssembly(&stagedConfig{
+			world: world, lens: lens, storeFor: storeFor, nameOf: nameOf,
+			logf: logf, procs: *procs, isDist: isDist, myRank: myRank,
+			stages: *stages, mode: modeStr, k: *k, lo: *loFreq, hi: *hiFreq,
+			coverage: *coverage, errRate: *errRate, x: *x, minScore: *minScore,
+			packed: *packed, cacheB: *cacheB, slack: *slack, minOv: *minOv,
+			fuzz: *fuzz, outPath: *outPath, stageMetrics: *stageMet,
+		}); err != nil {
+			fail(err)
+		}
+		if distRank != nil {
+			distRank.Close()
+		}
+		flushArtifacts()
+		return
+	}
 
 	// Stage 1-2: k-mer analysis and candidate discovery — serial reference
 	// path or the distributed SPMD pipeline. -dist always takes the SPMD
@@ -452,6 +504,14 @@ func main() {
 	// Rank 0 (or the sole process) writes the results and the report;
 	// -dist workers skip straight to their per-rank trace/metrics export.
 	if !isDist || myRank == 0 {
+		if !*paf {
+			// Canonical TSV: symmetric duplicates collapse and every record
+			// reads A < B, so the emitted file is a deterministic function of
+			// the hit set regardless of driver, rank count or task order.
+			// PAF keeps the raw per-task records — its seed replay needs the
+			// original orientation.
+			hits = core.CanonicalizeHits(hits, lens)
+		}
 		w := bufio.NewWriter(os.Stdout)
 		if *outPath != "" {
 			f, err := os.Create(*outPath)
@@ -465,14 +525,6 @@ func main() {
 		taskOf := make(map[uint64]overlap.Task, len(tasks))
 		for _, t := range tasks {
 			taskOf[t.Key()] = t
-		}
-		// Names and lengths come from the replicated metadata in -dist mode;
-		// rank 0 does not hold the other ranks' bases.
-		nameOf := func(id seq.ReadID) string {
-			if isDist {
-				return ix.Names[id]
-			}
-			return reads.Get(id).Name
 		}
 		for _, h := range hits {
 			res := align.Result{Score: int(h.Score),

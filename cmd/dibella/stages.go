@@ -1,0 +1,272 @@
+// The -stages flag extends dibella past overlap detection into the
+// assembly chain: "overlap" is the historical pipeline, and each further
+// name runs every stage up to and including itself —
+//
+//	overlap  discover + align                 (hit TSV, the default)
+//	graph    + string-graph construction      (edge TSV)
+//	reduce   + transitive reduction           (edge TSV of the reduced graph)
+//	contigs  + contig generation              (FASTA)
+//
+// The whole chain executes as one collective region under
+// pipeline.RunStages on every backend dibella has (-procs goroutines or
+// -dist processes), with per-stage metric deltas exported through
+// -stage-metrics.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gnbody/internal/graph"
+	"gnbody/internal/pipeline"
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+	"gnbody/internal/stats"
+	"gnbody/internal/trace"
+)
+
+// stageChain is the -stages vocabulary in chain order.
+var stageChain = []string{"overlap", "graph", "reduce", "contigs"}
+
+// stageChainIndex returns how many assembly stages follow the align stage
+// for a -stages value (0 for "overlap"), or -1 for an unknown name.
+func stageChainIndex(name string) int {
+	for i, s := range stageChain {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// stagedConfig carries the slice of main's state the staged path needs.
+// The plan re-derives the same size-balanced partition main's stores were
+// built over (partition.BySize is a pure function of lens and ranks).
+type stagedConfig struct {
+	world    backendWorld
+	lens     []int32
+	storeFor func(rt.Runtime) seq.Store
+	nameOf   func(seq.ReadID) string
+	logf     func(string, ...any)
+
+	procs  int
+	isDist bool
+	myRank int
+
+	stages   string // -stages value, validated ("graph", "reduce" or "contigs")
+	mode     string // "bsp", "async" or "steal"
+	k        int
+	lo, hi   int // explicit window bounds (0 = BELLA model)
+	coverage float64
+	errRate  float64
+	x        int
+	minScore int
+	packed   bool
+	cacheB   int64
+	slack    int
+	minOv    int
+	fuzz     int
+
+	outPath      string
+	stageMetrics string
+}
+
+// runStagedAssembly executes the staged pipeline and writes the final
+// stage's artifact (edge TSV or contig FASTA) plus the optional per-stage
+// metrics file. Rank 0 (or the sole process) owns the artifact; every
+// -dist worker writes its own rank-suffixed metrics slice.
+func runStagedAssembly(c *stagedConfig) error {
+	plan, err := pipeline.NewPlan(c.lens, c.procs, pipeline.Spec{
+		K: c.k, Lo: c.lo, Hi: c.hi, Coverage: c.coverage, ErrRate: c.errRate,
+	})
+	if err != nil {
+		return err
+	}
+	// The reduce stage's neighbour fetches follow the align phase's
+	// coordination strategy; stealing is an align-only concept.
+	reduceMode := "bsp"
+	if c.mode != "bsp" {
+		reduceMode = "async"
+	}
+	n := stageChainIndex(c.stages)
+	plan.Stages = []pipeline.Stage{
+		pipeline.DiscoverStage{},
+		pipeline.AlignStage{Mode: c.mode, MinScore: c.minScore, X: c.x,
+			Packed: c.packed, CacheBudget: c.cacheB},
+	}
+	plan.Stages = append(plan.Stages, graph.AssemblyStages(c.slack, c.minOv, c.fuzz, reduceMode, nil)[:n]...)
+
+	t0 := time.Now()
+	runs := make([]*pipeline.StageRun, c.procs)
+	errs := make([]error, c.procs)
+	var (
+		edges     []graph.Edge
+		contained []bool
+		contigs   []graph.Contig
+		gatherErr error
+	)
+	runErr := c.world.Run(func(r rt.Runtime) {
+		rk := r.Rank()
+		run, perr := plan.RunStages(r, c.storeFor(r), nil)
+		runs[rk], errs[rk] = run, perr
+		if perr != nil {
+			return // the abort agreement failed every rank; no one gathers
+		}
+		switch out := run.Out.(type) {
+		case *graph.Graph:
+			es, gerr := graph.GatherEdges(r, out.EdgeList())
+			if rk == 0 {
+				edges, contained, gatherErr = es, out.Contained, gerr
+			}
+		case []graph.Contig:
+			cs, gerr := graph.GatherContigs(r, out)
+			if rk == 0 {
+				contigs, gatherErr = cs, gerr
+			}
+		}
+	})
+	if runErr != nil {
+		return runErr
+	}
+	// Prefer the instigating rank's root cause over peers' abort reports.
+	var abort error
+	for rk, rerr := range errs {
+		var se *pipeline.StageError
+		if errors.As(rerr, &se) && se.Err != nil {
+			return fmt.Errorf("rank %d: %w", rk, rerr)
+		}
+		if rerr != nil && abort == nil {
+			abort = fmt.Errorf("rank %d: %w", rk, rerr)
+		}
+	}
+	if abort != nil {
+		return abort
+	}
+	if gatherErr != nil {
+		return gatherErr
+	}
+	wall := time.Since(t0)
+
+	if err := writeStageMetrics(c, runs); err != nil {
+		return err
+	}
+
+	if c.isDist && c.myRank != 0 {
+		return nil
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if c.outPath != "" {
+		f, err := os.Create(c.outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	switch c.stages {
+	case "graph", "reduce":
+		if err := graph.WriteEdgeTSV(w, edges, contained, c.nameOf); err != nil {
+			return err
+		}
+		c.logf("dibella: %s stage: %d edges, %d contained reads\n",
+			c.stages, len(edges), countTrue(contained))
+	case "contigs":
+		if err := graph.WriteContigFASTA(w, contigs); err != nil {
+			return err
+		}
+		var bases int
+		for _, ct := range contigs {
+			bases += len(ct.Seq)
+		}
+		c.logf("dibella: %d contigs, %d bases\n", len(contigs), bases)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	renderStageTable(c, runs, wall)
+	return nil
+}
+
+// writeStageMetrics exports the stage-tagged per-rank metric rows: one file
+// with every rank's rows in-process, a rank-suffixed file with this rank's
+// rows per -dist worker. Rows are stage-major so one stage's ranks read as
+// a block.
+func writeStageMetrics(c *stagedConfig, runs []*pipeline.StageRun) error {
+	if c.stageMetrics == "" {
+		return nil
+	}
+	path := c.stageMetrics
+	var rows []trace.StageRow
+	if c.isDist {
+		path += fmt.Sprintf(".rank%d", c.myRank)
+		rows = runs[c.myRank].Rows
+	} else {
+		for si := range runs[0].Rows {
+			for rk := 0; rk < c.procs; rk++ {
+				rows = append(rows, runs[rk].Rows[si])
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(c.stageMetrics, ".json") {
+		err = trace.WriteStageMetricsJSON(f, rows)
+	} else {
+		err = trace.WriteStageMetricsCSV(f, rows)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("-stage-metrics: %w", err)
+	}
+	c.logf("dibella: stage metrics -> %s\n", path)
+	return nil
+}
+
+// renderStageTable prints the per-stage runtime breakdown to stderr: all
+// ranks in-process, this rank's slice per -dist worker.
+func renderStageTable(c *stagedConfig, runs []*pipeline.StageRun, wall time.Duration) {
+	table := &stats.Table{
+		Title: fmt.Sprintf("dibella: %s through %s, %d ranks, %s",
+			c.mode, c.stages, c.procs, wall.Round(time.Millisecond)),
+		Headers: []string{"stage", "rank", "align", "overhead", "comm", "sync", "sent", "steps"},
+	}
+	addRow := func(row trace.StageRow) {
+		table.AddRow(row.Stage, fmt.Sprint(row.Rank),
+			stats.FmtDur(durSec(row.AlignSec)), stats.FmtDur(durSec(row.OverheadSec)),
+			stats.FmtDur(durSec(row.CommSec)), stats.FmtDur(durSec(row.SyncSec)),
+			stats.FmtBytes(row.BytesSent), fmt.Sprint(row.Supersteps))
+	}
+	if c.isDist {
+		table.Title += fmt.Sprintf(" (rank %d of %d processes)", c.myRank, c.procs)
+		for _, row := range runs[c.myRank].Rows {
+			addRow(row)
+		}
+	} else {
+		for si := range runs[0].Rows {
+			for rk := 0; rk < c.procs; rk++ {
+				addRow(runs[rk].Rows[si])
+			}
+		}
+	}
+	table.Render(os.Stderr)
+}
+
+func durSec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -5,13 +5,18 @@
 // genomic interval (read<i>_<start>_<end><strand>) so downstream tools can
 // validate overlap sensitivity against ground truth.
 //
+// -layout additionally writes the ground-truth layout as TSV — one
+// "read\tstart\tend\tstrand" line per read, in read-id order — the input
+// assembly validators diff contigs and string graphs against.
+//
 // Usage:
 //
 //	genreads -genome 4600000 -coverage 30 -meanlen 8000 -error 0.15 \
-//	         -sigma 0.35 -both -seed 1 -out reads.fa
+//	         -sigma 0.35 -both -seed 1 -out reads.fa -layout layout.tsv
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +37,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "PRNG seed")
 		repeats   = flag.Int("repeats", 0, "number of 300bp repeat copies to inject")
 		out       = flag.String("out", "", "output FASTA path (default stdout)")
+		layout    = flag.String("layout", "", "also write the ground-truth layout TSV (read, genome start/end, strand) to this path")
 	)
 	flag.Parse()
 
@@ -52,7 +58,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "genreads: %v\n", err)
 		os.Exit(1)
 	}
-	reads, _ := smp.Sample()
+	reads, truth := smp.Sample()
+
+	if *layout != "" {
+		if err := writeLayout(*layout, reads, truth); err != nil {
+			fmt.Fprintf(os.Stderr, "genreads: -layout: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -70,4 +83,36 @@ func main() {
 	}
 	st := reads.ComputeStats()
 	fmt.Fprintf(os.Stderr, "genreads: %s\n", st)
+}
+
+// writeLayout emits the ground-truth layout TSV: where on the genome each
+// read was sampled and on which strand. [start, end) is the genomic
+// interval before sequencing errors; a '-' strand read is the reverse
+// complement of that interval.
+func writeLayout(path string, reads *seq.ReadSet, truth []genome.SampledRead) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintln(w, "read\tstart\tend\tstrand"); err != nil {
+		f.Close()
+		return err
+	}
+	for i, tr := range truth {
+		strand := "+"
+		if tr.RC {
+			strand = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\t%s\n",
+			reads.Get(seq.ReadID(i)).Name, tr.Start, tr.End, strand); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|dist|serve|all
+//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|dist|serve|assembly|all
 //	        [-scale30 N] [-scale100 N] [-scaleccs N]   workload scale divisors
 //	        [-rpn N]                                   simulated ranks per node
 //	        [-nodes 8,16,32]                           node counts for sweeps
@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, dist, serve, ablations, all)")
+		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, dist, serve, assembly, ablations, all)")
 		scale30    = flag.Int("scale30", 0, "E. coli 30x scale divisor (default 8)")
 		scale100   = flag.Int("scale100", 0, "E. coli 100x scale divisor (default 64)")
 		scaleccs   = flag.Int("scaleccs", 0, "Human CCS scale divisor (default 256)")
@@ -58,6 +58,8 @@ func main() {
 		disttrans  = flag.String("disttransport", "", "dist experiment fabric: loopback, tcp or both (default both)")
 		servescale = flag.Int("servescale", 0, "serve experiment per-job scale divisor (default 600)")
 		servejobs  = flag.Int("servejobs", 0, "serve experiment jobs per phase (default 4)")
+		stagesFlag = flag.String("stages", "", "assembly experiment chain prefix: overlap, graph, reduce or contigs (default contigs)")
+		asmGenome  = flag.Int("asm-genome", 0, "assembly experiment genome length in bp (default 30000)")
 		csvDir     = flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 		jsonDir    = flag.String("json", "", "also write each experiment's table as JSON into this directory")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the last simulated run")
@@ -147,6 +149,12 @@ func main() {
 		{"serve", func() (*stats.Table, []*expt.Row, error) {
 			t, _, err := expt.Serve(expt.ServeParams{Scale: *servescale,
 				Jobs: *servejobs, Seed: *seed})
+			return t, nil, err
+		}},
+		{"assembly", func() (*stats.Table, []*expt.Row, error) {
+			t, err := expt.Assembly(expt.AssemblyParams{
+				GenomeLen: *asmGenome, Stages: *stagesFlag,
+				Nodes: p.Nodes, RPN: *rpn, Seed: *seed})
 			return t, nil, err
 		}},
 		{"ablations", func() (*stats.Table, []*expt.Row, error) {

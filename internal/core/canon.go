@@ -1,0 +1,71 @@
+package core
+
+import "sort"
+
+// Mirror returns the hit seen from the other read's perspective: A and B
+// swap, and the aligned extents swap with them. For an opposite-strand hit
+// the recorded B coordinates live on revcomp(B), so the swapped form
+// reverse-complements both sides — new-A extents are the old B extents
+// mapped back to B's forward strand, and new-B extents are the old A
+// extents mapped onto revcomp(A). lenA and lenB are the read lengths of
+// the original h.A and h.B. Mirror is an involution: h.Mirror().Mirror()
+// (with the lengths swapped accordingly) reproduces h.
+func (h Hit) Mirror(lenA, lenB int32) Hit {
+	m := Hit{A: h.B, B: h.A, Score: h.Score, RC: h.RC}
+	if !h.RC {
+		m.AStart, m.AEnd = h.BStart, h.BEnd
+		m.BStart, m.BEnd = h.AStart, h.AEnd
+		return m
+	}
+	m.AStart, m.AEnd = lenB-h.BEnd, lenB-h.BStart
+	m.BStart, m.BEnd = lenA-h.AEnd, lenA-h.AStart
+	return m
+}
+
+// CanonicalizeHits rewrites hits into the canonical orientation (A < B,
+// mirroring the extents of any swapped record), sorts them with a stable
+// total order — (A, B, Score, RC, AStart, BStart) — and collapses
+// symmetric duplicates: two records describing the same unordered pair
+// keep the higher-scoring one (ties keep the first in sorted order). The
+// result is deterministic for any input permutation or orientation mix,
+// which is what makes downstream TSV emission and string-graph ingestion
+// independent of which driver (or which rank) produced each hit. lens is
+// the replicated read-length vector.
+func CanonicalizeHits(hs []Hit, lens []int32) []Hit {
+	out := make([]Hit, 0, len(hs))
+	for _, h := range hs {
+		if h.A > h.B {
+			h = h.Mirror(lens[h.A], lens[h.B])
+		}
+		out = append(out, h)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score // best first, so dedup keeps it
+		}
+		if a.RC != b.RC {
+			return !a.RC
+		}
+		if a.AStart != b.AStart {
+			return a.AStart < b.AStart
+		}
+		return a.BStart < b.BStart
+	})
+	dedup := out[:0]
+	for _, h := range out {
+		if n := len(dedup); n > 0 && dedup[n-1].A == h.A && dedup[n-1].B == h.B {
+			continue // same unordered pair: the sort put the keeper first
+		}
+		dedup = append(dedup, h)
+	}
+	// Restore the package-wide (A, B, Score) presentation order.
+	SortHits(dedup)
+	return dedup
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"testing"
+
+	"gnbody/internal/core"
+)
+
+// FuzzOverlapClassify throws arbitrary (including malformed) hit extents
+// at ClassifyHit and checks its structural invariants: no panics, dovetail
+// edges strictly positive and twin-paired, and mirror symmetry — the
+// mirrored (B,A) record must classify to the mirrored verdict with exactly
+// the same edge pair, so graph construction cannot depend on which side of
+// the symmetric hit it saw.
+func FuzzOverlapClassify(f *testing.F) {
+	f.Add(int32(400), int32(380), int32(150), int32(400), int32(0), int32(250), false, 10, 100)
+	f.Add(int32(400), int32(380), int32(0), int32(380), int32(10), int32(380), true, 25, 100)
+	f.Add(int32(300), int32(500), int32(0), int32(300), int32(100), int32(400), false, 50, 100)
+	f.Add(int32(200), int32(200), int32(-5), int32(300), int32(7), int32(90), true, 0, 0)
+	f.Fuzz(func(t *testing.T, lenA, lenB, as, ae, bs, be int32, rc bool, slack, minov int) {
+		if lenA <= 0 || lenB <= 0 || lenA > 1<<20 || lenB > 1<<20 {
+			t.Skip()
+		}
+		if slack < 0 || slack > 1<<16 || minov < 0 || minov > 1<<20 {
+			t.Skip()
+		}
+		h := core.Hit{A: 0, B: 1, Score: 100, AStart: as, AEnd: ae, BStart: bs, BEnd: be, RC: rc}
+		v, pair := ClassifyHit(h, lenA, lenB, slack, minov)
+		if v == VerdictDovetail {
+			for _, e := range pair {
+				if e.Len <= 0 {
+					t.Fatalf("dovetail edge %v→%v has non-positive len %d", e.From, e.To, e.Len)
+				}
+				if e.From.Read() == e.To.Read() {
+					t.Fatalf("self-loop edge %v→%v", e.From, e.To)
+				}
+				if r := e.From.Read(); r != 0 && r != 1 {
+					t.Fatalf("edge endpoint %v names read %d", e.From, r)
+				}
+			}
+			if pair[1].From != pair[0].To.Twin() || pair[1].To != pair[0].From.Twin() {
+				t.Fatalf("edges %v and %v are not twins", pair[0], pair[1])
+			}
+		} else if pair != [2]Edge{} {
+			t.Fatalf("verdict %v returned edges %v", v, pair)
+		}
+
+		// Mirror symmetry. Hit.Mirror keeps the physical read identities
+		// (only the A/B roles swap), so the edge pair must come out
+		// identical as a set.
+		m := h.Mirror(lenA, lenB)
+		mv, mpair := ClassifyHit(m, lenB, lenA, slack, minov)
+		wantV := v
+		switch v {
+		case VerdictContainA:
+			wantV = VerdictContainB
+		case VerdictContainB:
+			wantV = VerdictContainA
+		}
+		if mv != wantV {
+			t.Fatalf("hit %+v classifies %v but its mirror %+v classifies %v (want %v)", h, v, m, mv, wantV)
+		}
+		if v == VerdictDovetail {
+			got := map[Edge]bool{mpair[0]: true, mpair[1]: true}
+			for _, e := range pair {
+				if !got[e] {
+					t.Fatalf("mirror lost edge %v→%v len %d (mirror pair %v)", e.From, e.To, e.Len, mpair)
+				}
+			}
+		}
+	})
+}

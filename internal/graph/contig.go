@@ -1,0 +1,487 @@
+// Contig generation: walk the unbranched paths of the reduced string
+// graph and emit their sequences. A vertex v is *mergeable* — absorbed
+// into the middle of a contig — iff it has exactly one predecessor and
+// that predecessor has exactly one successor; every non-mergeable vertex
+// of a live read starts a walk, which extends while the next vertex is
+// mergeable. Each contig therefore materialises twice, once per strand;
+// the walk with the lexicographically smaller vertex path is the one that
+// emits. Perfect cycles (every vertex mergeable) get a second pass that
+// elects the minimum vertex of the cycle as the emitter.
+//
+// Distribution: out-degrees are local (a rank owns its reads' adjacency)
+// and in-degrees are the twin's out-degree, also local — only the
+// predecessor's out-degree crosses ranks, gathered in one alltoallv.
+// Walks then follow edges wherever they lead, fetching remote vertex
+// records and remote base suffixes through the runtime's AsyncCall RPC,
+// exactly like the overlap phase fetches remote reads.
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+)
+
+// Contig is one assembled sequence: the oriented read it starts with, how
+// many reads the walk merged, and the bases.
+type Contig struct {
+	Start    Vertex
+	Reads    int32
+	Circular bool
+	Seq      seq.Seq
+}
+
+// ContigConfig parameterises contig generation.
+type ContigConfig struct {
+	// MinReads discards contigs assembled from fewer reads (0 keeps all,
+	// including unassembled singleton reads).
+	MinReads int
+	// Model prices the stage on the simulator backend; nil elsewhere.
+	Model *CostModel
+}
+
+// vrec is the walker's view of one vertex. predOut is the out-degree of
+// the sole predecessor, valid only when indeg == 1; succ/succLen are the
+// single out-edge, valid only when outdeg == 1.
+type vrec struct {
+	outdeg, indeg, predOut int32
+	succ                   Vertex
+	succLen                int32
+}
+
+const (
+	reqVertex = 'v' // + vertex(8)            → outdeg(4) indeg(4) predout(4) succ(8) succlen(4)
+	reqBases  = 'b' // + vertex(8) + take(4)  → take bases, oriented suffix
+	vrecWire  = 24
+)
+
+// contiger holds one rank's state for the walk phase.
+type contiger struct {
+	r     rt.Runtime
+	g     *Graph
+	store seq.Store
+	// predOut[v] for local v with indeg(v) == 1: the predecessor's
+	// out-degree (from the exchange round).
+	predOut map[Vertex]int32
+}
+
+func (c *contiger) localRec(v Vertex) vrec {
+	rec := vrec{
+		outdeg: int32(len(c.g.Adj[v])),
+		indeg:  int32(len(c.g.Adj[v.Twin()])),
+	}
+	if rec.outdeg == 1 {
+		e := c.g.Adj[v][0]
+		rec.succ, rec.succLen = e.To, e.Len
+	}
+	if rec.indeg == 1 {
+		rec.predOut = c.predOut[v]
+	}
+	return rec
+}
+
+func encodeVrec(rec vrec) []byte {
+	buf := make([]byte, vrecWire)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(rec.outdeg))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(rec.indeg))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(rec.predOut))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(rec.succ))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(rec.succLen))
+	return buf
+}
+
+func decodeVrec(buf []byte) (vrec, error) {
+	if len(buf) != vrecWire {
+		return vrec{}, fmt.Errorf("graph: vertex record of %d bytes, want %d", len(buf), vrecWire)
+	}
+	return vrec{
+		outdeg:  int32(binary.LittleEndian.Uint32(buf[0:])),
+		indeg:   int32(binary.LittleEndian.Uint32(buf[4:])),
+		predOut: int32(binary.LittleEndian.Uint32(buf[8:])),
+		succ:    Vertex(binary.LittleEndian.Uint64(buf[12:])),
+		succLen: int32(binary.LittleEndian.Uint32(buf[20:])),
+	}, nil
+}
+
+// orientedSuffix returns the last take bases of the vertex's oriented
+// sequence: the forward read's tail, or for a reverse vertex the reverse
+// complement of the read's head.
+func orientedSuffix(rd seq.Seq, rev bool, take int32) seq.Seq {
+	if int(take) > len(rd) {
+		take = int32(len(rd))
+	}
+	if !rev {
+		out := make(seq.Seq, take)
+		copy(out, rd[len(rd)-int(take):])
+		return out
+	}
+	return rd[:take].ReverseComplement()
+}
+
+// serve answers walk-phase RPCs for this rank's vertices.
+func (c *contiger) serve(req []byte) []byte {
+	if len(req) < 9 {
+		panic(fmt.Sprintf("graph: contig request of %d bytes", len(req)))
+	}
+	v := Vertex(binary.LittleEndian.Uint64(req[1:]))
+	switch req[0] {
+	case reqVertex:
+		return encodeVrec(c.localRec(v))
+	case reqBases:
+		take := int32(binary.LittleEndian.Uint32(req[9:]))
+		rd := c.store.Get(v.Read())
+		s := orientedSuffix(rd.Seq, v.Rev(), take)
+		out := make([]byte, len(s))
+		for i, b := range s {
+			out[i] = byte(b)
+		}
+		return out
+	}
+	panic(fmt.Sprintf("graph: unknown contig request tag %q", req[0]))
+}
+
+// rec resolves a vertex record, locally or over RPC.
+func (c *contiger) rec(v Vertex) vrec {
+	if c.g.Part.Owner(v.Read()) == c.r.Rank() {
+		return c.localRec(v)
+	}
+	req := make([]byte, 9)
+	req[0] = reqVertex
+	binary.LittleEndian.PutUint64(req[1:], uint64(v))
+	var out vrec
+	var err error
+	c.r.AsyncCall(c.g.Part.Owner(v.Read()), req, func(resp []byte) {
+		out, err = decodeVrec(resp)
+	})
+	c.r.Drain(0)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// suffix resolves the last take oriented bases of v's read.
+func (c *contiger) suffix(v Vertex, take int32) seq.Seq {
+	if c.g.Part.Owner(v.Read()) == c.r.Rank() {
+		return orientedSuffix(c.store.Get(v.Read()).Seq, v.Rev(), take)
+	}
+	req := make([]byte, 13)
+	req[0] = reqBases
+	binary.LittleEndian.PutUint64(req[1:], uint64(v))
+	binary.LittleEndian.PutUint32(req[9:], uint32(take))
+	var out seq.Seq
+	c.r.AsyncCall(c.g.Part.Owner(v.Read()), req, func(resp []byte) {
+		out = make(seq.Seq, len(resp))
+		for i, b := range resp {
+			out[i] = seq.Base(b)
+		}
+	})
+	c.r.Drain(0)
+	return out
+}
+
+// mergeable: v continues its predecessor's contig rather than starting
+// its own.
+func mergeable(rec vrec) bool { return rec.indeg == 1 && rec.predOut == 1 }
+
+// pathKey compares a walk against its twin walk: the contig is emitted by
+// whichever strand reads lexicographically smaller as a vertex sequence.
+// The twin of path v0..vk is twin(vk)..twin(v0).
+func pathLessOrEqualTwin(path []Vertex) bool {
+	n := len(path)
+	for i := 0; i < n; i++ {
+		t := path[n-1-i].Twin()
+		if path[i] != t {
+			return path[i] < t
+		}
+	}
+	return true // self-twin (palindromic): single emitter anyway
+}
+
+// Contigs walks this rank's share of the reduced graph. Collective.
+// Contig sequences are assembled on the rank owning the starting vertex;
+// GatherContigs concatenates them on rank 0 in canonical order.
+func Contigs(r rt.Runtime, g *Graph, store seq.Store, cfg ContigConfig) ([]Contig, error) {
+	p, me := r.Size(), r.Rank()
+	n := len(g.Lens)
+	maxSteps := 2*n + 2 // any simple oriented path is shorter
+
+	c := &contiger{r: r, g: g, store: store, predOut: make(map[Vertex]int32)}
+
+	// Exchange round: every edge (w→x) tells x's owner w's out-degree, so
+	// owners know predOut for their indeg-1 vertices.
+	send := make([][]byte, p)
+	r.Timed(rt.CatOverhead, func() {
+		for _, es := range g.Adj {
+			od := int32(len(es))
+			for _, e := range es {
+				dst := g.Part.Owner(e.To.Read())
+				var rec [12]byte
+				binary.LittleEndian.PutUint64(rec[0:], uint64(e.To))
+				binary.LittleEndian.PutUint32(rec[8:], uint32(od))
+				send[dst] = append(send[dst], rec[:]...)
+			}
+		}
+	})
+	recv := r.Alltoallv(send)
+	var exErr error
+	r.Timed(rt.CatOverhead, func() {
+		for src := 0; src < p; src++ {
+			buf := recv[src]
+			if len(buf)%12 != 0 {
+				exErr = fmt.Errorf("graph: pred-degree payload from rank %d is %d bytes", src, len(buf))
+				return
+			}
+			for off := 0; off < len(buf); off += 12 {
+				v := Vertex(binary.LittleEndian.Uint64(buf[off:]))
+				od := int32(binary.LittleEndian.Uint32(buf[off+8:]))
+				// Only consulted when indeg(v) == 1 (unique record); keep
+				// the max so duplicates cannot make the value order-dependent.
+				if cur, ok := c.predOut[v]; !ok || od > cur {
+					c.predOut[v] = od
+				}
+			}
+		}
+	})
+	if exErr != nil {
+		return nil, exErr
+	}
+
+	// Walk phase: RPC service up, then walk local starts.
+	r.Serve(c.serve)
+	r.Barrier()
+
+	var contigs []Contig
+	var walkErr error
+	lo, hi := g.Part.Range(me)
+	walk := func(v0 Vertex) {
+		rec0 := c.localRec(v0)
+		if mergeable(rec0) {
+			return // interior of some other walk
+		}
+		path := []Vertex{v0}
+		lens := []int32{} // appended bases per extension
+		cur := rec0
+		for cur.outdeg == 1 && len(path) < maxSteps {
+			w, l := cur.succ, cur.succLen
+			wrec := c.rec(w)
+			// Given cur's out-degree is 1, w merges iff its in-degree is 1.
+			if wrec.indeg != 1 {
+				break
+			}
+			path = append(path, w)
+			lens = append(lens, l)
+			cur = wrec
+		}
+		if len(path) >= maxSteps {
+			walkErr = fmt.Errorf("graph: walk from %v exceeded %d steps; graph is inconsistent", v0, maxSteps)
+			return
+		}
+		if len(path) < cfg.MinReads || !pathLessOrEqualTwin(path) {
+			return
+		}
+		contigs = append(contigs, c.emit(path, lens, false))
+	}
+	for id := lo; id < hi && walkErr == nil; id++ {
+		if g.Contained[id] {
+			continue
+		}
+		walk(V(seq.ReadID(id), false))
+		if walkErr != nil {
+			break
+		}
+		walk(V(seq.ReadID(id), true))
+	}
+
+	// Cycle pass: components where every vertex is mergeable are pure
+	// cycles that no linear walk enters. The minimum vertex of the cycle
+	// emits; walks from larger vertices abort on first sight of a smaller
+	// one, and the twin cycle is suppressed by the same ≤ rule.
+	for id := lo; id < hi && walkErr == nil; id++ {
+		if g.Contained[id] {
+			continue
+		}
+		for _, v0 := range [2]Vertex{V(seq.ReadID(id), false), V(seq.ReadID(id), true)} {
+			rec0 := c.localRec(v0)
+			if !mergeable(rec0) || rec0.outdeg != 1 {
+				continue
+			}
+			path := []Vertex{v0}
+			lens := []int32{}
+			minTwin := v0.Twin()
+			cur := rec0
+			closed := false
+			for len(path) < maxSteps {
+				w, l := cur.succ, cur.succLen
+				if w == v0 {
+					closed = true
+					break
+				}
+				if w < v0 {
+					break // a smaller cycle vertex will emit
+				}
+				wrec := c.rec(w)
+				if !mergeable(wrec) || wrec.outdeg != 1 {
+					break // not a pure cycle: the linear pass covers it
+				}
+				path = append(path, w)
+				lens = append(lens, l)
+				if t := w.Twin(); t < minTwin {
+					minTwin = t
+				}
+				cur = wrec
+			}
+			if len(path) >= maxSteps {
+				walkErr = fmt.Errorf("graph: cycle walk from %v exceeded %d steps", v0, maxSteps)
+				break
+			}
+			if !closed || v0 > minTwin {
+				continue
+			}
+			contigs = append(contigs, c.emit(path, lens, true))
+		}
+	}
+
+	r.Drain(0)
+	r.Barrier() // keep serving peers still walking
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	sort.Slice(contigs, func(i, j int) bool { return contigs[i].Start < contigs[j].Start })
+	total := 0
+	for _, ct := range contigs {
+		total += len(ct.Seq)
+	}
+	cfg.Model.charge(r, rt.CatOverhead, cfg.Model.perBase(), total)
+	return contigs, nil
+}
+
+// emit assembles the sequence of a finished walk: the full oriented first
+// read, then each extension's appended suffix.
+func (c *contiger) emit(path []Vertex, lens []int32, circular bool) Contig {
+	v0 := path[0]
+	first := orientedSeq(c.store.Get(v0.Read()).Seq, v0.Rev())
+	out := make(seq.Seq, 0, len(first)+sum32(lens))
+	out = append(out, first...)
+	for i, l := range lens {
+		out = append(out, c.suffix(path[i+1], l)...)
+	}
+	return Contig{Start: v0, Reads: int32(len(path)), Circular: circular, Seq: out}
+}
+
+func orientedSeq(s seq.Seq, rev bool) seq.Seq {
+	if !rev {
+		return s
+	}
+	return s.ReverseComplement()
+}
+
+func sum32(xs []int32) int {
+	t := 0
+	for _, x := range xs {
+		t += int(x)
+	}
+	return t
+}
+
+// contigWire encodes one contig: Start(8) Reads(4) Circular(1) SeqLen(4) + bases.
+func encodeContigs(cs []Contig) []byte {
+	var buf []byte
+	for _, ct := range cs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ct.Start))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ct.Reads))
+		if ct.Circular {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ct.Seq)))
+		for _, b := range ct.Seq {
+			buf = append(buf, byte(b))
+		}
+	}
+	return buf
+}
+
+func decodeContigs(buf []byte) ([]Contig, error) {
+	var out []Contig
+	off := 0
+	for off < len(buf) {
+		if off+17 > len(buf) {
+			return nil, fmt.Errorf("graph: truncated contig header")
+		}
+		ct := Contig{
+			Start:    Vertex(binary.LittleEndian.Uint64(buf[off:])),
+			Reads:    int32(binary.LittleEndian.Uint32(buf[off+8:])),
+			Circular: buf[off+12] == 1,
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off+13:]))
+		off += 17
+		if off+n > len(buf) {
+			return nil, fmt.Errorf("graph: truncated contig bases")
+		}
+		ct.Seq = make(seq.Seq, n)
+		for i := 0; i < n; i++ {
+			ct.Seq[i] = seq.Base(buf[off+i])
+		}
+		off += n
+		out = append(out, ct)
+	}
+	return out, nil
+}
+
+// GatherContigs collects every rank's contigs onto rank 0 in canonical
+// (Start vertex) order; other ranks return nil. Start vertices are unique
+// across ranks, so the gathered order — and any FASTA rendered from it —
+// is independent of the rank count.
+func GatherContigs(r rt.Runtime, local []Contig) ([]Contig, error) {
+	send := make([][]byte, r.Size())
+	send[0] = encodeContigs(local)
+	recv := r.Alltoallv(send)
+	if r.Rank() != 0 {
+		return nil, nil
+	}
+	var all []Contig
+	for src := 0; src < r.Size(); src++ {
+		cs, err := decodeContigs(recv[src])
+		if err != nil {
+			return nil, fmt.Errorf("graph: gather from rank %d: %w", src, err)
+		}
+		all = append(all, cs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+	return all, nil
+}
+
+// WriteContigFASTA renders gathered contigs with deterministic names:
+// contig00001 etc. in canonical order, with read count, length and
+// circularity in the description. 80-column wrapping.
+func WriteContigFASTA(w io.Writer, cs []Contig) error {
+	for i, ct := range cs {
+		circ := ""
+		if ct.Circular {
+			circ = " circular"
+		}
+		if _, err := fmt.Fprintf(w, ">contig%05d reads=%d len=%d start=%s%s\n",
+			i+1, ct.Reads, len(ct.Seq), ct.Start, circ); err != nil {
+			return err
+		}
+		s := ct.Seq.String()
+		for len(s) > 0 {
+			n := 80
+			if n > len(s) {
+				n = len(s)
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", s[:n]); err != nil {
+				return err
+			}
+			s = s[n:]
+		}
+	}
+	return nil
+}

@@ -52,6 +52,16 @@ type Plan struct {
 	K    int
 	Lo   int
 	Hi   int
+
+	// Stages is the ordered stage list RunStages executes — the pipeline
+	// is a DAG chain, not a hardwired overlap run. Callers append stages
+	// after NewPlan; a list of [DiscoverStage, AlignStage] reproduces the
+	// historical one-shot overlap pipeline exactly.
+	Stages []Stage
+
+	// OnStage, when set, runs on every rank after each successful stage
+	// and its abort agreement (chaos injection, progress logging).
+	OnStage func(r rt.Runtime, stage string, out any)
 }
 
 // NewPlan partitions the job's reads across ranks by size and resolves the

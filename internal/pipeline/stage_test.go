@@ -1,0 +1,168 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gnbody/internal/align"
+	"gnbody/internal/core"
+	"gnbody/internal/par"
+	"gnbody/internal/rt"
+	"gnbody/internal/seq"
+	"gnbody/internal/workload"
+)
+
+// TestRunStagesMatchesLegacyPath: a [discover, align] stage list must
+// reproduce the historical Plan.Run + core.RunBSP composition hit for hit,
+// and record one metrics row per stage.
+func TestRunStagesMatchesLegacyPath(t *testing.T) {
+	reads := pipelineReads(t, 3)
+	lens := workload.LensOf(reads)
+	const p = 5
+	spec := Spec{K: 15, Lo: 2, Hi: 60}
+
+	legacy, err := NewPlan(lens, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := par.NewWorld(par.Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits := make([][]core.Hit, p)
+	errs := make([]error, p)
+	if err := world.Run(func(r rt.Runtime) {
+		rk := r.Rank()
+		st := scopeRank(r, legacy.Part, reads, lens)
+		out, err := legacy.Run(r, st)
+		if err != nil {
+			errs[rk] = err
+			return
+		}
+		res, err := core.RunBSP(r, &core.Input{Part: legacy.Part, Lens: lens, Tasks: out.Tasks,
+			Codec: core.RealCodec{Store: st}, Store: st},
+			core.Config{Exec: core.RealExecutor{Scoring: align.DefaultScoring(), X: 20}, MinScore: 50})
+		if err != nil {
+			errs[rk] = err
+			return
+		}
+		wantHits[rk] = res.Hits
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var want []core.Hit
+	for rk := 0; rk < p; rk++ {
+		if errs[rk] != nil {
+			t.Fatalf("legacy rank %d: %v", rk, errs[rk])
+		}
+		want = append(want, wantHits[rk]...)
+	}
+	core.SortHits(want)
+	if len(want) == 0 {
+		t.Fatal("legacy path found no hits; workload broken")
+	}
+
+	staged, err := NewPlan(lens, p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged.Stages = []Stage{DiscoverStage{}, AlignStage{MinScore: 50, X: 20}}
+	var names [][]string
+	staged.OnStage = func(r rt.Runtime, stage string, out any) {
+		if r.Rank() == 0 {
+			names = append(names, []string{stage})
+		}
+	}
+	world2, err := par.NewWorld(par.Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHits := make([][]core.Hit, p)
+	if err := world2.Run(func(r rt.Runtime) {
+		rk := r.Rank()
+		st := scopeRank(r, staged.Part, reads, lens)
+		run, err := staged.RunStages(r, st, nil)
+		if err != nil {
+			errs[rk] = err
+			return
+		}
+		gotHits[rk] = run.Out.(*core.Result).Hits
+		if len(run.Rows) != 2 || run.Rows[0].Stage != "discover" || run.Rows[1].Stage != "align" {
+			errs[rk] = fmt.Errorf("stage rows %v, want [discover align]", run.Rows)
+			return
+		}
+		if run.Rows[0].RankMetrics.Rank != rk {
+			errs[rk] = fmt.Errorf("row tagged rank %d, want %d", run.Rows[0].RankMetrics.Rank, rk)
+		}
+		if _, ok := run.Outs[0].(*Output); !ok {
+			errs[rk] = fmt.Errorf("intermediate output is %T, want *Output", run.Outs[0])
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []core.Hit
+	for rk := 0; rk < p; rk++ {
+		if errs[rk] != nil {
+			t.Fatalf("staged rank %d: %v", rk, errs[rk])
+		}
+		got = append(got, gotHits[rk]...)
+	}
+	core.SortHits(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("staged path %d hits differ from legacy %d", len(got), len(want))
+	}
+	if len(names) != 2 {
+		t.Fatalf("OnStage fired %d times on rank 0, want 2", len(names))
+	}
+}
+
+// failStage errors on one rank only; every peer must still come out of
+// RunStages with a *StageError naming the stage.
+type failStage struct{ on int }
+
+func (failStage) Name() string { return "fail" }
+func (s failStage) Run(r rt.Runtime, _ *Plan, _ seq.Store, _ any) (any, error) {
+	if r.Rank() == s.on {
+		return nil, errors.New("injected")
+	}
+	return "ok", nil
+}
+
+func TestRunStagesAbortAgreement(t *testing.T) {
+	reads := pipelineReads(t, 4)
+	lens := workload.LensOf(reads)
+	const p = 4
+	pl, err := NewPlan(lens, p, Spec{K: 15, Lo: 2, Hi: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Stages = []Stage{failStage{on: 2}, DiscoverStage{}}
+	world, err := par.NewWorld(par.Config{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, p)
+	if err := world.Run(func(r rt.Runtime) {
+		st := scopeRank(r, pl.Part, reads, lens)
+		_, errs[r.Rank()] = pl.RunStages(r, st, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for rk := 0; rk < p; rk++ {
+		var se *StageError
+		if !errors.As(errs[rk], &se) {
+			t.Fatalf("rank %d: error %v is not a *StageError", rk, errs[rk])
+		}
+		if se.Stage != "fail" {
+			t.Errorf("rank %d: failing stage reported as %q", rk, se.Stage)
+		}
+		if rk == 2 && se.Err == nil {
+			t.Error("instigating rank lost its root cause")
+		}
+		if rk != 2 && se.Err != nil {
+			t.Errorf("innocent rank %d carries cause %v", rk, se.Err)
+		}
+	}
+}

@@ -169,12 +169,15 @@ func (e *engine) metrics(i int) *rt.Metrics {
 }
 
 // run executes one job on the resident world: a single collective region
-// covering stages 1-2 (discovery under the job's Plan), the align phase
-// under the job's mode, and the hit gather to rank 0. kill >= 0 arms the
-// chaos hook: that rank's endpoint dies right after discovery, so the
-// align phase's first collective fails and the caller sees a typed
-// *dist.RankError naming the victim. Per-job metrics come from
-// snapshot-before / subtract-after around the region.
+// covering stages 1-2 (discovery), the align phase under the job's mode,
+// and the hit gather to rank 0 — expressed as the plan's stage list
+// [discover, align] under pipeline.RunStages, the same machinery the
+// batch path uses for full assembly chains. kill >= 0 arms the chaos
+// hook: the OnStage callback kills that rank's endpoint right after the
+// discover stage and its agreement, so the align phase's first collective
+// fails and the caller sees a typed *dist.RankError naming the victim.
+// Per-job metrics come from snapshot-before / subtract-after around the
+// region.
 //
 // Job isolation: everything per-job — stores, partition, tasks, caches —
 // is built inside the region from the job's own read set; only the
@@ -189,49 +192,42 @@ func (e *engine) run(j *Job, kill int) (hits []core.Hit, tasks int64, rows []tra
 	if err != nil {
 		return nil, 0, nil, err
 	}
+	exec := core.RealExecutor{Scoring: align.DefaultScoring(), X: j.Spec.X}
+	taskCounts := make([]int64, e.ranks)
+	plan.Stages = []pipeline.Stage{
+		pipeline.DiscoverStage{},
+		pipeline.AlignStage{Mode: j.Spec.Mode, MinScore: j.Spec.MinScore,
+			CacheBudget: e.cacheBudget,
+			ExecFor:     func(rank int) core.Executor { return e.resident.Bind(rank, exec) }},
+	}
+	plan.OnStage = func(r rt.Runtime, stage string, out any) {
+		if stage == "discover" {
+			if o, ok := out.(*pipeline.Output); ok {
+				taskCounts[r.Rank()] = int64(len(o.Tasks))
+			}
+			if r.Rank() == kill {
+				e.taps[r.Rank()].Kill() // the align phase's first collective now fails
+			}
+		}
+	}
 	before := make([]rt.Metrics, e.ranks)
 	for i := range before {
 		before[i] = e.metrics(i).Snapshot()
 	}
-	exec := core.RealExecutor{Scoring: align.DefaultScoring(), X: j.Spec.X}
 	var (
-		taskCounts = make([]int64, e.ranks)
-		rankErrs   = make([]error, e.ranks)
-		gathered   []core.Hit
+		rankErrs = make([]error, e.ranks)
+		gathered []core.Hit
 	)
 	runErr := e.runWorld(func(r rt.Runtime) {
 		rank := r.Rank()
 		lo, hi := plan.Part.Range(rank)
 		st := seq.ScopeCounting(j.reads, lo, hi, lens, &r.Metrics().OOPGets)
-		out, perr := plan.Run(r, st)
-		// Agree to abort together: a rank failing alone would leave its
-		// peers blocked in the next collective.
-		if bad := r.Allreduce(boolToI64(perr != nil), rt.OpSum); bad > 0 {
+		run, perr := plan.RunStages(r, st, nil)
+		if perr != nil {
 			rankErrs[rank] = perr
 			return
 		}
-		taskCounts[rank] = int64(len(out.Tasks))
-		if rank == kill {
-			e.taps[rank].Kill() // the align phase's first collective now fails
-		}
-		input := &core.Input{Part: plan.Part, Lens: lens, Tasks: out.Tasks,
-			Codec: core.RealCodec{Store: st}, Store: st}
-		cfg := core.Config{Exec: e.resident.Bind(rank, exec),
-			MinScore: j.Spec.MinScore, CacheBudget: e.cacheBudget}
-		var res *core.Result
-		switch j.Spec.Mode {
-		case "async":
-			res, perr = core.RunAsync(r, input, cfg)
-		case "steal":
-			res, perr = core.RunAsyncStealing(r, input, cfg)
-		default:
-			res, perr = core.RunBSP(r, input, cfg)
-		}
-		if bad := r.Allreduce(boolToI64(perr != nil), rt.OpSum); bad > 0 {
-			rankErrs[rank] = perr
-			return
-		}
-		g := core.GatherHits(r, res.Hits)
+		g := core.GatherHits(r, run.Out.(*core.Result).Hits)
 		if rank == 0 {
 			gathered = g
 		}
@@ -239,10 +235,19 @@ func (e *engine) run(j *Job, kill int) (hits []core.Hit, tasks int64, rows []tra
 	if runErr != nil {
 		return nil, 0, nil, runErr
 	}
+	// Prefer the instigating rank's root cause; peers only report the abort.
+	var abort error
 	for rank, rerr := range rankErrs {
-		if rerr != nil {
+		var se *pipeline.StageError
+		if errors.As(rerr, &se) && se.Err != nil {
 			return nil, 0, nil, fmt.Errorf("serve: job %s rank %d: %w", j.ID, rank, rerr)
 		}
+		if rerr != nil && abort == nil {
+			abort = fmt.Errorf("serve: job %s rank %d: %w", j.ID, rank, rerr)
+		}
+	}
+	if abort != nil {
+		return nil, 0, nil, abort
 	}
 	for _, c := range taskCounts {
 		tasks += c
@@ -253,11 +258,4 @@ func (e *engine) run(j *Job, kill int) (hits []core.Hit, tasks int64, rows []tra
 		rows[i] = trace.JobRow{Job: j.ID, RankMetrics: rt.TraceRow(i, &diff, nil)}
 	}
 	return gathered, tasks, rows, nil
-}
-
-func boolToI64(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
 }

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// StageRow scopes one rank's metrics row to the pipeline stage that
+// produced it — the export shape of a staged assembly run, where one
+// collective region executes discovery, alignment, string-graph
+// construction, transitive reduction and contig generation back to back.
+// Each row is the rank's rt.Metrics delta across the stage
+// (Snapshot/Sub); elapsed_sec is the sum of the four category times
+// (per-stage wall clock is not observable mid-region on the virtual-time
+// backend), and the watermark columns read as region-lifetime values.
+type StageRow struct {
+	Stage string `json:"stage"`
+	RankMetrics
+}
+
+// WriteStageMetricsCSV writes stage-scoped rows under the stable per-rank
+// schema prefixed with a "stage" column. Rows from all ranks and stages
+// concatenate into one file; no imbalance footer is emitted, because rows
+// of different stages do not reduce meaningfully together.
+func WriteStageMetricsCSV(w io.Writer, rows []StageRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"stage"}, metricsHeader...)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Stage,
+			strconv.Itoa(r.Rank), fsec(r.AlignSec), fsec(r.OverheadSec),
+			fsec(r.CommSec), fsec(r.SyncSec), fsec(r.ElapsedSec),
+			strconv.FormatInt(r.BytesSent, 10), strconv.FormatInt(r.BytesRecv, 10),
+			strconv.FormatInt(r.Msgs, 10), strconv.FormatInt(r.RPCsSent, 10),
+			strconv.FormatInt(r.RPCsServed, 10), strconv.FormatInt(r.Supersteps, 10),
+			strconv.FormatInt(r.MaxMem, 10), strconv.FormatInt(r.StoreBytes, 10),
+			strconv.FormatInt(r.PeakExch, 10), strconv.FormatInt(r.PeakRPC, 10),
+			strconv.FormatInt(r.OOPGets, 10), strconv.Itoa(r.RPCPeak),
+			strconv.FormatInt(r.Events, 10), strconv.FormatInt(r.Dropped, 10),
+			strconv.FormatInt(r.CacheHits, 10), strconv.FormatInt(r.CacheMisses, 10),
+			strconv.FormatInt(r.CacheEvicts, 10), strconv.FormatInt(r.CachePinned, 10),
+			strconv.FormatInt(r.IntraBytes, 10), strconv.FormatInt(r.InterBytes, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStageMetricsJSON writes {"stages": [...]} with stable field order.
+func WriteStageMetricsJSON(w io.Writer, rows []StageRow) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Stages []StageRow `json:"stages"`
+	}{rows}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

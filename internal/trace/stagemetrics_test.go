@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+)
+
+func stageRows() []StageRow {
+	return []StageRow{
+		{Stage: "discover", RankMetrics: RankMetrics{Rank: 0, Msgs: 8, BytesSent: 80, ElapsedSec: 0.5}},
+		{Stage: "discover", RankMetrics: RankMetrics{Rank: 1, Msgs: 9, BytesSent: 90, ElapsedSec: 0.6}},
+		{Stage: "align", RankMetrics: RankMetrics{Rank: 0, Msgs: 20, BytesSent: 200, Supersteps: 3}},
+		{Stage: "reduce", RankMetrics: RankMetrics{Rank: 0, Msgs: 2, RPCsSent: 7}},
+	}
+}
+
+// TestStageMetricsCSVShape: a "stage" column prefixes the stable per-rank
+// schema, rows of several stages concatenate into one file, and no
+// imbalance footer is emitted (rows of different stages do not reduce
+// together).
+func TestStageMetricsCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStageMetricsCSV(&buf, stageRows()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("%d records, want header + 4 rows", len(recs))
+	}
+	if recs[0][0] != "stage" || recs[0][1] != "rank" {
+		t.Errorf("header starts %q,%q; want stage,rank", recs[0][0], recs[0][1])
+	}
+	if len(recs[0]) != len(metricsHeader)+1 {
+		t.Errorf("header width %d, want %d", len(recs[0]), len(metricsHeader)+1)
+	}
+	if recs[1][0] != "discover" || recs[3][0] != "align" || recs[4][0] != "reduce" {
+		t.Errorf("stage column: %q, %q, %q", recs[1][0], recs[3][0], recs[4][0])
+	}
+	for _, rec := range recs[1:] {
+		if rec[0] == "imbalance" {
+			t.Error("imbalance footer emitted for stage-scoped rows")
+		}
+	}
+}
+
+func TestStageMetricsJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStageMetricsJSON(&buf, stageRows()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Stages []StageRow `json:"stages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Stages) != 4 {
+		t.Fatalf("%d rows, want 4", len(doc.Stages))
+	}
+	if doc.Stages[0].Stage != "discover" || doc.Stages[0].Msgs != 8 ||
+		doc.Stages[2].Stage != "align" || doc.Stages[2].Supersteps != 3 {
+		t.Errorf("round trip mangled rows: %+v", doc.Stages)
+	}
+}
