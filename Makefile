@@ -26,14 +26,16 @@
 #   make bench   full kernel benchmark run (count 5): writes the raw
 #                output to bench/bench_new.txt and the before/after
 #                comparison against bench/bench_baseline.txt (the
-#                committed pre-workspace numbers) to BENCH_5.json
+#                committed scalar reference numbers) to $(BENCH_JSON)
 #   make bench-smoke  fast CI gate: alloc-free guard tests plus a short
-#                kernel bench pass — catches hot-path allocation
-#                regressions without the full count-5 run
+#                kernel bench pass gated against the committed baseline
+#                (benchfmt -gate) — catches hot-path allocation and
+#                kernel time regressions without the full count-5 run
 
 GO      ?= go
 FUZZT   ?= 10s
 BENCHN  ?= 5
+BENCH_JSON ?= BENCH_9.json
 
 .PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke serve-smoke assemble-smoke bench bench-smoke bench-comm ci
 
@@ -60,10 +62,12 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 fuzz:
-	$(GO) test -fuzz=FuzzFASTA -fuzztime $(FUZZT) ./internal/seq/
-	$(GO) test -fuzz=FuzzFASTQ -fuzztime $(FUZZT) ./internal/seq/
-	$(GO) test -fuzz=FuzzXDrop -fuzztime $(FUZZT) ./internal/align/
-	$(GO) test -fuzz=FuzzXDropDiff -fuzztime $(FUZZT) ./internal/align/
+	$(GO) test -fuzz=FuzzFASTA$$ -fuzztime $(FUZZT) ./internal/seq/
+	$(GO) test -fuzz=FuzzFASTARange$$ -fuzztime $(FUZZT) ./internal/seq/
+	$(GO) test -fuzz=FuzzFASTQ$$ -fuzztime $(FUZZT) ./internal/seq/
+	$(GO) test -fuzz=FuzzXDrop$$ -fuzztime $(FUZZT) ./internal/align/
+	$(GO) test -fuzz=FuzzXDropDiff$$ -fuzztime $(FUZZT) ./internal/align/
+	$(GO) test -fuzz=FuzzXDropSWARDiff$$ -fuzztime $(FUZZT) ./internal/align/
 	$(GO) test -fuzz=FuzzFrame -fuzztime $(FUZZT) ./internal/transport/
 	$(GO) test -fuzz=FuzzCacheEvict -fuzztime $(FUZZT) ./internal/core/
 	$(GO) test -fuzz=FuzzJobRequest -fuzztime $(FUZZT) ./internal/serve/
@@ -183,14 +187,15 @@ assemble-smoke:
 	echo "assemble-smoke: OK (one contig, $$len of 30000 bp)"
 
 # Full kernel benchmark run. bench/bench_baseline.txt is the committed
-# output of the same benchmarks from before the workspace kernel landed
-# (allocating reference path); BENCH_5.json records median/min/max per
+# scalar-kernel reference output of the same benchmarks (regenerate it
+# with `make bench` on the commit being used as the baseline and copy
+# bench/bench_new.txt over it); $(BENCH_JSON) records median/min/max per
 # benchmark and unit plus the relative delta against that baseline.
 bench:
 	$(GO) test -run '^$$' -bench SeedExtend -benchmem -count $(BENCHN) \
 		./internal/align/ | tee bench/bench_new.txt
 	$(GO) run ./cmd/benchfmt -old bench/bench_baseline.txt \
-		-json BENCH_5.json bench/bench_new.txt
+		-json $(BENCH_JSON) bench/bench_new.txt
 
 # Communication-volume comparison on the degree-skewed workload: the same
 # benchmark run cache-off/flat (baseline) then cache-on/aggregated, diffed
@@ -207,11 +212,13 @@ bench-comm:
 
 # Fast allocation-regression gate for CI: the AllocsPerRun guard tests
 # (kernel, codecs, wire decode, overlap workspace) plus one short bench
-# pass so the benchmarks themselves cannot rot.
+# pass gated at +10% ns/op against the committed baseline, so neither
+# the benchmarks nor the SWAR speedup can rot silently.
 bench-smoke:
 	$(GO) test -run 'AllocFree' -v ./internal/align/ ./internal/core/ \
 		./internal/seq/ ./internal/overlap/
 	$(GO) test -run '^$$' -bench SeedExtend -benchtime 50x -benchmem \
-		./internal/align/ | $(GO) run ./cmd/benchfmt
+		./internal/align/ | $(GO) run ./cmd/benchfmt \
+		-old bench/bench_baseline.txt -gate 10
 
 ci: check race fuzz chaos bench-smoke dist-smoke serve-smoke assemble-smoke

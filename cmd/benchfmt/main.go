@@ -11,6 +11,10 @@
 //
 // With no file argument the new results are read from stdin, so the tool can
 // sit at the end of a pipe.
+//
+// -gate PCT turns the comparison into a CI check: the process exits
+// non-zero when any benchmark's ns/op median regresses by more than PCT
+// percent against the -old baseline (benchmarks new in this run pass).
 package main
 
 import (
@@ -201,6 +205,25 @@ func (r *report) table(w io.Writer, withOld bool) {
 	}
 }
 
+// gateFailures returns one line per benchmark whose ns/op median regressed
+// by more than pct relative to the baseline. Benchmarks without a baseline
+// entry pass (new benchmarks must not fail the gate on their first run);
+// only time regressions are gated — memory and custom units are reported
+// but not enforced.
+func gateFailures(r *report, pct float64) []string {
+	var fails []string
+	for _, name := range namesOf(r) {
+		c, ok := r.byName[name]["ns/op"]
+		if !ok || c.DeltaPct == nil {
+			continue
+		}
+		if *c.DeltaPct > pct {
+			fails = append(fails, fmt.Sprintf("%s: ns/op %+.2f%% (gate %+.2f%%)", name, *c.DeltaPct, pct))
+		}
+	}
+	return fails
+}
+
 func namesOf(r *report) []string {
 	names := make([]string, 0, len(r.Benchmarks))
 	for _, row := range r.Benchmarks {
@@ -221,6 +244,7 @@ func parseFile(path string) (*suite, error) {
 func main() {
 	oldPath := flag.String("old", "", "baseline `go test -bench` output to compare against")
 	jsonPath := flag.String("json", "", "write the structured comparison as JSON to this file")
+	gatePct := flag.Float64("gate", 0, "exit non-zero if any benchmark's ns/op median regresses more than this `percent` vs -old (0 disables)")
 	flag.Parse()
 
 	var cur *suite
@@ -261,6 +285,15 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfmt: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *gatePct > 0 && old != nil {
+		if fails := gateFailures(rep, *gatePct); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "benchfmt: gate: %s\n", f)
+			}
 			os.Exit(1)
 		}
 	}

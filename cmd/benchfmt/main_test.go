@@ -69,6 +69,42 @@ func TestBuildDelta(t *testing.T) {
 	}
 }
 
+func TestGateFailures(t *testing.T) {
+	// Old is faster than new for 1k (regression) once the roles are
+	// swapped: parse newOut as the baseline and oldOut as the current run.
+	cur, _ := parse(strings.NewReader(oldOut))
+	old, _ := parse(strings.NewReader(newOut))
+	rep := build(old, cur)
+	fails := gateFailures(rep, 10)
+	if len(fails) != 2 {
+		t.Fatalf("gate failures = %v, want both benchmarks flagged", fails)
+	}
+	if !strings.Contains(fails[0], "SeedExtend1k") || !strings.Contains(fails[0], "ns/op") {
+		t.Fatalf("failure line = %q", fails[0])
+	}
+	// A huge threshold passes everything.
+	if fails := gateFailures(rep, 10000); len(fails) != 0 {
+		t.Fatalf("lenient gate still failed: %v", fails)
+	}
+	// Improvements never trip the gate.
+	if fails := gateFailures(build(parseStr(t, oldOut), parseStr(t, newOut)), 10); len(fails) != 0 {
+		t.Fatalf("improvement tripped the gate: %v", fails)
+	}
+	// Without a baseline there is nothing to gate against.
+	if fails := gateFailures(build(nil, cur), 10); len(fails) != 0 {
+		t.Fatalf("baseline-free gate failed: %v", fails)
+	}
+}
+
+func parseStr(t *testing.T, s string) *suite {
+	t.Helper()
+	out, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestBuildWithoutBaseline(t *testing.T) {
 	cur, _ := parse(strings.NewReader(newOut))
 	rep := build(nil, cur)

@@ -104,6 +104,7 @@ func main() {
 		paf      = flag.Bool("paf", false, "emit PAF records (with cg:Z cigar tags) instead of TSV")
 		distrib  = flag.Bool("distributed", false, "run k-mer analysis and candidate discovery as a distributed SPMD stage (DiBELLA stages 1-2) instead of serially")
 		steal    = flag.Bool("steal", false, "async mode with dynamic load balancing (work stealing)")
+		noBatch  = flag.Bool("no-batch", false, "disable length-bucketed batch scheduling of alignment tasks (ablation; results are identical either way)")
 		packed   = flag.Bool("packed", false, "2-bit-pack N-free reads on the wire (≈4x smaller exchanges)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run (load in Perfetto)")
 		metrics  = flag.String("metrics", "", "write per-rank metrics (CSV, or JSON if path ends in .json)")
@@ -365,7 +366,7 @@ func main() {
 			logf: logf, procs: *procs, isDist: isDist, myRank: myRank,
 			stages: *stages, mode: modeStr, k: *k, lo: *loFreq, hi: *hiFreq,
 			coverage: *coverage, errRate: *errRate, x: *x, minScore: *minScore,
-			packed: *packed, cacheB: *cacheB, slack: *slack, minOv: *minOv,
+			packed: *packed, cacheB: *cacheB, noBatch: *noBatch, slack: *slack, minOv: *minOv,
 			fuzz: *fuzz, outPath: *outPath, stageMetrics: *stageMet,
 		}); err != nil {
 			fail(err)
@@ -461,7 +462,7 @@ func main() {
 		}
 		input := &core.Input{Part: pt, Lens: lens, Tasks: byRank[r.Rank()],
 			Codec: codec, Store: st}
-		cfg := core.Config{Exec: exec, MinScore: *minScore, CacheBudget: *cacheB}
+		cfg := core.Config{Exec: exec, MinScore: *minScore, CacheBudget: *cacheB, NoBatch: *noBatch}
 		switch {
 		case *mode == "async" && *steal:
 			results[r.Rank()], errs[r.Rank()] = core.RunAsyncStealing(r, input, cfg)

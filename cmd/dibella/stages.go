@@ -67,6 +67,7 @@ type stagedConfig struct {
 	minScore int
 	packed   bool
 	cacheB   int64
+	noBatch  bool
 	slack    int
 	minOv    int
 	fuzz     int
@@ -96,7 +97,7 @@ func runStagedAssembly(c *stagedConfig) error {
 	plan.Stages = []pipeline.Stage{
 		pipeline.DiscoverStage{},
 		pipeline.AlignStage{Mode: c.mode, MinScore: c.minScore, X: c.x,
-			Packed: c.packed, CacheBudget: c.cacheB},
+			Packed: c.packed, CacheBudget: c.cacheB, NoBatch: c.noBatch},
 	}
 	plan.Stages = append(plan.Stages, graph.AssemblyStages(c.slack, c.minOv, c.fuzz, reduceMode, nil)[:n]...)
 

@@ -319,7 +319,24 @@ func BenchmarkSeedExtend10k(b *testing.B) { benchSeedExtend(b, 10000, false) }
 func BenchmarkSeedExtendRef1k(b *testing.B)  { benchSeedExtend(b, 1000, true) }
 func BenchmarkSeedExtendRef10k(b *testing.B) { benchSeedExtend(b, 10000, true) }
 
-func benchSeedExtend(b *testing.B, n int, ref bool) {
+// The Scalar variants pin the int32 fallback kernel, so bench runs report
+// the SWAR and scalar paths side by side on identical inputs; the Wide
+// variants raise the drop threshold to x=100, the broad-band regime where
+// the packed words cover many more lanes per row.
+func BenchmarkSeedExtendScalar1k(b *testing.B)      { benchScalar(b, 1000, 15) }
+func BenchmarkSeedExtendScalar10k(b *testing.B)     { benchScalar(b, 10000, 15) }
+func BenchmarkSeedExtendWide10k(b *testing.B)       { benchSeedExtendX(b, 10000, 100, false) }
+func BenchmarkSeedExtendWideScalar10k(b *testing.B) { benchScalar(b, 10000, 100) }
+
+func benchScalar(b *testing.B, n, x int) {
+	defer func(v bool) { swarEnabled = v }(swarEnabled)
+	swarEnabled = false
+	benchSeedExtendX(b, n, x, false)
+}
+
+func benchSeedExtend(b *testing.B, n int, ref bool) { benchSeedExtendX(b, n, 15, ref) }
+
+func benchSeedExtendX(b *testing.B, n, x int, ref bool) {
 	rng := rand.New(rand.NewSource(1))
 	a := make(seq.Seq, n)
 	for i := range a {
@@ -337,9 +354,9 @@ func benchSeedExtend(b *testing.B, n int, ref bool) {
 		var res Result
 		var err error
 		if ref {
-			res, err = seedExtendRef(a, bb, n/2, n/2, 17, sc, 15)
+			res, err = seedExtendRef(a, bb, n/2, n/2, 17, sc, x)
 		} else {
-			res, err = w.SeedExtend(a, bb, n/2, n/2, 17, sc, 15)
+			res, err = w.SeedExtend(a, bb, n/2, n/2, 17, sc, x)
 		}
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,417 @@
+package align
+
+import (
+	"gnbody/internal/seq"
+)
+
+// The SWAR X-drop kernel: the same row-banded recurrence as the scalar
+// Workspace kernel, with the vertical/diagonal half of every row computed
+// four columns at a time in int16 lanes packed into uint64 words — SIMD
+// within a register, no architecture-specific intrinsics. Results (Score,
+// AExt, BExt, Cells) are bit-identical to the scalar kernel and therefore
+// to the int reference oracle: the lanes evaluate the identical recurrence
+// in the identical row order, only the arithmetic width changes, and the
+// fitsInt16 gate proves no lane can wrap before the kernel is entered.
+//
+// Lane layout: DP column j lives in word j>>2, lane j&3 (lanes are the
+// 16-bit fields of a little-endian uint64, lane k at bits [16k, 16k+16)).
+// Values are stored BIASED: lane = real value + swarBias, so every live
+// value has its high bit clear — the invariant all the branchless lane
+// primitives below rely on. Pruned cells store the exact sentinel
+// swarSent(sc) so window-shrink equality tests mirror the scalar kernel's
+// negInf32 comparisons.
+
+const (
+	swarLanes = 4       // int16 lanes per uint64 word
+	swarBias  = 1 << 14 // biased lane value = real DP value + swarBias
+
+	hi16 = 0x8000800080008000 // high bit of every lane
+	lo16 = 0x0001000100010001 // low bit of every lane
+)
+
+// bcast16 broadcasts a 16-bit pattern into all four lanes.
+func bcast16(v uint16) uint64 { return uint64(v) * lo16 }
+
+// swadd is a per-lane 16-bit wrapping add: carries never cross a lane
+// boundary, so garbage in one lane cannot corrupt its neighbours.
+func swadd(a, b uint64) uint64 {
+	return ((a &^ hi16) + (b &^ hi16)) ^ ((a ^ b) & hi16)
+}
+
+// smax is a per-lane max over biased values. It compares the low 15 bits
+// of each lane — exact for live values, whose high bit is always clear —
+// and is unconditionally lane-safe: (a|hi16) keeps every lane of the
+// minuend at or above 0x8000 while (b&^hi16) keeps the subtrahend below
+// it, so no borrow can cross lanes even when a lane holds garbage.
+func smax(a, b uint64) uint64 {
+	ge := ((a | hi16) - (b &^ hi16)) & hi16 // high bit set: lane a >= b
+	m := (ge >> 15) * 0xFFFF                // widen to a full-lane mask
+	return (a & m) | (b &^ m)
+}
+
+// laneEq returns a full-lane mask of the lanes where a and b are equal.
+// Operand lanes must have their high bit clear (base codes always do).
+func laneEq(a, b uint64) uint64 {
+	z := a ^ b
+	t := (z | hi16) - lo16 // per lane: 0x8000 + z - 1; high bit clear iff z == 0
+	return ((^t & hi16) >> 15) * 0xFFFF
+}
+
+// stepMag returns the largest single-step score magnitude of the scheme —
+// the most any one DP move can change a value by.
+func stepMag(sc Scoring) int64 {
+	abs := func(v int) int64 {
+		w := int64(v)
+		if w < 0 {
+			return -w
+		}
+		return w
+	}
+	mag := abs(sc.Match)
+	if m := abs(sc.Mismatch); m > mag {
+		mag = m
+	}
+	if g := abs(sc.Gap); g > mag {
+		mag = g
+	}
+	return mag
+}
+
+// swarSent is the pruned-cell sentinel in the real domain. It sits one
+// step magnitude above the bottom of the biased range, so sentinel + any
+// single move constant still lands at a biased value >= 0 (lane-safe), yet
+// the fitsInt16 gate guarantees it stays strictly below every reachable
+// threshold — a sentinel can never win a max or escape re-pruning.
+func swarSent(sc Scoring) int32 {
+	return int32(stepMag(sc)) - swarBias
+}
+
+// fitsInt16 reports whether every DP value for these inputs provably fits
+// the biased int16 lane representation, mirroring fitsInt32 one level
+// down. Two conditions: the largest intermediate (best + one step) must
+// stay under the bias headroom, and the threshold floor must stay above
+// the sentinel even after a step is added to it. Typical genomic inputs
+// (reads to ~16 kb extension span, single-digit scores) pass; longer
+// extensions or pathological schemes fall back to the int32 scalar kernel.
+func fitsInt16(alen, blen int, sc Scoring, x int) bool {
+	const lim = swarBias
+	mag := stepMag(sc)
+	n := int64(alen) + int64(blen) + 2
+	return n*mag+mag < lim && int64(x)+2*mag < lim
+}
+
+// swarState is the packed-row scratch of the SWAR kernel, grown
+// monotonically and retained by the workspace like the int32 rows.
+type swarState struct {
+	prev, cur []uint64 // packed biased rows; column j at word j>>2, lane j&3
+	bcode     []uint64 // per-column b base codes in walk order (lane j&3)
+	bn        []uint64 // full-lane masks of the columns whose base is N
+
+	// score[c] holds, per word, the packed substitution constants of row
+	// character c against the four b columns of that word (N columns score
+	// mismatch; score[N] is the all-mismatch row). Built lazily up to the
+	// band's high-water word, so the row loop is one load per word instead
+	// of a compare/select chain, and short extensions never pay for the
+	// far end of b.
+	score [seq.NumBases][]uint64
+	built int // words of score filled for the current setB
+}
+
+// ensure sizes the packed buffers for a b of length blen.
+func (s *swarState) ensure(blen int) {
+	words := (blen >> 2) + 2 // column blen lives at word blen>>2; +1 pad
+	if cap(s.prev) < words {
+		n := 2 * cap(s.prev)
+		if n < words {
+			n = words
+		}
+		if n < 64 {
+			n = 64
+		}
+		s.prev = make([]uint64, n)
+		s.cur = make([]uint64, n)
+		s.bcode = make([]uint64, n)
+		s.bn = make([]uint64, n)
+		for c := range s.score {
+			s.score[c] = make([]uint64, n)
+		}
+	}
+}
+
+// buildScore fills the packed per-base score words for word indices
+// [s.built, wHi], advancing the high-water mark.
+func (s *swarState) buildScore(wHi int, match16, mism16 uint64) {
+	for wi := s.built; wi <= wHi; wi++ {
+		bc, bn := s.bcode[wi], s.bn[wi]
+		for c := 0; c < 4; c++ {
+			eq := laneEq(bc, bcast16(uint16(c))) &^ bn
+			s.score[c][wi] = match16&eq | mism16&^eq
+		}
+		s.score[seq.N][wi] = mism16 // N in a matches nothing
+	}
+	s.built = wHi + 1
+}
+
+// setB packs the walk-order base codes of b: the lane of column j holds
+// the code of the base that column consumes (b[j-1] forward, b[blen-j]
+// reversed), clamped to N like the scalar kernel's per-cell clamp, with a
+// parallel mask of the N columns (N never matches anything).
+func (s *swarState) setB(b seq.Seq, rev bool) {
+	blen := len(b)
+	s.built = 0
+	var code, nmask uint64
+	for j := 1; j <= blen; j++ {
+		cb := b[j-1]
+		if rev {
+			cb = b[blen-j]
+		}
+		if cb > seq.N {
+			cb = seq.N
+		}
+		sh := uint(j&3) * 16
+		code |= uint64(cb) << sh
+		if cb == seq.N {
+			nmask |= uint64(0xFFFF) << sh
+		}
+		if j&3 == 3 || j == blen {
+			s.bcode[j>>2] = code
+			s.bn[j>>2] = nmask
+			code, nmask = 0, 0
+		}
+	}
+}
+
+// laneB extracts column j of a packed row as a biased lane value.
+func laneB(w []uint64, j int) uint32 {
+	return uint32((w[j>>2] >> (uint(j&3) * 16)) & 0xFFFF)
+}
+
+// setLaneB stores a biased lane value into column j of a packed row.
+func setLaneB(w []uint64, j int, v uint32) {
+	sh := uint(j&3) * 16
+	w[j>>2] = w[j>>2]&^(uint64(0xFFFF)<<sh) | uint64(v&0xFFFF)<<sh
+}
+
+// extendSWAR runs the X-drop extension with the packed-lane row kernel.
+// Callers must have checked fitsInt16; semantics (including the walk-order
+// rev handling) and results are identical to the scalar extend.
+//
+// Pass B runs entirely in the biased unsigned domain: every stored lane is
+// >= the biased sentinel (= stepMag >= |gap|), so `value + gap` can never
+// wrap below zero and all comparisons are plain uint32 compares the
+// compiler turns into conditional moves. Interior full words are unrolled
+// four lanes at a time with immediate shifts; only the ragged word edges
+// and the two boundary columns take the generic read-modify-write path.
+func (w *Workspace) extendSWAR(a, b seq.Seq, sc Scoring, x int, rev bool) Extension {
+	alen, blen := len(a), len(b)
+	s := &w.swar
+	s.ensure(blen)
+	s.setB(b, rev)
+
+	gapU := uint32(int32(sc.Gap)) // wrapping unsigned add acts as signed
+	x32 := uint32(x)
+	match16 := bcast16(uint16(int16(sc.Match)))
+	mism16 := bcast16(uint16(int16(sc.Mismatch)))
+	gap16 := bcast16(uint16(int16(sc.Gap)))
+	sentB := uint32(stepMag(sc)) // biased sentinel lane
+
+	prev, cur := s.prev, s.cur
+
+	bestB := uint32(swarBias) // biased running best; starts at real 0
+	bestI, bestJ := 0, 0
+	threshB := bestB - x32
+	cells := 0
+	var laneCells, laneSlots int64
+
+	// Row 0: gaps in a only; cells not counted (reference behaviour).
+	hi := 0
+	setLaneB(prev, 0, swarBias)
+	rs := uint32(swarBias)
+	for j := 1; j <= blen; j++ {
+		rs += gapU
+		if rs < threshB {
+			break
+		}
+		setLaneB(prev, j, rs)
+		hi = j
+	}
+
+	plo, phi := 0, hi
+	for i := 1; i <= alen; i++ {
+		lo := plo
+		hi = phi + 1
+		tail := hi <= blen
+		if !tail {
+			hi = blen
+		}
+		cells += hi - lo + 1
+
+		ca := a[i-1]
+		if rev {
+			ca = a[alen-i]
+		}
+		if ca > seq.N {
+			ca = seq.N
+		}
+
+		// One fused pass over the words covering the window: compute the
+		// packed diagonal/vertical half max(prev[j-1]+sub, prev[j]+gap)
+		// for the word's four lanes, then immediately fold in the serial
+		// left move, threshold against the live best and store — identical
+		// order and semantics to the scalar kernel's inner loop. Lanes
+		// outside [lo+1, phi] compute garbage from stale neighbours in the
+		// packed half — harmless (every lane primitive is lane-safe) and
+		// never folded: the boundary columns take their restricted move
+		// sets below.
+		wLo, wHi := lo>>2, hi>>2
+		if wHi >= s.built {
+			s.buildScore(wHi, match16, mism16)
+		}
+		srow := s.score[ca]
+		carry := uint64(0)
+		if wLo > 0 {
+			carry = prev[wLo-1] >> 48
+		}
+
+		// Column lo: only the vertical move is in-window.
+		v := laneB(prev, lo) + gapU
+		if v < threshB {
+			v = sentB
+		}
+		setLaneB(cur, lo, v)
+		if v > bestB {
+			bestB, bestI, bestJ = v, i, lo
+			threshB = bestB - x32
+		}
+		left := v
+
+		mid := hi
+		if tail {
+			mid = hi - 1
+		}
+		for wi := wLo; wi <= wHi; wi++ {
+			up := prev[wi]
+			diag := up<<16 | carry
+			carry = up >> 48
+			tw := smax(swadd(diag, srow[wi]), swadd(up, gap16))
+
+			base := wi << 2
+			if jl := base; jl > lo && jl+3 <= mid {
+				// Full word: unrolled fold with immediate shifts.
+				t0 := uint32(tw & 0xFFFF)
+				if l := left + gapU; l > t0 {
+					t0 = l
+				}
+				if t0 < threshB {
+					t0 = sentB
+				}
+				if t0 > bestB {
+					bestB, bestI, bestJ = t0, i, jl
+					threshB = bestB - x32
+				}
+				t1 := uint32((tw >> 16) & 0xFFFF)
+				if l := t0 + gapU; l > t1 {
+					t1 = l
+				}
+				if t1 < threshB {
+					t1 = sentB
+				}
+				if t1 > bestB {
+					bestB, bestI, bestJ = t1, i, jl+1
+					threshB = bestB - x32
+				}
+				t2 := uint32((tw >> 32) & 0xFFFF)
+				if l := t1 + gapU; l > t2 {
+					t2 = l
+				}
+				if t2 < threshB {
+					t2 = sentB
+				}
+				if t2 > bestB {
+					bestB, bestI, bestJ = t2, i, jl+2
+					threshB = bestB - x32
+				}
+				t3 := uint32(tw >> 48)
+				if l := t2 + gapU; l > t3 {
+					t3 = l
+				}
+				if t3 < threshB {
+					t3 = sentB
+				}
+				if t3 > bestB {
+					bestB, bestI, bestJ = t3, i, jl+3
+					threshB = bestB - x32
+				}
+				cur[wi] = uint64(t0) | uint64(t1)<<16 | uint64(t2)<<32 | uint64(t3)<<48
+				left = t3
+				continue
+			}
+			// Ragged edge word: fold only the in-window interior lanes.
+			jl, jh := base, base+3
+			if jl <= lo {
+				jl = lo + 1
+			}
+			if jh > mid {
+				jh = mid
+			}
+			for j := jl; j <= jh; j++ {
+				t := uint32((tw >> (uint(j&3) * 16)) & 0xFFFF)
+				if l := left + gapU; l > t {
+					t = l
+				}
+				if t < threshB {
+					t = sentB
+				}
+				setLaneB(cur, j, t)
+				if t > bestB {
+					bestB, bestI, bestJ = t, i, j
+					threshB = bestB - x32
+				}
+				left = t
+			}
+		}
+		laneCells += int64(hi - lo + 1)
+		laneSlots += int64(wHi-wLo+1) * swarLanes
+
+		// Column phi+1, when it exists: no vertical move.
+		if tail {
+			cb := seq.Base((s.bcode[hi>>2] >> (uint(hi&3) * 16)) & 0xFFFF)
+			subU := uint32(int32(sc.Mismatch))
+			if cb == ca && ca < seq.N {
+				subU = uint32(int32(sc.Match))
+			}
+			d := laneB(prev, hi-1) + subU
+			if l := left + gapU; l > d {
+				d = l
+			}
+			if d < threshB {
+				d = sentB
+			}
+			setLaneB(cur, hi, d)
+			if d > bestB {
+				bestB, bestI, bestJ = d, i, hi
+				threshB = bestB - x32
+			}
+		}
+
+		// Shrink the window to live cells; an empty window is exactly the
+		// scalar kernel's all-pruned X-drop termination.
+		for lo <= hi && laneB(cur, lo) == sentB {
+			lo++
+		}
+		for hi >= lo && laneB(cur, hi) == sentB {
+			hi--
+		}
+		if lo > hi {
+			break
+		}
+		prev, cur = cur, prev
+		plo, phi = lo, hi
+	}
+	w.stats.LaneCells += laneCells
+	w.stats.LaneSlots += laneSlots
+	return Extension{
+		Score: int(int32(bestB) - swarBias),
+		AExt:  bestI, BExt: bestJ, Cells: cells,
+	}
+}

@@ -1,0 +1,201 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnbody/internal/seq"
+)
+
+// The SWAR battery: the packed int16 kernel must reproduce the scalar
+// kernel bit for bit on everything the fitsInt16 gate admits, and the
+// gate must refuse — routing to the scalar fallback — before any lane
+// could wrap. These tests drive both sides of that boundary.
+
+// TestFitsInt16Boundaries pins the gate at its exact saturation edges:
+// one column or one unit of step magnitude separates each admitted case
+// from its rejected twin.
+func TestFitsInt16Boundaries(t *testing.T) {
+	unit := Scoring{Match: 1, Mismatch: -1, Gap: -1} // mag 1
+	mid := Scoring{Match: 3, Mismatch: -4, Gap: -5}  // mag 5
+	cases := []struct {
+		name       string
+		alen, blen int
+		sc         Scoring
+		x          int
+		want       bool
+	}{
+		{"unit-max-span", 8000, 8190, unit, 15, true},   // n*1+1 = 16193 < 2^14
+		{"unit-span-over", 8191, 8191, unit, 15, false}, // n*1+1 = 16385
+		{"unit-x-max", 10, 10, unit, 16381, true},       // x+2 = 16383 < 2^14
+		{"unit-x-over", 10, 10, unit, 16382, false},     // x+2 = 16384
+		{"mid-mag-max", 1636, 1636, mid, 15, true},      // 3274*5+5 = 16375
+		{"mid-mag-over", 1637, 1637, mid, 15, false},    // 3276*5+5 = 16385
+		{"huge-scores", 40, 40, Scoring{Match: 1 << 12, Mismatch: -(1 << 12), Gap: -(1 << 12)}, 10, false},
+		{"huge-x", 40, 40, unit, 1 << 20, false},
+		{"tiny-huge-scores", 2, 2, Scoring{Match: 2040, Mismatch: -2040, Gap: -2040}, 2000, true}, // 6*2040+2040 = 14280
+	}
+	for _, tc := range cases {
+		if got := fitsInt16(tc.alen, tc.blen, tc.sc, tc.x); got != tc.want {
+			t.Errorf("%s: fitsInt16(%d,%d,%+v,%d) = %v, want %v",
+				tc.name, tc.alen, tc.blen, tc.sc, tc.x, got, tc.want)
+		}
+	}
+}
+
+// TestSWARSaturationFallback drives scores near the int16 bounds and
+// asserts, via the workspace kernel counters, that the dispatcher falls
+// back to the scalar kernel before any lane could wrap — and that the
+// result equals the scalar oracle either way.
+func TestSWARSaturationFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := NewWorkspace()
+	cases := []struct {
+		name string
+		n    int
+		sc   Scoring
+		x    int
+	}{
+		// Step magnitude alone exceeds the headroom for any length.
+		{"huge-mag", 40, Scoring{Match: 1 << 12, Mismatch: -(1 << 12), Gap: -(1 << 12)}, 1 << 11},
+		// Accumulation over the span crosses 2^14 despite a small scheme.
+		{"long-span", 18000, Scoring{Match: 1, Mismatch: -1, Gap: -1}, 15},
+		// The x condition fails on its own.
+		{"huge-x", 60, Scoring{Match: 1, Mismatch: -1, Gap: -1}, 1 << 15},
+	}
+	for _, tc := range cases {
+		a := randSeq(rng, tc.n)
+		b := a.Clone()
+		for m := 0; m < tc.n/10; m++ {
+			b[rng.Intn(tc.n)] = seq.Base(rng.Intn(seq.NumBases))
+		}
+		k := 4
+		posA := tc.n / 2
+		if fitsInt16(len(a)-posA-k, len(b)-posA-k, tc.sc, tc.x) || fitsInt16(posA, posA, tc.sc, tc.x) {
+			t.Fatalf("%s: case unexpectedly admitted by the gate", tc.name)
+		}
+		w.TakeStats()
+		got, err := w.SeedExtend(a, b, posA, posA, k, tc.sc, tc.x)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		st := w.TakeStats()
+		if st.SWARExts != 0 || st.ScalarExts == 0 {
+			t.Errorf("%s: dispatcher stats %+v, want scalar-only", tc.name, st)
+		}
+		want, err := seedExtendRef(a, b, posA, posA, k, tc.sc, tc.x)
+		if err != nil {
+			t.Fatalf("%s: ref: %v", tc.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: fallback result %+v, reference %+v", tc.name, got, want)
+		}
+	}
+}
+
+// TestSWARInGateSaturationEdge drives admitted cases whose lane values
+// approach the biased ceiling: large step magnitudes over spans the gate
+// only just accepts must still be bit-identical to the scalar kernel.
+func TestSWARInGateSaturationEdge(t *testing.T) {
+	w := NewWorkspace()
+	cases := []struct {
+		a, b string
+		sc   Scoring
+		x    int
+	}{
+		{"ACG", "ACG", Scoring{Match: 1600, Mismatch: -1600, Gap: -1600}, 1500},
+		{"ACGTA", "ACTTA", Scoring{Match: 1000, Mismatch: -1100, Gap: -1150}, 2000},
+		{"AAAAAAA", "AAAAAAA", Scoring{Match: 900, Mismatch: -900, Gap: -900}, 800},
+	}
+	for _, tc := range cases {
+		a, b := seq.MustFromString(tc.a), seq.MustFromString(tc.b)
+		if !fitsInt16(len(a), len(b), tc.sc, tc.x) {
+			t.Fatalf("case (%q,%q,%+v) not admitted; edge case miscomputed", tc.a, tc.b, tc.sc)
+		}
+		for _, rev := range []bool{false, true} {
+			want := w.extendScalar(a, b, tc.sc, tc.x, rev)
+			got := w.extendSWAR(a, b, tc.sc, tc.x, rev)
+			if got != want {
+				t.Errorf("(%q,%q,rev=%v): SWAR %+v, scalar %+v", tc.a, tc.b, rev, got, want)
+			}
+		}
+	}
+}
+
+// TestSWARWarmWorkspaceAllocFree mirrors the scalar allocation guard for
+// the packed kernel: a warm workspace serves the full SWAR seed-and-extend
+// path with zero heap allocations, and the kernel counters confirm the
+// packed path is the one being measured.
+func TestSWARWarmWorkspaceAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 2000
+	a := randSeq(rng, n)
+	b := a.Clone()
+	for m := 0; m < n/10; m++ {
+		b[rng.Intn(n)] = seq.Base(rng.Intn(4))
+	}
+	w := NewWorkspace()
+	sc := DefaultScoring()
+	if _, err := w.SeedExtend(a, b, n/2, n/2, 17, sc, 15); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.TakeStats(); st.SWARExts == 0 || st.ScalarExts != 0 {
+		t.Fatalf("warm-up did not take the SWAR path: %+v", st)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := w.SeedExtend(a, b, n/2, n/2, 17, sc, 15); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm-workspace SWAR SeedExtend allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzXDropSWARDiff is the SWAR differential fuzz target: arbitrary
+// sequences and scoring magnitudes — far past the int16 range — against
+// the scalar kernel as oracle. Inside the gate both kernels must agree
+// bit for bit in both extension directions; outside it the dispatcher
+// must never pick the packed kernel.
+func FuzzXDropSWARDiff(f *testing.F) {
+	f.Add([]byte("\x00\x01\x02\x03"), []byte("\x00\x01\x02\x03"), 15, 1, 1, 1)
+	f.Add([]byte("\x00\x01"), []byte("\x00\x01"), 2000, 2040, 2040, 2040)
+	f.Add([]byte("\x00\x00\x01\x01"), []byte("\x01\x01\x00\x00"), 40, 5, 4, 11)
+	f.Add([]byte(""), []byte(""), 0, 1, 16000, 19999)
+	w := NewWorkspace()
+	abs := func(v int) int {
+		if v < 0 {
+			if v == -v { // MinInt
+				return 1
+			}
+			return -v
+		}
+		return v
+	}
+	f.Fuzz(func(t *testing.T, ab, bb []byte, x, match, mism, gap int) {
+		a := fuzzSeq(ab, 400)
+		b := fuzzSeq(bb, 400)
+		sc := Scoring{
+			Match:    1 + abs(match)%20000,
+			Mismatch: -(abs(mism) % 20000),
+			Gap:      -(1 + abs(gap)%20000),
+		}
+		x = abs(x) % 20000
+		if fitsInt16(len(a), len(b), sc, x) {
+			for _, rev := range []bool{false, true} {
+				want := w.extendScalar(a, b, sc, x, rev)
+				got := w.extendSWAR(a, b, sc, x, rev)
+				if got != want {
+					t.Fatalf("SWAR diverged (|a|=%d,|b|=%d,%+v,x=%d,rev=%v):\n swar   %+v\n scalar %+v",
+						len(a), len(b), sc, x, rev, got, want)
+				}
+			}
+		} else {
+			w.TakeStats()
+			w.extend(a, b, sc, x, false)
+			if st := w.TakeStats(); st.SWARExts != 0 {
+				t.Fatalf("dispatcher took the SWAR path past the gate (%+v, x=%d)", sc, x)
+			}
+		}
+	})
+}

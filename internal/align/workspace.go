@@ -11,6 +11,10 @@ import (
 // gap penalty is added.
 const negInf32 = int32(-1)<<29 - 1
 
+// swarEnabled gates the packed int16 kernel; tests and benchmarks flip it
+// off to pin the scalar path.
+var swarEnabled = true
+
 // Workspace is the reusable scratch of one alignment lane: DP rows grown
 // monotonically, the 5×5 substitution table for the current scoring scheme,
 // and a reverse-complement buffer. With a warm workspace, SeedExtend runs
@@ -29,6 +33,27 @@ type Workspace struct {
 	subFor    Scoring
 	subOK     bool
 	rc        seq.Seq
+	swar      swarState
+	stats     KernelStats
+}
+
+// KernelStats counts which kernel served the extensions run on a workspace
+// and how full the SWAR lanes were: LaneCells is the number of live window
+// cells the packed pass covered, LaneSlots the number of int16 lane slots
+// it issued for them (words × 4) — occupancy is their ratio.
+type KernelStats struct {
+	SWARExts   int64 // extensions served by the packed int16 kernel
+	ScalarExts int64 // extensions that fell back to the int32 scalar kernel
+	LaneCells  int64 // live DP cells covered by packed pass-A words
+	LaneSlots  int64 // int16 lane slots issued by packed pass-A words
+}
+
+// TakeStats returns the counters accumulated since the last call and
+// resets them — the executors drain per-task deltas through this.
+func (w *Workspace) TakeStats() KernelStats {
+	s := w.stats
+	w.stats = KernelStats{}
+	return s
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use and
@@ -110,11 +135,30 @@ func (w *Workspace) ExtendRight(a, b seq.Seq, sc Scoring, x int) Extension {
 	return w.extend(a, b, sc, x, false)
 }
 
-// extend runs the X-drop extension over a and b, walking both backward when
-// rev is set — the left extension runs over reversed indices instead of the
-// reference kernel's heap-materialised reversed copies. Results (Score,
+// extend dispatches one X-drop extension to the fastest kernel whose value
+// range provably holds the inputs: the packed int16 SWAR kernel when
+// fitsInt16 passes, else the int32 scalar kernel (which itself falls back
+// to the int reference for pathological magnitudes). All three produce
+// bit-identical scores, extents and cell counts.
+func (w *Workspace) extend(a, b seq.Seq, sc Scoring, x int, rev bool) Extension {
+	if x < 0 {
+		x = 0
+	}
+	if swarEnabled && fitsInt16(len(a), len(b), sc, x) {
+		w.stats.SWARExts++
+		return w.extendSWAR(a, b, sc, x, rev)
+	}
+	w.stats.ScalarExts++
+	return w.extendScalar(a, b, sc, x, rev)
+}
+
+// extendScalar runs the X-drop extension over a and b, walking both backward
+// when rev is set — the left extension runs over reversed indices instead of
+// the reference kernel's heap-materialised reversed copies. Results (Score,
 // AExt, BExt, Cells) are identical to extendRightRef on the corresponding
-// (possibly reversed) inputs.
+// (possibly reversed) inputs. It stays on past the SWAR kernel both as the
+// wide-range fallback and as the differential oracle the fuzz targets pin
+// the packed kernel against.
 //
 // Inner-loop structure relative to the reference: the three window-membership
 // tests per cell are replaced by peeled first/last columns (only the middle
@@ -122,7 +166,7 @@ func (w *Workspace) ExtendRight(a, b seq.Seq, sc Scoring, x int) Extension {
 // precomputed substitution row, the per-cell cells++ by one per-row addition,
 // and the per-cell best-x recomputation by a threshold updated only when
 // best improves. The diagonal and left DP inputs are carried in registers.
-func (w *Workspace) extend(a, b seq.Seq, sc Scoring, x int, rev bool) Extension {
+func (w *Workspace) extendScalar(a, b seq.Seq, sc Scoring, x int, rev bool) Extension {
 	if x < 0 {
 		x = 0
 	}

@@ -52,16 +52,18 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	var cbErr error
 	r.Serve(readServer(r, in))
 
+	// Batchers are pooled, not shared: a Progress call inside one group's
+	// loop can start another group's completion callback (DESIGN.md §16).
+	var bpool batchPool
+
 	// Split-phase barrier: compute local-local tasks during the time this
 	// rank would otherwise spend waiting, polling so early requesters are
 	// not starved.
 	wait := r.SplitBarrier()
-	for i, t := range store.local {
-		execLocal(r, in, &cfg, *t, out)
-		if (i+1)%cfg.PollEvery == 0 {
-			r.Progress()
-		}
-	}
+	lbt := bpool.get()
+	lbt.loadPtr(store.local)
+	lbt.run(r, in, &cfg, 0, nil, false, out, cfg.PollEvery)
+	bpool.put(lbt)
 	wait()
 
 	// Pull every remote read once; alignments run in the callback. The
@@ -114,16 +116,14 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 					}
 					cache.Insert(rid, cp, int64(in.planSize(rid)), 1)
 				}
-				for i, t := range store.byRemote[rid] {
-					execTask(r, in, &cfg, *t, read.Seq, t.A == rid, out)
-					tasksRun++
-					// Application-level polling (§3.2): answer inbound
-					// requests between alignments so peers are not starved
-					// while this rank chews a long task batch.
-					if (i+1)%cfg.PollEvery == 0 {
-						r.Progress()
-					}
-				}
+				// Application-level polling (§3.2) continues inside run:
+				// inbound requests are answered between alignments so peers
+				// are not starved while this rank chews a long task batch.
+				gbt := bpool.get()
+				gbt.loadPtr(store.byRemote[rid])
+				gbt.run(r, in, &cfg, rid, read.Seq, true, out, cfg.PollEvery)
+				bpool.put(gbt)
+				tasksRun += len(store.byRemote[rid])
 				if cache != nil {
 					cache.Release(rid, 1)
 				}
@@ -144,12 +144,10 @@ func RunAsync(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 			// Run) runs its alignments without touching the wire.
 			if bases, ok := cache.Acquire(rid, 1); ok {
 				out.CacheHits++
-				for i, t := range store.byRemote[rid] {
-					execTask(r, in, &cfg, *t, bases, t.A == rid, out)
-					if (i+1)%cfg.PollEvery == 0 {
-						r.Progress()
-					}
-				}
+				hbt := bpool.get()
+				hbt.loadPtr(store.byRemote[rid])
+				hbt.run(r, in, &cfg, rid, bases, true, out, cfg.PollEvery)
+				bpool.put(hbt)
 				cache.Release(rid, 1)
 				continue
 			}

@@ -49,6 +49,11 @@ type Config struct {
 	// the same rank. Takes precedence over CacheBudget. A cache must only
 	// ever be used by a single rank (it is unlocked by design).
 	Cache *ReadCache
+
+	// NoBatch disables length-bucketed batch scheduling (DESIGN.md §16):
+	// task groups run in discovery order instead of bucketed order. The
+	// result set is identical either way; this is the ablation knob.
+	NoBatch bool
 }
 
 func (cfg *Config) defaults() {
@@ -73,34 +78,6 @@ func (cfg *Config) defaults() {
 		// Like the executor binding above: cfg is a per-Run value copy, so
 		// this cache is private to the calling rank.
 		cfg.Cache = NewReadCache(cfg.CacheBudget)
-	}
-}
-
-// execTask routes the task's two sequences into the executor in (A, B)
-// order; fetched is the remote read's payload (may be nil: phantom codec),
-// and remoteIsA says which side it fills.
-func execTask(r rt.Runtime, in *Input, cfg *Config, t overlap.Task, fetched seq.Seq, remoteIsA bool, out *Result) {
-	var a, b seq.Seq
-	if in.Store != nil {
-		if remoteIsA {
-			a, b = fetched, in.localSeq(t.B)
-		} else {
-			a, b = in.localSeq(t.A), fetched
-		}
-	}
-	if res, ok := cfg.Exec.Align(r, t, a, b); ok && res.Score >= cfg.MinScore {
-		out.Hits = append(out.Hits, mkHit(t, res))
-	}
-}
-
-// execLocal runs a task whose reads are both local.
-func execLocal(r rt.Runtime, in *Input, cfg *Config, t overlap.Task, out *Result) {
-	var a, b seq.Seq
-	if in.Store != nil {
-		a, b = in.localSeq(t.A), in.localSeq(t.B)
-	}
-	if res, ok := cfg.Exec.Align(r, t, a, b); ok && res.Score >= cfg.MinScore {
-		out.Hits = append(out.Hits, mkHit(t, res))
 	}
 }
 
@@ -134,10 +111,11 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	met := r.Metrics()
 	met.StoreBytes = in.storeBytes(r.Rank())
 
-	// Tasks with both reads local need no exchange.
-	for _, t := range store.local {
-		execLocal(r, in, &cfg, t, out)
-	}
+	// Tasks with both reads local need no exchange. BSP never nests task
+	// loops (no completion callbacks), so one batcher serves the whole Run.
+	var bt batcher
+	bt.loadFlat(store.local)
+	bt.run(r, in, &cfg, 0, nil, false, out, 0)
 
 	// Cache pre-pass: any remote read already resident (retained by an
 	// earlier Run over the same world) runs its tasks now and drops out of
@@ -152,9 +130,8 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		for _, g := range groups {
 			if bases, ok := cache.Acquire(g.read, 1); ok {
 				out.CacheHits++
-				for _, t := range store.tasksOf(g) {
-					execTask(r, in, &cfg, t, bases, t.A == g.read, out)
-				}
+				bt.loadFlat(store.tasksOf(g))
+				bt.run(r, in, &cfg, g.read, bases, true, out, 0)
 				cache.Release(g.read, 1)
 				continue
 			}
@@ -269,9 +246,8 @@ func RunBSP(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 					}
 					cache.Insert(read.ID, cp, int64(in.planSize(read.ID)), 1)
 				}
-				for _, t := range tasks {
-					execTask(r, in, &cfg, t, read.Seq, t.A == read.ID, out)
-				}
+				bt.loadFlat(tasks)
+				bt.run(r, in, &cfg, read.ID, read.Seq, true, out, 0)
 				if cache != nil {
 					cache.Release(read.ID, 1)
 				}

@@ -64,6 +64,18 @@ func (e RealExecutor) Align(r rt.Runtime, t overlap.Task, a, b seq.Seq) (align.R
 	if err != nil {
 		panic("core: invalid task reached the aligner: " + err.Error())
 	}
+	// Drain the workspace's kernel counters into the rank's metrics: a task
+	// counts as SWAR only when every extension ran packed; any scalar
+	// fallback marks the whole task.
+	ks := w.TakeStats()
+	m := r.Metrics()
+	if ks.ScalarExts > 0 {
+		m.FallbackTasks++
+	} else if ks.SWARExts > 0 {
+		m.SWARTasks++
+	}
+	m.LaneCells += ks.LaneCells
+	m.LaneSlots += ks.LaneSlots
 	return res, true
 }
 

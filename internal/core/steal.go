@@ -75,13 +75,14 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 	})
 
 	var cbErr error
+	// Batchers are pooled, not shared: a Progress call inside one group's
+	// loop can start another group's completion callback (DESIGN.md §16).
+	var bpool batchPool
 	wait := r.SplitBarrier()
-	for i, t := range store.local {
-		execLocal(r, in, &cfg, *t, out)
-		if (i+1)%cfg.PollEvery == 0 {
-			r.Progress()
-		}
-	}
+	lbt := bpool.get()
+	lbt.loadPtr(store.local)
+	lbt.run(r, in, &cfg, 0, nil, false, out, cfg.PollEvery)
+	bpool.put(lbt)
 	wait()
 
 	// Phase 1: own queue, front to wherever stealing leaves it. With the
@@ -94,18 +95,16 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 		next++
 		tasks := store.byRemote[rid]
 		if fc.cache != nil {
-			fc.fetch(rid, func(s seq.Seq, err error) {
+			fc.fetch(rid, true, func(s seq.Seq, err error) {
 				if err != nil {
 					cbErr = err
 					return
 				}
-				for i, t := range tasks {
-					execTask(r, in, &cfg, *t, s, t.A == rid, out)
-					if (i+1)%cfg.PollEvery == 0 {
-						r.Progress()
-					}
-				}
-				fc.done(rid)
+				cbt := bpool.get()
+				cbt.loadPtr(tasks)
+				cbt.run(r, in, &cfg, rid, s, true, out, cfg.PollEvery)
+				bpool.put(cbt)
+				fc.doneSeq(rid, s)
 			})
 			if r.Outstanding() > cfg.MaxOutstanding {
 				r.Drain(cfg.MaxOutstanding)
@@ -135,12 +134,10 @@ func RunAsyncStealing(r rt.Runtime, in *Input, cfg Config) (*Result, error) {
 				dbuf = read.Seq
 			}
 			defer scratch.put(dbuf)
-			for i, t := range tasks {
-				execTask(r, in, &cfg, *t, read.Seq, t.A == rid, out)
-				if (i+1)%cfg.PollEvery == 0 {
-					r.Progress()
-				}
-			}
+			cbt := bpool.get()
+			cbt.loadPtr(tasks)
+			cbt.run(r, in, &cfg, rid, read.Seq, true, out, cfg.PollEvery)
+			bpool.put(cbt)
 		})
 		if r.Outstanding() > cfg.MaxOutstanding {
 			r.Drain(cfg.MaxOutstanding)
@@ -281,8 +278,12 @@ type fetchCtx struct {
 	in     *Input
 	meter  *rpcMeter
 	out    *Result
-	cache  *ReadCache // nil: cache disabled, behave exactly as before
+	cache  *ReadCache // nil: cache disabled, decode into pooled scratch
 	lo, hi int        // this rank's partition range
+	// scratch pools decode buffers for cache-disabled fetches, so stolen
+	// tasks (two wire fetches each) stop allocating bases per fetch. The
+	// cache-enabled path keeps plain Decode: Insert retains owned bases.
+	scratch seqScratch
 	// inflight holds, per read currently on the wire, the callbacks of the
 	// fetch decisions that arrived while it was in flight. All access is on
 	// this rank's goroutine (progress contract).
@@ -301,11 +302,17 @@ func newFetchCtx(r rt.Runtime, in *Input, meter *rpcMeter, out *Result, cache *R
 func (fc *fetchCtx) local(id seq.ReadID) bool { return int(id) >= fc.lo && int(id) < fc.hi }
 
 // fetch resolves one read and hands it to cb — synchronously for local or
-// cached reads, from a completion callback otherwise. On success of a
-// non-local fetch with the cache enabled, the callee holds one pin on id
-// and must call done(id) after its last use of the bases; on error no pin
-// is held. cb(nil, err) reports decode failures.
-func (fc *fetchCtx) fetch(id seq.ReadID, cb func(seq.Seq, error)) {
+// cached reads, from a completion callback otherwise. retain declares that
+// the callee keeps using the bases after cb returns (the stolen group's
+// read, referenced by every nested per-task fetch): on success of a
+// non-local retained fetch the callee then owes a release — the cache pin
+// when the cache is enabled, the scratch decode buffer otherwise — paid by
+// calling doneSeq(id, bases) after its last use; on error nothing is owed.
+// A transient fetch (retain=false) may use the bases only inside cb; its
+// decode buffer returns to the scratch pool as cb exits (done(id) still
+// releases the cache pin when the cache is enabled). cb(nil, err) reports
+// decode failures.
+func (fc *fetchCtx) fetch(id seq.ReadID, retain bool, cb func(seq.Seq, error)) {
 	if fc.local(id) {
 		cb(fc.in.localSeq(id), nil)
 		return
@@ -334,21 +341,38 @@ func (fc *fetchCtx) fetch(id seq.ReadID, cb func(seq.Seq, error)) {
 		n := int64(len(val))
 		fc.r.Alloc(n)
 		defer fc.r.Free(n)
+		if fc.cache == nil {
+			// Decode into a pooled buffer instead of allocating per fetch.
+			// A retained fetch hands the buffer to the caller with the
+			// bases (returned through doneSeq at group completion); a
+			// transient one recovers it as soon as cb is done.
+			dbuf := fc.scratch.get()
+			read, used, err := fc.in.Codec.DecodeInto(dbuf, val)
+			if err != nil || used != len(val) {
+				fc.scratch.put(dbuf)
+				cb(nil, fmt.Errorf("bad payload for read %d: %v", id, err))
+				return
+			}
+			if cap(read.Seq) > cap(dbuf) {
+				dbuf = read.Seq
+			}
+			if retain && read.Seq != nil {
+				cb(read.Seq, nil)
+				return
+			}
+			cb(read.Seq, nil)
+			fc.scratch.put(dbuf)
+			return
+		}
 		read, used, err := fc.in.Codec.Decode(val)
 		if err != nil || used != len(val) {
 			err = fmt.Errorf("bad payload for read %d: %v", id, err)
-			if fc.cache != nil {
-				waiters := fc.inflight[id]
-				delete(fc.inflight, id)
-				for _, w := range waiters {
-					w(nil, err)
-				}
+			waiters := fc.inflight[id]
+			delete(fc.inflight, id)
+			for _, w := range waiters {
+				w(nil, err)
 			}
 			cb(nil, err)
-			return
-		}
-		if fc.cache == nil {
-			cb(read.Seq, nil)
 			return
 		}
 		// Plain Decode returned owned bases (the stolen-group paths retain
@@ -372,12 +396,27 @@ func (fc *fetchCtx) done(id seq.ReadID) {
 	fc.cache.Release(id, 1)
 }
 
+// doneSeq settles whatever a successful retained fetch left owing: the
+// cache pin when the cache is enabled, the scratch decode buffer (handed
+// over as the bases themselves) otherwise. Local reads owe nothing — the
+// bases belong to the store.
+func (fc *fetchCtx) doneSeq(id seq.ReadID, bases seq.Seq) {
+	if fc.local(id) {
+		return
+	}
+	if fc.cache != nil {
+		fc.cache.Release(id, 1)
+		return
+	}
+	fc.scratch.put(bases)
+}
+
 // runStolenGroupImpl executes a stolen task group: fetch the group's
 // remote read, then per task fetch the other side (the victim's local
 // read — usually remote to the thief too: stealing pays double
 // communication, which is exactly the overhead §5 asks about).
 func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, fc *fetchCtx, g stolenGroup, out *Result, pendingWork *int, cbErr *error) {
-	fc.fetch(g.rid, func(ridSeq seq.Seq, err error) {
+	fc.fetch(g.rid, true, func(ridSeq seq.Seq, err error) {
 		if err != nil {
 			*cbErr = err
 			*pendingWork--
@@ -385,7 +424,7 @@ func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, fc *fetchCtx, g st
 		}
 		remaining := len(g.tasks)
 		if remaining == 0 {
-			fc.done(g.rid)
+			fc.doneSeq(g.rid, ridSeq)
 			*pendingWork--
 			return
 		}
@@ -395,7 +434,7 @@ func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, fc *fetchCtx, g st
 			if other == g.rid {
 				other = t.B
 			}
-			fc.fetch(other, func(otherSeq seq.Seq, err error) {
+			fc.fetch(other, false, func(otherSeq seq.Seq, err error) {
 				if err != nil {
 					*cbErr = err
 				} else {
@@ -415,8 +454,9 @@ func runStolenGroupImpl(r rt.Runtime, in *Input, cfg *Config, fc *fetchCtx, g st
 				remaining--
 				if remaining == 0 {
 					// The group's read outlives every per-task fetch: its
-					// pin drops only when the last task completes.
-					fc.done(g.rid)
+					// retention (cache pin or scratch buffer) drops only
+					// when the last task completes.
+					fc.doneSeq(g.rid, ridSeq)
 					*pendingWork--
 				}
 			})

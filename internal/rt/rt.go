@@ -122,6 +122,16 @@ type Metrics struct {
 	// framing, because the tier split is about what the network carries.
 	IntraBytes int64
 	InterBytes int64
+
+	// Alignment-kernel accounting (DESIGN.md §16). SWARTasks/FallbackTasks
+	// count alignment tasks served entirely by the packed int16 kernel vs
+	// tasks where at least one extension fell back to the scalar kernel;
+	// LaneCells/LaneSlots measure packed-lane occupancy (live DP cells
+	// covered vs int16 lane slots issued for them).
+	SWARTasks     int64
+	FallbackTasks int64
+	LaneCells     int64
+	LaneSlots     int64
 }
 
 // Snapshot returns a value copy of the rank's accounting, taken so a later
@@ -162,6 +172,10 @@ func Sub(cur, prev Metrics) Metrics {
 	d.CacheEvicts -= prev.CacheEvicts
 	d.IntraBytes -= prev.IntraBytes
 	d.InterBytes -= prev.InterBytes
+	d.SWARTasks -= prev.SWARTasks
+	d.FallbackTasks -= prev.FallbackTasks
+	d.LaneCells -= prev.LaneCells
+	d.LaneSlots -= prev.LaneSlots
 	return d
 }
 
@@ -319,5 +333,10 @@ func TraceRow(rank int, m *Metrics, b *trace.Buf) trace.RankMetrics {
 		CachePinned: m.CachePinnedPeak,
 		IntraBytes:  m.IntraBytes,
 		InterBytes:  m.InterBytes,
+
+		SWARTasks:     m.SWARTasks,
+		FallbackTasks: m.FallbackTasks,
+		LaneCells:     m.LaneCells,
+		LaneSlots:     m.LaneSlots,
 	}
 }

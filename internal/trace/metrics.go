@@ -40,6 +40,11 @@ type RankMetrics struct {
 	CachePinned int64   `json:"cache_pinned_peak_bytes"`
 	IntraBytes  int64   `json:"intra_bytes"`
 	InterBytes  int64   `json:"inter_bytes"`
+
+	SWARTasks     int64 `json:"swar_tasks"`
+	FallbackTasks int64 `json:"fallback_tasks"`
+	LaneCells     int64 `json:"lane_cells"`
+	LaneSlots     int64 `json:"lane_slots"`
 }
 
 // MetricsSummary reduces the per-rank rows: totals plus the paper's
@@ -60,6 +65,9 @@ type MetricsSummary struct {
 	TotalCacheMisses int64   `json:"total_cache_misses"`
 	TotalIntraBytes  int64   `json:"total_intra_bytes"`
 	TotalInterBytes  int64   `json:"total_inter_bytes"`
+	TotalSWARTasks   int64   `json:"total_swar_tasks"`
+	TotalFallback    int64   `json:"total_fallback_tasks"`
+	LaneOccupancy    float64 `json:"lane_occupancy"`
 }
 
 // imbalance is max/mean (1.0 = perfect balance, 0-mean series report 1).
@@ -80,6 +88,7 @@ func imbalance(vals []float64) float64 {
 // Summarize reduces rows to a MetricsSummary.
 func Summarize(rows []RankMetrics) MetricsSummary {
 	s := MetricsSummary{Ranks: len(rows)}
+	var laneCells, laneSlots int64
 	align := make([]float64, len(rows))
 	elapsed := make([]float64, len(rows))
 	recv := make([]float64, len(rows))
@@ -104,6 +113,13 @@ func Summarize(rows []RankMetrics) MetricsSummary {
 		s.TotalCacheMisses += r.CacheMisses
 		s.TotalIntraBytes += r.IntraBytes
 		s.TotalInterBytes += r.InterBytes
+		s.TotalSWARTasks += r.SWARTasks
+		s.TotalFallback += r.FallbackTasks
+		laneCells += r.LaneCells
+		laneSlots += r.LaneSlots
+	}
+	if laneSlots > 0 {
+		s.LaneOccupancy = float64(laneCells) / float64(laneSlots)
 	}
 	s.AlignImbalance = imbalance(align)
 	s.ElapsedImbalance = imbalance(elapsed)
@@ -121,6 +137,29 @@ var metricsHeader = []string{
 	"trace_events", "trace_events_dropped",
 	"cache_hits", "cache_misses", "cache_evictions", "cache_pinned_peak_bytes",
 	"intra_bytes", "inter_bytes",
+	"swar_tasks", "fallback_tasks", "lane_cells", "lane_slots",
+}
+
+// record renders the row under metricsHeader's column order. The stage- and
+// job-scoped writers prepend their scope column to the same record, so a new
+// column lands in every exporter at once.
+func (r RankMetrics) record() []string {
+	return []string{
+		strconv.Itoa(r.Rank), fsec(r.AlignSec), fsec(r.OverheadSec),
+		fsec(r.CommSec), fsec(r.SyncSec), fsec(r.ElapsedSec),
+		strconv.FormatInt(r.BytesSent, 10), strconv.FormatInt(r.BytesRecv, 10),
+		strconv.FormatInt(r.Msgs, 10), strconv.FormatInt(r.RPCsSent, 10),
+		strconv.FormatInt(r.RPCsServed, 10), strconv.FormatInt(r.Supersteps, 10),
+		strconv.FormatInt(r.MaxMem, 10), strconv.FormatInt(r.StoreBytes, 10),
+		strconv.FormatInt(r.PeakExch, 10), strconv.FormatInt(r.PeakRPC, 10),
+		strconv.FormatInt(r.OOPGets, 10), strconv.Itoa(r.RPCPeak),
+		strconv.FormatInt(r.Events, 10), strconv.FormatInt(r.Dropped, 10),
+		strconv.FormatInt(r.CacheHits, 10), strconv.FormatInt(r.CacheMisses, 10),
+		strconv.FormatInt(r.CacheEvicts, 10), strconv.FormatInt(r.CachePinned, 10),
+		strconv.FormatInt(r.IntraBytes, 10), strconv.FormatInt(r.InterBytes, 10),
+		strconv.FormatInt(r.SWARTasks, 10), strconv.FormatInt(r.FallbackTasks, 10),
+		strconv.FormatInt(r.LaneCells, 10), strconv.FormatInt(r.LaneSlots, 10),
+	}
 }
 
 func fsec(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
@@ -133,21 +172,7 @@ func WriteMetricsCSV(w io.Writer, rows []RankMetrics) error {
 		return err
 	}
 	for _, r := range rows {
-		rec := []string{
-			strconv.Itoa(r.Rank), fsec(r.AlignSec), fsec(r.OverheadSec),
-			fsec(r.CommSec), fsec(r.SyncSec), fsec(r.ElapsedSec),
-			strconv.FormatInt(r.BytesSent, 10), strconv.FormatInt(r.BytesRecv, 10),
-			strconv.FormatInt(r.Msgs, 10), strconv.FormatInt(r.RPCsSent, 10),
-			strconv.FormatInt(r.RPCsServed, 10), strconv.FormatInt(r.Supersteps, 10),
-			strconv.FormatInt(r.MaxMem, 10), strconv.FormatInt(r.StoreBytes, 10),
-			strconv.FormatInt(r.PeakExch, 10), strconv.FormatInt(r.PeakRPC, 10),
-			strconv.FormatInt(r.OOPGets, 10), strconv.Itoa(r.RPCPeak),
-			strconv.FormatInt(r.Events, 10), strconv.FormatInt(r.Dropped, 10),
-			strconv.FormatInt(r.CacheHits, 10), strconv.FormatInt(r.CacheMisses, 10),
-			strconv.FormatInt(r.CacheEvicts, 10), strconv.FormatInt(r.CachePinned, 10),
-			strconv.FormatInt(r.IntraBytes, 10), strconv.FormatInt(r.InterBytes, 10),
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := cw.Write(r.record()); err != nil {
 			return err
 		}
 	}

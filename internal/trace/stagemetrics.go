@@ -5,7 +5,6 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"io"
-	"strconv"
 )
 
 // StageRow scopes one rank's metrics row to the pipeline stage that
@@ -31,22 +30,7 @@ func WriteStageMetricsCSV(w io.Writer, rows []StageRow) error {
 		return err
 	}
 	for _, r := range rows {
-		rec := []string{
-			r.Stage,
-			strconv.Itoa(r.Rank), fsec(r.AlignSec), fsec(r.OverheadSec),
-			fsec(r.CommSec), fsec(r.SyncSec), fsec(r.ElapsedSec),
-			strconv.FormatInt(r.BytesSent, 10), strconv.FormatInt(r.BytesRecv, 10),
-			strconv.FormatInt(r.Msgs, 10), strconv.FormatInt(r.RPCsSent, 10),
-			strconv.FormatInt(r.RPCsServed, 10), strconv.FormatInt(r.Supersteps, 10),
-			strconv.FormatInt(r.MaxMem, 10), strconv.FormatInt(r.StoreBytes, 10),
-			strconv.FormatInt(r.PeakExch, 10), strconv.FormatInt(r.PeakRPC, 10),
-			strconv.FormatInt(r.OOPGets, 10), strconv.Itoa(r.RPCPeak),
-			strconv.FormatInt(r.Events, 10), strconv.FormatInt(r.Dropped, 10),
-			strconv.FormatInt(r.CacheHits, 10), strconv.FormatInt(r.CacheMisses, 10),
-			strconv.FormatInt(r.CacheEvicts, 10), strconv.FormatInt(r.CachePinned, 10),
-			strconv.FormatInt(r.IntraBytes, 10), strconv.FormatInt(r.InterBytes, 10),
-		}
-		if err := cw.Write(rec); err != nil {
+		if err := cw.Write(append([]string{r.Stage}, r.record()...)); err != nil {
 			return err
 		}
 	}
