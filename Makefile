@@ -17,6 +17,10 @@
 #                reads must assemble into one contig spanning the genome,
 #                byte-identical (edges and contigs) between the serial run
 #                and a race-built 4-process TCP run
+#   make placement-smoke  topology-aware placement check: a race-built
+#                4-process TCP run in nodes of 2 under a non-identity
+#                rank→slot placement must byte-match the serial artifacts
+#                at every stage, with nonzero bytes on both tiers
 #   make serve-smoke  resident-service check under the race detector: a
 #                race-built dibserve takes two concurrent jobs, one of
 #                which chaos-kills a worker rank mid-run; the victim job
@@ -37,7 +41,7 @@ FUZZT   ?= 10s
 BENCHN  ?= 5
 BENCH_JSON ?= BENCH_9.json
 
-.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke serve-smoke assemble-smoke bench bench-smoke bench-comm ci
+.PHONY: check vet fmtcheck build test race fuzz golden chaos dist-smoke serve-smoke assemble-smoke placement-smoke bench bench-smoke bench-comm ci
 
 check: vet fmtcheck build test
 
@@ -186,6 +190,36 @@ assemble-smoke:
 	[ "$$len" -ge 29000 ] || { echo "assemble-smoke: contig $$len bp does not span the 30000 bp genome"; exit 1; }; \
 	echo "assemble-smoke: OK (one contig, $$len of 30000 bp)"
 
+# Placement smoke: a race-built 4-process TCP run in nodes of 2 under a
+# non-identity placement must stay byte-identical to the serial reference
+# for every artifact (hits, reduced graph, contigs). Placement 0,2,1,3
+# regroups the nodes to {0,2} and {1,3} — a genuinely different grouping
+# from identity's {0,1},{2,3} — and the per-rank metrics must show the
+# traffic actually split across both tiers (nonzero intra AND inter
+# bytes), proving the leader relay ran rather than falling back to the
+# flat path.
+placement-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o $$tmp/dibella ./cmd/dibella && \
+	$(GO) build -o $$tmp/genreads ./cmd/genreads && \
+	$$tmp/genreads -genome 30000 -coverage 8 -meanlen 600 -sigma 0.1 -error 0 -both -seed 5 \
+		-out $$tmp/reads.fa && \
+	args="-in $$tmp/reads.fa -k 15 -lofreq 2 -hifreq 60 -minscore 100 -x 20"; \
+	for st in overlap reduce contigs; do \
+		$$tmp/dibella $$args -procs 1 -stages $$st -out $$tmp/$$st.serial 2>/dev/null && \
+		$$tmp/dibella $$args -dist -procs 4 -node-size 2 -placement 0,2,1,3 \
+			-stages $$st -metrics $$tmp/met-$$st.csv -out $$tmp/$$st.placed 2>/dev/null && \
+		cmp $$tmp/$$st.serial $$tmp/$$st.placed && \
+		echo "placement-smoke $$st: OK (serial == placed 4-rank dist)" || exit 1; \
+	done; \
+	awk -F, ' \
+		NR==1 { for (i = 1; i <= NF; i++) col[$$i] = i; next } \
+		{ intra += $$col["intra_bytes"]; inter += $$col["inter_bytes"] } \
+		END { if (intra <= 0 || inter <= 0) { \
+			printf "placement-smoke: tier split broken (intra %d, inter %d)\n", intra, inter; exit 1 } \
+		  printf "placement-smoke tiers: OK (%d intra, %d inter bytes)\n", intra, inter }' \
+		$$(ls $$tmp/met-contigs.csv.rank*) || exit 1
+
 # Full kernel benchmark run. bench/bench_baseline.txt is the committed
 # scalar-kernel reference output of the same benchmarks (regenerate it
 # with `make bench` on the commit being used as the baseline and copy
@@ -197,18 +231,22 @@ bench:
 	$(GO) run ./cmd/benchfmt -old bench/bench_baseline.txt \
 		-json $(BENCH_JSON) bench/bench_new.txt
 
-# Communication-volume comparison on the degree-skewed workload: the same
-# benchmark run cache-off/flat (baseline) then cache-on/aggregated, diffed
-# into BENCH_6.json. wirefetches/op and interbytes/op are the numbers to
-# watch: the cache halves the former, hierarchical aggregation trims the
-# latter.
+# Communication-volume comparison: the same benchmarks run cache-off/flat
+# (baseline) then cache-on/aggregated, diffed into BENCH_10.json. The
+# suite covers both the overlap exchange (dist-bsp) and the assembly
+# stages' neighbour-fetch rounds (dist-assembly, which also reports
+# graphfetches/op and graphcoalesced/op). wirefetches/op and interbytes/op
+# are the numbers to watch: the cache halves the former, hierarchical
+# aggregation trims the latter — so the interbytes gate only trips when
+# the hierarchical path sends MORE cross-node bytes than the flat
+# baseline, a genuine regression.
 bench-comm:
 	$(GO) test -run '^$$' -bench CommExchange -benchtime 1x \
 		./internal/workload/ -args -cachebudget=0 | tee bench/comm_off.txt
 	$(GO) test -run '^$$' -bench CommExchange -benchtime 1x \
 		./internal/workload/ -args -cachebudget=-1 | tee bench/comm_on.txt
 	$(GO) run ./cmd/benchfmt -old bench/comm_off.txt \
-		-json BENCH_6.json bench/comm_on.txt
+		-json BENCH_10.json -gate 10 -gateunits interbytes/op bench/comm_on.txt
 
 # Fast allocation-regression gate for CI: the AllocsPerRun guard tests
 # (kernel, codecs, wire decode, overlap workspace) plus one short bench
@@ -221,4 +259,4 @@ bench-smoke:
 		./internal/align/ | $(GO) run ./cmd/benchfmt \
 		-old bench/bench_baseline.txt -gate 10
 
-ci: check race fuzz chaos bench-smoke dist-smoke serve-smoke assemble-smoke
+ci: check race fuzz chaos bench-smoke dist-smoke serve-smoke assemble-smoke placement-smoke

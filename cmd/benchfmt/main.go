@@ -13,8 +13,10 @@
 // sit at the end of a pipe.
 //
 // -gate PCT turns the comparison into a CI check: the process exits
-// non-zero when any benchmark's ns/op median regresses by more than PCT
-// percent against the -old baseline (benchmarks new in this run pass).
+// non-zero when any gated unit's median regresses by more than PCT percent
+// against the -old baseline (benchmarks new in this run pass). -gateunits
+// selects which units are enforced — "ns/op" by default; communication
+// gates list byte counters instead, e.g. -gateunits interbytes/op.
 package main
 
 import (
@@ -205,20 +207,23 @@ func (r *report) table(w io.Writer, withOld bool) {
 	}
 }
 
-// gateFailures returns one line per benchmark whose ns/op median regressed
-// by more than pct relative to the baseline. Benchmarks without a baseline
-// entry pass (new benchmarks must not fail the gate on their first run);
-// only time regressions are gated — memory and custom units are reported
-// but not enforced.
-func gateFailures(r *report, pct float64) []string {
+// gateFailures returns one line per benchmark × gated unit whose median
+// regressed (grew) by more than pct relative to the baseline. Benchmarks
+// without a baseline entry pass (new benchmarks must not fail the gate on
+// their first run); units not listed in gated are reported but not
+// enforced. All gated units share the bigger-is-worse convention — time,
+// allocations and byte counters alike.
+func gateFailures(r *report, pct float64, gated []string) []string {
 	var fails []string
 	for _, name := range namesOf(r) {
-		c, ok := r.byName[name]["ns/op"]
-		if !ok || c.DeltaPct == nil {
-			continue
-		}
-		if *c.DeltaPct > pct {
-			fails = append(fails, fmt.Sprintf("%s: ns/op %+.2f%% (gate %+.2f%%)", name, *c.DeltaPct, pct))
+		for _, unit := range gated {
+			c, ok := r.byName[name][unit]
+			if !ok || c.DeltaPct == nil {
+				continue
+			}
+			if *c.DeltaPct > pct {
+				fails = append(fails, fmt.Sprintf("%s: %s %+.2f%% (gate %+.2f%%)", name, unit, *c.DeltaPct, pct))
+			}
 		}
 	}
 	return fails
@@ -244,7 +249,8 @@ func parseFile(path string) (*suite, error) {
 func main() {
 	oldPath := flag.String("old", "", "baseline `go test -bench` output to compare against")
 	jsonPath := flag.String("json", "", "write the structured comparison as JSON to this file")
-	gatePct := flag.Float64("gate", 0, "exit non-zero if any benchmark's ns/op median regresses more than this `percent` vs -old (0 disables)")
+	gatePct := flag.Float64("gate", 0, "exit non-zero if any gated unit's median regresses more than this `percent` vs -old (0 disables)")
+	gateUnits := flag.String("gateunits", "ns/op", "comma-separated `units` the -gate enforces (bigger is worse for all of them); other units are reported but not gated")
 	flag.Parse()
 
 	var cur *suite
@@ -290,7 +296,13 @@ func main() {
 	}
 
 	if *gatePct > 0 && old != nil {
-		if fails := gateFailures(rep, *gatePct); len(fails) > 0 {
+		var gated []string
+		for _, u := range strings.Split(*gateUnits, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				gated = append(gated, u)
+			}
+		}
+		if fails := gateFailures(rep, *gatePct, gated); len(fails) > 0 {
 			for _, f := range fails {
 				fmt.Fprintf(os.Stderr, "benchfmt: gate: %s\n", f)
 			}

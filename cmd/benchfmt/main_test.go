@@ -75,7 +75,7 @@ func TestGateFailures(t *testing.T) {
 	cur, _ := parse(strings.NewReader(oldOut))
 	old, _ := parse(strings.NewReader(newOut))
 	rep := build(old, cur)
-	fails := gateFailures(rep, 10)
+	fails := gateFailures(rep, 10, []string{"ns/op"})
 	if len(fails) != 2 {
 		t.Fatalf("gate failures = %v, want both benchmarks flagged", fails)
 	}
@@ -83,16 +83,37 @@ func TestGateFailures(t *testing.T) {
 		t.Fatalf("failure line = %q", fails[0])
 	}
 	// A huge threshold passes everything.
-	if fails := gateFailures(rep, 10000); len(fails) != 0 {
+	if fails := gateFailures(rep, 10000, []string{"ns/op"}); len(fails) != 0 {
 		t.Fatalf("lenient gate still failed: %v", fails)
 	}
 	// Improvements never trip the gate.
-	if fails := gateFailures(build(parseStr(t, oldOut), parseStr(t, newOut)), 10); len(fails) != 0 {
+	if fails := gateFailures(build(parseStr(t, oldOut), parseStr(t, newOut)), 10, []string{"ns/op"}); len(fails) != 0 {
 		t.Fatalf("improvement tripped the gate: %v", fails)
 	}
 	// Without a baseline there is nothing to gate against.
-	if fails := gateFailures(build(nil, cur), 10); len(fails) != 0 {
+	if fails := gateFailures(build(nil, cur), 10, []string{"ns/op"}); len(fails) != 0 {
 		t.Fatalf("baseline-free gate failed: %v", fails)
+	}
+}
+
+func TestGateUnits(t *testing.T) {
+	// oldOut-as-current regresses B/op massively alongside ns/op (1k's
+	// zero-byte baseline yields no delta, so only 10k is flaggable).
+	// Only the listed units are enforced.
+	rep := build(parseStr(t, newOut), parseStr(t, oldOut))
+	fails := gateFailures(rep, 10, []string{"B/op"})
+	if len(fails) != 1 || !strings.Contains(fails[0], "SeedExtend10k") {
+		t.Fatalf("B/op-gated failures = %v, want just SeedExtend10k", fails)
+	}
+	if strings.Contains(fails[0], "ns/op") {
+		t.Fatalf("unlisted unit enforced: %q", fails[0])
+	}
+	if fails := gateFailures(rep, 10, []string{"interbytes/op"}); len(fails) != 0 {
+		t.Fatalf("absent unit produced failures: %v", fails)
+	}
+	both := gateFailures(rep, 10, []string{"ns/op", "B/op"})
+	if len(both) != 3 {
+		t.Fatalf("two-unit gate = %v, want 3 failures", both)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -95,6 +96,7 @@ func main() {
 		mem      = flag.Int64("mem", 0, "per-rank exchange memory budget in bytes (0 = unlimited)")
 		cacheB   = flag.Int64("cache-budget", 0, "per-rank remote-read cache budget in bytes (0 disables, negative = unbounded)")
 		nodeSize = flag.Int("node-size", 0, "-dist: group this many consecutive ranks per node and aggregate collectives hierarchically (0/1 = flat)")
+		placeStr = flag.String("placement", "", "-dist: rank→slot placement permutation: identity (default), reverse, or an explicit comma-separated slot list — regroups which ranks share a -node-size node (results are identical under any placement)")
 		outPath  = flag.String("out", "", "output path (default stdout)")
 		stages   = flag.String("stages", "overlap", "run the pipeline through this stage: overlap (hit TSV), graph (string-graph edge TSV), reduce (transitively reduced edge TSV) or contigs (FASTA); each includes all earlier stages")
 		slack    = flag.Int("slack", 50, "assembly stages: tolerated unaligned overhang at read ends when classifying overlaps")
@@ -178,6 +180,18 @@ func main() {
 		}
 		myRank = *rankFlag
 	}
+	// Placement regroups ranks across physical nodes, which only exists in
+	// -dist mode; parse after -peers has fixed the final rank count.
+	if *placeStr != "" && !isDist {
+		fmt.Fprintln(os.Stderr, "dibella: -placement needs -dist (in-process ranks have no node topology)")
+		os.Exit(2)
+	}
+	placement, perr := parsePlacement(*placeStr, *procs)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "dibella: -placement: %v\n", perr)
+		os.Exit(2)
+	}
+
 	// Informational stderr output comes from one process only in -dist mode.
 	logf := func(format string, args ...any) {
 		if !isDist || myRank == 0 {
@@ -260,7 +274,7 @@ func main() {
 		}
 		distRank = dist.NewRank(tp, dist.Config{
 			MemBudget: *mem, Tracer: tracer, ProgressDeadline: pd,
-			NodeSize: *nodeSize})
+			NodeSize: *nodeSize, Placement: placement})
 		world = distRankWorld{distRank}
 		// Graceful drain: a signal aborts the transport, so the collective
 		// this rank is blocked in fails with a typed RankError instead of
@@ -693,6 +707,40 @@ func runExitHooks() {
 	for i := len(fns) - 1; i >= 0; i-- {
 		fns[i]()
 	}
+}
+
+// parsePlacement resolves the -placement flag into a rank→slot permutation
+// for p ranks: "" or "identity" → nil (identity), "reverse" → the reversed
+// order, otherwise an explicit comma-separated slot list. Everything but
+// identity is validated as a permutation.
+func parsePlacement(s string, p int) ([]int, error) {
+	var pl []int
+	switch s {
+	case "", "identity":
+		return nil, nil
+	case "reverse":
+		pl = make([]int, p)
+		for q := range pl {
+			pl[q] = p - 1 - q
+		}
+	default:
+		parts := strings.Split(s, ",")
+		if len(parts) != p {
+			return nil, fmt.Errorf("placement lists %d slots for %d ranks", len(parts), p)
+		}
+		pl = make([]int, p)
+		for i, part := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("slot %d: %w", i, err)
+			}
+			pl[i] = v
+		}
+	}
+	if err := dist.CheckPlacement(pl, p); err != nil {
+		return nil, err
+	}
+	return pl, nil
 }
 
 func fail(err error) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|dist|serve|assembly|all
+//	scaling -experiment table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|intranode|dist|serve|assembly|ablations|placement|all
 //	        [-scale30 N] [-scale100 N] [-scaleccs N]   workload scale divisors
 //	        [-rpn N]                                   simulated ranks per node
 //	        [-nodes 8,16,32]                           node counts for sweeps
@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, dist, serve, assembly, ablations, all)")
+		experiment = flag.String("experiment", "all", "experiment id (table1, fig3..fig13, intranode, dist, serve, assembly, ablations, placement, all)")
 		scale30    = flag.Int("scale30", 0, "E. coli 30x scale divisor (default 8)")
 		scale100   = flag.Int("scale100", 0, "E. coli 100x scale divisor (default 64)")
 		scaleccs   = flag.Int("scaleccs", 0, "Human CCS scale divisor (default 256)")
@@ -155,6 +155,10 @@ func main() {
 			t, err := expt.Assembly(expt.AssemblyParams{
 				GenomeLen: *asmGenome, Stages: *stagesFlag,
 				Nodes: p.Nodes, RPN: *rpn, Seed: *seed})
+			return t, nil, err
+		}},
+		{"placement", func() (*stats.Table, []*expt.Row, error) {
+			t, err := expt.PlacementSweep(p)
 			return t, nil, err
 		}},
 		{"ablations", func() (*stats.Table, []*expt.Row, error) {

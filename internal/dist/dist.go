@@ -88,6 +88,41 @@ type Config struct {
 	// classifying per-tier bytes by NodeSize — the measurement baseline
 	// that quantifies what hierarchical aggregation saves.
 	NoAggregation bool
+
+	// Placement maps each rank to a node *slot*: rank q lives on the node
+	// whose slot group contains Placement[q] (node k owns slots
+	// [k*NodeSize, (k+1)*NodeSize)), and the rank holding a node's first
+	// slot is its leader. nil means the identity placement — rank q on
+	// slot q, the historical consecutive-ranks grouping. A placement is
+	// purely a regrouping: it changes which rank pairs count as intra- vs
+	// inter-node (and which relay through leaders under aggregation),
+	// never what the application exchanges, so results are byte-identical
+	// under every permutation. Must be a permutation of 0..P-1
+	// (CheckPlacement); NewWorldOver rejects invalid placements,
+	// NewRank (which cannot error) falls back to identity.
+	Placement []int
+}
+
+// CheckPlacement verifies that pl is a valid rank→slot placement for p
+// ranks: nil (identity) or a permutation of 0..p-1.
+func CheckPlacement(pl []int, p int) error {
+	if pl == nil {
+		return nil
+	}
+	if len(pl) != p {
+		return fmt.Errorf("dist: placement has %d entries, want %d", len(pl), p)
+	}
+	seen := make([]bool, p)
+	for q, s := range pl {
+		if s < 0 || s >= p {
+			return fmt.Errorf("dist: placement[%d]=%d out of range [0,%d)", q, s, p)
+		}
+		if seen[s] {
+			return fmt.Errorf("dist: placement is not a permutation: slot %d assigned twice", s)
+		}
+		seen[s] = true
+	}
+	return nil
 }
 
 // deadline resolves the configured progress deadline.
@@ -152,7 +187,9 @@ type Rank struct {
 	curOp    string        // collective currently blocked in (error context)
 	failErr  *RankError    // sticky first failure; the rank is dead once set
 
-	ns int // normalized node size (>= 1); 1 means flat
+	ns   int   // normalized node size (>= 1); 1 means flat
+	slot []int // rank -> node slot (identity when no placement is set)
+	inv  []int // node slot -> rank (inverse of slot)
 
 	barEpoch  [2]uint64 // next epoch per barrier kind
 	barGot    map[barKey]struct{}
@@ -194,6 +231,11 @@ func NewRank(tp transport.Transport, cfg Config) *Rank {
 	}
 	if r.ns > r.p {
 		r.ns = r.p
+	}
+	if err := r.SetPlacement(cfg.Placement); err != nil {
+		// NewRank cannot report errors; launchers validate via
+		// CheckPlacement (NewWorldOver does). Identity is always safe.
+		r.setSlots(nil)
 	}
 	r.rec, _ = tp.(transport.FrameRecycler)
 	r.eng = transport.NewEngine(transport.EngineConfig{
@@ -267,6 +309,9 @@ func NewWorldOver(fabric []transport.Transport, cfg Config) (*World, error) {
 	if len(fabric) == 0 {
 		return nil, fmt.Errorf("dist: empty fabric")
 	}
+	if err := CheckPlacement(cfg.Placement, len(fabric)); err != nil {
+		return nil, err
+	}
 	w := &World{ranks: make([]*Rank, len(fabric))}
 	for i, tp := range fabric {
 		if tp.Rank() != i || tp.Size() != len(fabric) {
@@ -308,6 +353,18 @@ func (w *World) Size() int { return len(w.ranks) }
 // the single-goroutine ownership rules of its methods.
 func (w *World) Rank(i int) *Rank { return w.ranks[i] }
 
+// SetPlacement installs the same rank→slot placement on every rank. Call
+// only between Runs.
+func (w *World) SetPlacement(pl []int) error {
+	if err := CheckPlacement(pl, len(w.ranks)); err != nil {
+		return err
+	}
+	for _, r := range w.ranks {
+		r.setSlots(pl)
+	}
+	return nil
+}
+
 // ResetMetrics zeroes every rank's accounting. Call only between Runs.
 func (w *World) ResetMetrics() {
 	for _, r := range w.ranks {
@@ -341,11 +398,37 @@ func (r *Rank) op(fallback string) string {
 	return fallback
 }
 
-// nodeOf returns the node index rank q belongs to.
-func (r *Rank) nodeOf(q int) int { return q / r.ns }
+// SetPlacement installs (or clears, with nil) the rank→slot placement.
+// Collective-safe only between collectives, and every rank must install the
+// same placement before the next one — placements change relay routing and
+// tier classification, not payload, so a world may re-place between Runs.
+func (r *Rank) SetPlacement(pl []int) error {
+	if err := CheckPlacement(pl, r.p); err != nil {
+		return err
+	}
+	r.setSlots(pl)
+	return nil
+}
 
-// leaderOf returns the leader (first rank) of q's node.
-func (r *Rank) leaderOf(q int) int { return (q / r.ns) * r.ns }
+// setSlots materialises the slot and inverse tables (identity for nil).
+func (r *Rank) setSlots(pl []int) {
+	r.slot = make([]int, r.p)
+	r.inv = make([]int, r.p)
+	for q := 0; q < r.p; q++ {
+		s := q
+		if pl != nil {
+			s = pl[q]
+		}
+		r.slot[q] = s
+		r.inv[s] = q
+	}
+}
+
+// nodeOf returns the node index rank q belongs to: its slot's group.
+func (r *Rank) nodeOf(q int) int { return r.slot[q] / r.ns }
+
+// leaderOf returns the leader of q's node: the rank on its first slot.
+func (r *Rank) leaderOf(q int) int { return r.inv[(r.slot[q]/r.ns)*r.ns] }
 
 // sendFrame ships one wire frame, classifying its bytes into the
 // intra/inter tier by destination node (with NodeSize unset every rank is

@@ -7,9 +7,12 @@ import (
 	"gnbody/internal/rt"
 )
 
-// Hierarchical collective plans (DESIGN.md §13). With NodeSize > 1 the
-// ranks form nodes of consecutive ids; the first rank of each node is its
-// leader. The communication-avoiding premise is the usual one for
+// Hierarchical collective plans (DESIGN.md §13, §17). With NodeSize > 1 the
+// ranks form nodes of NodeSize slots; under the identity placement a node is
+// a block of consecutive ids, and Config.Placement permutes which rank holds
+// which slot (topology-aware placement packs heavy-traffic pairs into one
+// node). The rank holding a node's first slot is its leader. The
+// communication-avoiding premise is the usual one for
 // generalized N-body exchanges: links inside a node are cheap (loopback,
 // shared memory), links between nodes are the scaling limit, so traffic is
 // combined node-locally before it crosses the boundary once.
@@ -33,9 +36,10 @@ import (
 // the plan cannot deadlock under the polling model.
 //
 // Allreduce becomes two folds: members send values to their leader, the
-// leader folds them in rank order into a node partial, partials gather to
-// rank 0 and fold in node order — associativity makes the result
-// bit-identical to the flat rank-order fold — and the result retraces the
+// leader folds them in slot order into a node partial, partials gather to
+// the slot-0 rank and fold in node order — rt's ops (sum/min/max on int64)
+// are commutative and associative, so the result is bit-identical to the
+// flat rank-order fold under any placement — and the result retraces the
 // tree.
 //
 // Logical accounting (BytesSent/BytesRecv/Msgs) is counted at the
@@ -49,10 +53,11 @@ func (r *Rank) hier() bool {
 	return r.ns > 1 && r.ns < r.p && !r.cfg.NoAggregation
 }
 
-// nodeRange returns [base, end) of the node owning rank q (the last node
-// may be short when P is not divisible by NodeSize).
-func (r *Rank) nodeRange(q int) (int, int) {
-	base := r.leaderOf(q)
+// nodeSlots returns the slot interval [base, end) of the node owning rank
+// q (the last node may be short when P is not divisible by NodeSize). The
+// rank on slot s is r.inv[s].
+func (r *Rank) nodeSlots(q int) (int, int) {
+	base := (r.slot[q] / r.ns) * r.ns
 	end := base + r.ns
 	if end > r.p {
 		end = r.p
@@ -91,9 +96,9 @@ func record(buf []byte, nIDs int, ids []int) ([]int, []byte, []byte, error) {
 // alltoallvHier runs the three-stage exchange for one epoch, filling recv
 // (the caller has already handled the self row and logical send counters).
 func (r *Rank) alltoallvHier(epoch uint64, send, recv [][]byte) {
-	base, end := r.nodeRange(r.id)
-	n := end - base
-	leader := base
+	baseSlot, endSlot := r.nodeSlots(r.id)
+	n := endSlot - baseSlot
+	leader := r.inv[baseSlot]
 	myNode := r.nodeOf(r.id)
 	nNodes := (r.p + r.ns - 1) / r.ns
 
@@ -113,14 +118,14 @@ func (r *Rank) alltoallvHier(epoch uint64, send, recv [][]byte) {
 	}
 
 	// Node-internal rows: the flat pairwise schedule, restricted to the
-	// node's members.
-	idx := r.id - base
+	// node's members and scheduled on slot offsets.
+	idx := r.slot[r.id] - baseSlot
 	var hdr [9]byte
 	hdr[0] = msgA2A
 	binary.BigEndian.PutUint64(hdr[1:], epoch)
 	for step := 1; step < n; step++ {
-		dst := base + (idx+step)%n
-		src := base + (idx-step+n)%n
+		dst := r.inv[baseSlot+(idx+step)%n]
+		src := r.inv[baseSlot+(idx-step+n)%n]
 		frame := make([]byte, 0, 9+len(send[dst]))
 		frame = append(frame, hdr[:]...)
 		frame = append(frame, send[dst]...)
@@ -160,9 +165,9 @@ func (r *Rank) alltoallvHier(epoch uint64, send, recv [][]byte) {
 
 	// Leader: collect the members' up frames.
 	ups := make(map[int][]byte, n-1)
-	for m := base + 1; m < end; m++ {
+	for s := baseSlot + 1; s < endSlot; s++ {
+		m := r.inv[s]
 		k := srcKey{epoch: epoch, src: m}
-		m := m
 		r.waitLoop(rt.CatComm, "alltoallv", func() []int { return []int{m} }, func() bool {
 			_, ok := r.upGot[k]
 			return ok
@@ -186,13 +191,14 @@ func (r *Rank) alltoallvHier(epoch uint64, send, recv [][]byte) {
 		x = append(x, msgA2AX)
 		x = binary.BigEndian.AppendUint64(x, epoch)
 		// The leader's own rows for the peer node...
-		for dst := dstLo; dst < dstHi; dst++ {
-			if len(send[dst]) > 0 {
+		for s := dstLo; s < dstHi; s++ {
+			if dst := r.inv[s]; len(send[dst]) > 0 {
 				x = appendRecord(x, send[dst], r.id, dst)
 			}
 		}
 		// ...plus every member's, re-packed from the up frames.
-		for m := base + 1; m < end; m++ {
+		for s := baseSlot + 1; s < endSlot; s++ {
+			m := r.inv[s]
 			buf := ups[m]
 			for len(buf) > 0 {
 				var payload []byte
@@ -201,13 +207,13 @@ func (r *Rank) alltoallvHier(epoch uint64, send, recv [][]byte) {
 				if err != nil {
 					r.raise("alltoallv", fmt.Errorf("bad up record from rank %d: %v", m, err))
 				}
-				if dst := ids[0]; dst >= dstLo && dst < dstHi {
+				if dst := ids[0]; r.nodeOf(dst) == dstNode {
 					x = appendRecord(x, payload, m, dst)
 				}
 			}
 		}
-		srcLeader := srcNode * r.ns
-		r.sendFrame("alltoallv", dstNode*r.ns, x)
+		srcLeader := r.inv[srcNode*r.ns]
+		r.sendFrame("alltoallv", r.inv[dstNode*r.ns], x)
 		k := srcKey{epoch: epoch, src: srcLeader}
 		r.waitLoop(rt.CatComm, "alltoallv", func() []int { return []int{srcLeader} }, func() bool {
 			_, ok := r.xGot[k]
@@ -227,27 +233,31 @@ func (r *Rank) alltoallvHier(epoch uint64, send, recv [][]byte) {
 				recv[src] = payload
 				r.met.BytesRecv += int64(len(payload))
 			} else {
-				down[dst-base] = appendRecord(down[dst-base], payload, src)
+				di := r.slot[dst] - baseSlot
+				down[di] = appendRecord(down[di], payload, src)
 			}
 		}
 	}
 
 	// Stage 3 (leader): deliver. Always sent, even empty — the frame is
 	// also the member's completion signal.
-	for m := base + 1; m < end; m++ {
-		frame := make([]byte, 0, 9+len(down[m-base]))
+	for s := baseSlot + 1; s < endSlot; s++ {
+		frame := make([]byte, 0, 9+len(down[s-baseSlot]))
 		frame = append(frame, msgA2ADown)
 		frame = binary.BigEndian.AppendUint64(frame, epoch)
-		frame = append(frame, down[m-base]...)
-		r.sendFrame("alltoallv", m, frame)
+		frame = append(frame, down[s-baseSlot]...)
+		r.sendFrame("alltoallv", r.inv[s], frame)
 	}
 }
 
-// allreduceHier folds v up the node tree and broadcasts the result down,
-// bit-identical to the flat rank-order fold.
+// allreduceHier folds v up the node tree and broadcasts the result down.
+// Folds run in slot order (members) then node order (partials at the
+// slot-0 rank); rt's ops are commutative and associative, so the value is
+// bit-identical to the flat rank-order fold under any placement.
 func (r *Rank) allreduceHier(epoch uint64, v int64, op rt.Op) int64 {
-	base, end := r.nodeRange(r.id)
-	leader := base
+	baseSlot, endSlot := r.nodeSlots(r.id)
+	leader := r.inv[baseSlot]
+	root := r.inv[0] // leader of node 0 — the global fold point
 
 	if r.id != leader {
 		r.sendFrame("allreduce", leader, redFrame(msgRedVal, epoch, v))
@@ -260,11 +270,11 @@ func (r *Rank) allreduceHier(epoch uint64, v int64, op rt.Op) int64 {
 		return acc
 	}
 
-	// Node partial: fold the members in rank order.
+	// Node partial: fold the members in slot order.
 	acc := v
-	for src := base + 1; src < end; src++ {
+	for s := baseSlot + 1; s < endSlot; s++ {
+		src := r.inv[s]
 		k := srcKey{epoch: epoch, src: src}
-		src := src
 		r.waitLoop(rt.CatSync, "allreduce", func() []int { return []int{src} }, func() bool {
 			_, ok := r.redGot[k]
 			return ok
@@ -273,12 +283,12 @@ func (r *Rank) allreduceHier(epoch uint64, v int64, op rt.Op) int64 {
 		delete(r.redGot, k)
 	}
 
-	if r.id == 0 {
+	if r.id == root {
 		// Global fold: node partials in node order — the same value the
-		// flat fold computes, by associativity.
-		for nl := r.ns; nl < r.p; nl += r.ns {
+		// flat fold computes, by commutativity and associativity.
+		for bs := r.ns; bs < r.p; bs += r.ns {
+			nl := r.inv[bs]
 			k := srcKey{epoch: epoch, src: nl}
-			nl := nl
 			r.waitLoop(rt.CatSync, "allreduce", func() []int { return []int{nl} }, func() bool {
 				_, ok := r.redGot[k]
 				return ok
@@ -286,12 +296,12 @@ func (r *Rank) allreduceHier(epoch uint64, v int64, op rt.Op) int64 {
 			acc = op.Combine(acc, r.redGot[k])
 			delete(r.redGot, k)
 		}
-		for nl := r.ns; nl < r.p; nl += r.ns {
-			r.sendFrame("allreduce", nl, redFrame(msgRedResult, epoch, acc))
+		for bs := r.ns; bs < r.p; bs += r.ns {
+			r.sendFrame("allreduce", r.inv[bs], redFrame(msgRedResult, epoch, acc))
 		}
 	} else {
-		r.sendFrame("allreduce", 0, redFrame(msgRedVal, epoch, acc))
-		r.waitLoop(rt.CatSync, "allreduce", func() []int { return []int{0} }, func() bool {
+		r.sendFrame("allreduce", root, redFrame(msgRedVal, epoch, acc))
+		r.waitLoop(rt.CatSync, "allreduce", func() []int { return []int{root} }, func() bool {
 			_, ok := r.redResult[epoch]
 			return ok
 		})
@@ -299,8 +309,8 @@ func (r *Rank) allreduceHier(epoch uint64, v int64, op rt.Op) int64 {
 		delete(r.redResult, epoch)
 	}
 
-	for m := base + 1; m < end; m++ {
-		r.sendFrame("allreduce", m, redFrame(msgRedResult, epoch, acc))
+	for s := baseSlot + 1; s < endSlot; s++ {
+		r.sendFrame("allreduce", r.inv[s], redFrame(msgRedResult, epoch, acc))
 	}
 	return acc
 }

@@ -69,6 +69,7 @@ type SimSpec struct {
 	FetchBatch     int   // async reads per RPC (§5 aggregation knob)
 	CacheBudget    int64 // per-rank remote-read cache bytes (0 off, <0 unbounded)
 	Hierarchical   bool  // price the alltoallv as the node-aggregated plan
+	Placement      []int // rank→slot permutation (nil = identity); see partition.PlaceByTraffic
 	Seed           int64
 
 	// NewTracer, when set, builds the structured-event tracer for the run
@@ -138,11 +139,25 @@ var rowCache sync.Map
 
 func cacheKey(spec SimSpec) string {
 	w := spec.Workload
-	return fmt.Sprintf("%s|%d|%d|%s|%d|%d|%d|%s|%v|%d|%d|%d|%d|%v",
+	return fmt.Sprintf("%s|%d|%d|%s|%d|%d|%d|%s|%v|%d|%d|%d|%d|%v|%s",
 		w.Preset.Name, w.Scale, len(w.Tasks), spec.Machine.Name,
 		spec.Machine.AppMemPerCore, spec.Nodes, spec.RanksPerNode,
 		spec.Mode, spec.SkipCompute, spec.MaxOutstanding, spec.FetchBatch, spec.Seed,
-		spec.CacheBudget, spec.Hierarchical)
+		spec.CacheBudget, spec.Hierarchical, placementDigest(spec.Placement))
+}
+
+// placementDigest folds a placement permutation into a short cache-key
+// component (FNV-1a), so 32K-rank placements don't balloon the key.
+func placementDigest(pl []int) string {
+	if pl == nil {
+		return "id"
+	}
+	h := uint64(14695981039346656037)
+	for _, s := range pl {
+		h ^= uint64(s)
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("p%d-%016x", len(pl), h)
 }
 
 // RunSim executes one simulated driver run and reduces its metrics.
@@ -185,6 +200,7 @@ func RunSim(spec SimSpec) (*Row, error) {
 		Seed:         spec.Seed,
 		Tracer:       tracer,
 		Hierarchical: spec.Hierarchical,
+		Placement:    spec.Placement,
 	})
 	if err != nil {
 		return nil, err

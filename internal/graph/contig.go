@@ -11,8 +11,14 @@
 // Distribution: out-degrees are local (a rank owns its reads' adjacency)
 // and in-degrees are the twin's out-degree, also local — only the
 // predecessor's out-degree crosses ranks, gathered in one alltoallv.
-// Walks then follow edges wherever they lead, fetching remote vertex
-// records and remote base suffixes through the runtime's AsyncCall RPC,
+// Walks then follow edges wherever they lead, resolving remote vertex
+// records and remote base suffixes in one of two modes (DESIGN.md §17):
+// "bsp" (default) replays unfinished walks against a growing record
+// cache, batching each round's distinct misses into a single alltoallv
+// request/response pair — so the fetch traffic rides the hierarchical
+// leader-relay path and its tier accounting — and defers sequence
+// assembly behind one batched suffix round; "async" pulls records
+// through the runtime's AsyncCall RPC with a per-run coalescing cache,
 // exactly like the overlap phase fetches remote reads.
 package graph
 
@@ -40,6 +46,11 @@ type ContigConfig struct {
 	// MinReads discards contigs assembled from fewer reads (0 keeps all,
 	// including unassembled singleton reads).
 	MinReads int
+	// Mode selects the remote-record strategy: "bsp" (default) batches
+	// each replay round's distinct misses into one alltoallv pair;
+	// "async" issues pull RPCs with a per-run coalescing cache. Both
+	// modes produce identical contigs.
+	Mode string
 	// Model prices the stage on the simulator backend; nil elsewhere.
 	Model *CostModel
 }
@@ -59,14 +70,31 @@ const (
 	vrecWire  = 24
 )
 
+// sufKey identifies one oriented suffix fetch: the vertex and how many
+// trailing bases its walk appends.
+type sufKey struct {
+	v    Vertex
+	take int32
+}
+
 // contiger holds one rank's state for the walk phase.
 type contiger struct {
 	r     rt.Runtime
 	g     *Graph
 	store seq.Store
+	mode  string
 	// predOut[v] for local v with indeg(v) == 1: the predecessor's
 	// out-degree (from the exchange round).
 	predOut map[Vertex]int32
+	// recCache holds remote vertex records already fetched this run —
+	// the bsp replay cache, and the async path's coalescing cache.
+	recCache map[Vertex]vrec
+	// want collects the current bsp round's record misses (distinct
+	// remote vertices to fetch).
+	want map[Vertex]bool
+	// sufCache holds remote suffixes: filled by the batched suffix round
+	// (bsp) or lazily per RPC (async).
+	sufCache map[sufKey]seq.Seq
 }
 
 func (c *contiger) localRec(v Vertex) vrec {
@@ -144,10 +172,15 @@ func (c *contiger) serve(req []byte) []byte {
 	panic(fmt.Sprintf("graph: unknown contig request tag %q", req[0]))
 }
 
-// rec resolves a vertex record, locally or over RPC.
+// rec resolves a vertex record on the async path: locally, from the
+// coalescing cache, or over RPC.
 func (c *contiger) rec(v Vertex) vrec {
 	if c.g.Part.Owner(v.Read()) == c.r.Rank() {
 		return c.localRec(v)
+	}
+	if out, ok := c.recCache[v]; ok {
+		c.r.Metrics().GraphCoalesced++
+		return out
 	}
 	req := make([]byte, 9)
 	req[0] = reqVertex
@@ -161,13 +194,41 @@ func (c *contiger) rec(v Vertex) vrec {
 	if err != nil {
 		panic(err)
 	}
+	c.recCache[v] = out
+	c.r.Metrics().GraphFetches++
 	return out
 }
 
-// suffix resolves the last take oriented bases of v's read.
+// tryRec resolves a vertex record on the bsp path: locally or from the
+// replay cache. A miss is noted in want for the next fetch round and
+// reported as incomplete; the caller's walk replays after the round.
+func (c *contiger) tryRec(v Vertex) (vrec, bool) {
+	if c.g.Part.Owner(v.Read()) == c.r.Rank() {
+		return c.localRec(v), true
+	}
+	if rec, ok := c.recCache[v]; ok {
+		c.r.Metrics().GraphCoalesced++
+		return rec, true
+	}
+	c.want[v] = true
+	return vrec{}, false
+}
+
+// suffix resolves the last take oriented bases of v's read: locally,
+// from the suffix cache (which the bsp batched round pre-fills — a bsp
+// miss here is a protocol bug), or over RPC in async mode.
 func (c *contiger) suffix(v Vertex, take int32) seq.Seq {
 	if c.g.Part.Owner(v.Read()) == c.r.Rank() {
 		return orientedSuffix(c.store.Get(v.Read()).Seq, v.Rev(), take)
+	}
+	if s, ok := c.sufCache[sufKey{v, take}]; ok {
+		if c.mode == "async" {
+			c.r.Metrics().GraphCoalesced++
+		}
+		return s
+	}
+	if c.mode != "async" {
+		panic(fmt.Sprintf("graph: suffix %v/%d missing from batched round", v, take))
 	}
 	req := make([]byte, 13)
 	req[0] = reqBases
@@ -181,6 +242,8 @@ func (c *contiger) suffix(v Vertex, take int32) seq.Seq {
 		}
 	})
 	c.r.Drain(0)
+	c.sufCache[sufKey{v, take}] = out
+	c.r.Metrics().GraphFetches++
 	return out
 }
 
@@ -202,15 +265,336 @@ func pathLessOrEqualTwin(path []Vertex) bool {
 	return true // self-twin (palindromic): single emitter anyway
 }
 
+// pendContig is a finished walk awaiting sequence assembly.
+type pendContig struct {
+	path     []Vertex
+	lens     []int32
+	circular bool
+}
+
+// tryLinear attempts the linear walk from v0 against get. done=false
+// means a remote record was unavailable (bsp: the miss is noted in want
+// and the walk replays next round); otherwise pend is the finished walk,
+// nil when v0 does not emit.
+func (c *contiger) tryLinear(v0 Vertex, maxSteps, minReads int, get func(Vertex) (vrec, bool)) (pend *pendContig, done bool, err error) {
+	rec0 := c.localRec(v0)
+	if mergeable(rec0) {
+		return nil, true, nil // interior of some other walk
+	}
+	path := []Vertex{v0}
+	lens := []int32{} // appended bases per extension
+	cur := rec0
+	for cur.outdeg == 1 && len(path) < maxSteps {
+		w, l := cur.succ, cur.succLen
+		wrec, ok := get(w)
+		if !ok {
+			return nil, false, nil
+		}
+		// Given cur's out-degree is 1, w merges iff its in-degree is 1.
+		if wrec.indeg != 1 {
+			break
+		}
+		path = append(path, w)
+		lens = append(lens, l)
+		cur = wrec
+	}
+	if len(path) >= maxSteps {
+		return nil, true, fmt.Errorf("graph: walk from %v exceeded %d steps; graph is inconsistent", v0, maxSteps)
+	}
+	if len(path) < minReads || !pathLessOrEqualTwin(path) {
+		return nil, true, nil
+	}
+	return &pendContig{path: path, lens: lens}, true, nil
+}
+
+// tryCycle attempts the pure-cycle walk from v0: components where every
+// vertex is mergeable that no linear walk enters. The minimum vertex of
+// the cycle emits; walks from larger vertices abort on first sight of a
+// smaller one, and the twin cycle is suppressed by the same ≤ rule.
+func (c *contiger) tryCycle(v0 Vertex, maxSteps int, get func(Vertex) (vrec, bool)) (pend *pendContig, done bool, err error) {
+	rec0 := c.localRec(v0)
+	if !mergeable(rec0) || rec0.outdeg != 1 {
+		return nil, true, nil
+	}
+	path := []Vertex{v0}
+	lens := []int32{}
+	minTwin := v0.Twin()
+	cur := rec0
+	closed := false
+	for len(path) < maxSteps {
+		w, l := cur.succ, cur.succLen
+		if w == v0 {
+			closed = true
+			break
+		}
+		if w < v0 {
+			break // a smaller cycle vertex will emit
+		}
+		wrec, ok := get(w)
+		if !ok {
+			return nil, false, nil
+		}
+		if !mergeable(wrec) || wrec.outdeg != 1 {
+			break // not a pure cycle: the linear pass covers it
+		}
+		path = append(path, w)
+		lens = append(lens, l)
+		if t := w.Twin(); t < minTwin {
+			minTwin = t
+		}
+		cur = wrec
+	}
+	if len(path) >= maxSteps {
+		return nil, true, fmt.Errorf("graph: cycle walk from %v exceeded %d steps", v0, maxSteps)
+	}
+	if !closed || v0 > minTwin {
+		return nil, true, nil
+	}
+	return &pendContig{path: path, lens: lens, circular: true}, true, nil
+}
+
+// replayRounds drives one bsp walk phase: replay every unfinished start
+// against the record cache, allreduce the global miss count, and fetch
+// each round's distinct misses in one alltoallv pair — until no rank
+// misses. A rank that hits a walk error keeps serving rounds (the
+// collectives must stay matched across ranks) and surfaces the error
+// after the phase drains.
+func (c *contiger) replayRounds(starts []Vertex, attempt func(Vertex) (*pendContig, bool, error)) ([]*pendContig, error) {
+	r := c.r
+	var pends []*pendContig
+	var walkErr error
+	pending := starts
+	for {
+		if walkErr == nil {
+			var next []Vertex
+			for _, v0 := range pending {
+				pc, done, err := attempt(v0)
+				if err != nil {
+					walkErr = err
+					break
+				}
+				if !done {
+					next = append(next, v0)
+					continue
+				}
+				if pc != nil {
+					pends = append(pends, pc)
+				}
+			}
+			pending = next
+		}
+		if walkErr != nil {
+			pends, pending = nil, nil
+			clear(c.want)
+		}
+		if r.Allreduce(int64(len(c.want)), rt.OpSum) == 0 {
+			break
+		}
+		if err := c.fetchRecords(); err != nil && walkErr == nil {
+			walkErr = err
+		}
+	}
+	return pends, walkErr
+}
+
+// fetchRecords resolves this round's record misses: one 8-byte request
+// per distinct remote vertex, answered in request order with vrecWire
+// bytes each. Both legs ride the alltoallv path, so hierarchical
+// leader-relay aggregation and tier-byte accounting apply to the walk
+// phase exactly as to the overlap exchange.
+func (c *contiger) fetchRecords() error {
+	r := c.r
+	p := r.Size()
+	perOwner := make([][]Vertex, p)
+	req := make([][]byte, p)
+	r.Timed(rt.CatOverhead, func() {
+		for v := range c.want {
+			o := c.g.Part.Owner(v.Read())
+			perOwner[o] = append(perOwner[o], v)
+		}
+		for o, ids := range perOwner {
+			if len(ids) == 0 {
+				continue
+			}
+			SortVertices(ids)
+			buf := make([]byte, 0, 8*len(ids))
+			for _, v := range ids {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			}
+			req[o] = buf
+		}
+	})
+	inbound := r.Alltoallv(req)
+	resp := make([][]byte, p)
+	var srvErr error
+	r.Timed(rt.CatOverhead, func() {
+		for src, buf := range inbound {
+			if len(buf)%8 != 0 {
+				srvErr = fmt.Errorf("graph: vertex-record request from rank %d is %d bytes", src, len(buf))
+				return
+			}
+			if len(buf) == 0 {
+				continue
+			}
+			out := make([]byte, 0, vrecWire/8*len(buf))
+			for off := 0; off < len(buf); off += 8 {
+				v := Vertex(binary.LittleEndian.Uint64(buf[off:]))
+				out = append(out, encodeVrec(c.localRec(v))...)
+			}
+			resp[src] = out
+		}
+	})
+	// The response leg runs even on a malformed request so peers'
+	// collectives stay matched; the error surfaces after.
+	answers := r.Alltoallv(resp)
+	if srvErr != nil {
+		return srvErr
+	}
+	met := r.Metrics()
+	for o, ids := range perOwner {
+		if len(ids) == 0 {
+			continue
+		}
+		buf := answers[o]
+		if len(buf) != vrecWire*len(ids) {
+			return fmt.Errorf("graph: rank %d answered %d record bytes, want %d", o, len(buf), vrecWire*len(ids))
+		}
+		for i, v := range ids {
+			rec, err := decodeVrec(buf[i*vrecWire : (i+1)*vrecWire])
+			if err != nil {
+				return err
+			}
+			c.recCache[v] = rec
+		}
+		met.GraphFetches += int64(len(ids))
+	}
+	clear(c.want)
+	met.Supersteps++
+	return nil
+}
+
+// fetchSuffixes resolves every remote suffix the pending contigs need in
+// one batched round: 12-byte (vertex, take) requests — coalesced across
+// all walks — answered with length-prefixed base payloads in request
+// order. Collective; ranks with nothing pending still serve.
+func (c *contiger) fetchSuffixes(pends []*pendContig) error {
+	r := c.r
+	p, me := r.Size(), r.Rank()
+	met := r.Metrics()
+	need := make(map[sufKey]bool)
+	perOwner := make([][]sufKey, p)
+	req := make([][]byte, p)
+	r.Timed(rt.CatOverhead, func() {
+		for _, pc := range pends {
+			for i, l := range pc.lens {
+				w := pc.path[i+1]
+				if c.g.Part.Owner(w.Read()) == me {
+					continue
+				}
+				k := sufKey{w, l}
+				if need[k] {
+					met.GraphCoalesced++
+					continue
+				}
+				need[k] = true
+			}
+		}
+		for k := range need {
+			o := c.g.Part.Owner(k.v.Read())
+			perOwner[o] = append(perOwner[o], k)
+		}
+		for o, ks := range perOwner {
+			if len(ks) == 0 {
+				continue
+			}
+			sort.Slice(ks, func(i, j int) bool {
+				if ks[i].v != ks[j].v {
+					return ks[i].v < ks[j].v
+				}
+				return ks[i].take < ks[j].take
+			})
+			buf := make([]byte, 0, 12*len(ks))
+			for _, k := range ks {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(k.v))
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(k.take))
+			}
+			req[o] = buf
+		}
+	})
+	inbound := r.Alltoallv(req)
+	resp := make([][]byte, p)
+	var srvErr error
+	r.Timed(rt.CatOverhead, func() {
+		for src, buf := range inbound {
+			if len(buf)%12 != 0 {
+				srvErr = fmt.Errorf("graph: suffix request from rank %d is %d bytes", src, len(buf))
+				return
+			}
+			var out []byte
+			for off := 0; off < len(buf); off += 12 {
+				v := Vertex(binary.LittleEndian.Uint64(buf[off:]))
+				take := int32(binary.LittleEndian.Uint32(buf[off+8:]))
+				s := orientedSuffix(c.store.Get(v.Read()).Seq, v.Rev(), take)
+				out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+				for _, b := range s {
+					out = append(out, byte(b))
+				}
+			}
+			resp[src] = out
+		}
+	})
+	answers := r.Alltoallv(resp)
+	if srvErr != nil {
+		return srvErr
+	}
+	for o, ks := range perOwner {
+		buf := answers[o]
+		off := 0
+		for _, k := range ks {
+			if off+4 > len(buf) {
+				return fmt.Errorf("graph: truncated suffix response from rank %d", o)
+			}
+			n := int(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if off+n > len(buf) {
+				return fmt.Errorf("graph: truncated suffix response from rank %d", o)
+			}
+			s := make(seq.Seq, n)
+			for i := 0; i < n; i++ {
+				s[i] = seq.Base(buf[off+i])
+			}
+			off += n
+			c.sufCache[k] = s
+		}
+		if off != len(buf) {
+			return fmt.Errorf("graph: %d trailing suffix bytes from rank %d", len(buf)-off, o)
+		}
+		met.GraphFetches += int64(len(ks))
+	}
+	met.Supersteps++
+	return nil
+}
+
 // Contigs walks this rank's share of the reduced graph. Collective.
 // Contig sequences are assembled on the rank owning the starting vertex;
-// GatherContigs concatenates them on rank 0 in canonical order.
+// GatherContigs concatenates them on rank 0 in canonical order. The
+// result is a pure function of the global graph — mode, rank count and
+// placement never change which contigs emerge.
 func Contigs(r rt.Runtime, g *Graph, store seq.Store, cfg ContigConfig) ([]Contig, error) {
 	p, me := r.Size(), r.Rank()
 	n := len(g.Lens)
 	maxSteps := 2*n + 2 // any simple oriented path is shorter
 
-	c := &contiger{r: r, g: g, store: store, predOut: make(map[Vertex]int32)}
+	switch cfg.Mode {
+	case "", "bsp", "async":
+	default:
+		return nil, fmt.Errorf("graph: unknown contig mode %q", cfg.Mode)
+	}
+	c := &contiger{r: r, g: g, store: store, mode: cfg.Mode,
+		predOut:  make(map[Vertex]int32),
+		recCache: make(map[Vertex]vrec),
+		want:     make(map[Vertex]bool),
+		sufCache: make(map[sufKey]seq.Seq)}
 
 	// Exchange round: every edge (w→x) tells x's owner w's out-degree, so
 	// owners know predOut for their indeg-1 vertices.
@@ -251,106 +635,93 @@ func Contigs(r rt.Runtime, g *Graph, store seq.Store, cfg ContigConfig) ([]Conti
 		return nil, exErr
 	}
 
-	// Walk phase: RPC service up, then walk local starts.
-	r.Serve(c.serve)
-	r.Barrier()
-
-	var contigs []Contig
-	var walkErr error
+	// Walk phase. Every non-contained local read starts a walk in both
+	// orientations; the attempt functions decide which starts emit.
 	lo, hi := g.Part.Range(me)
-	walk := func(v0 Vertex) {
-		rec0 := c.localRec(v0)
-		if mergeable(rec0) {
-			return // interior of some other walk
+	starts := make([]Vertex, 0, 2*(hi-lo))
+	for id := lo; id < hi; id++ {
+		if g.Contained[id] {
+			continue
 		}
-		path := []Vertex{v0}
-		lens := []int32{} // appended bases per extension
-		cur := rec0
-		for cur.outdeg == 1 && len(path) < maxSteps {
-			w, l := cur.succ, cur.succLen
-			wrec := c.rec(w)
-			// Given cur's out-degree is 1, w merges iff its in-degree is 1.
-			if wrec.indeg != 1 {
+		starts = append(starts, V(seq.ReadID(id), false), V(seq.ReadID(id), true))
+	}
+
+	var pends []*pendContig
+	var walkErr error
+	if cfg.Mode == "async" {
+		// RPC service up, then walk local starts to completion one by one.
+		get := func(w Vertex) (vrec, bool) { return c.rec(w), true }
+		r.Serve(c.serve)
+		r.Barrier()
+		for _, v0 := range starts {
+			pc, _, err := c.tryLinear(v0, maxSteps, cfg.MinReads, get)
+			if err != nil {
+				walkErr = err
 				break
 			}
-			path = append(path, w)
-			lens = append(lens, l)
-			cur = wrec
-		}
-		if len(path) >= maxSteps {
-			walkErr = fmt.Errorf("graph: walk from %v exceeded %d steps; graph is inconsistent", v0, maxSteps)
-			return
-		}
-		if len(path) < cfg.MinReads || !pathLessOrEqualTwin(path) {
-			return
-		}
-		contigs = append(contigs, c.emit(path, lens, false))
-	}
-	for id := lo; id < hi && walkErr == nil; id++ {
-		if g.Contained[id] {
-			continue
-		}
-		walk(V(seq.ReadID(id), false))
-		if walkErr != nil {
-			break
-		}
-		walk(V(seq.ReadID(id), true))
-	}
-
-	// Cycle pass: components where every vertex is mergeable are pure
-	// cycles that no linear walk enters. The minimum vertex of the cycle
-	// emits; walks from larger vertices abort on first sight of a smaller
-	// one, and the twin cycle is suppressed by the same ≤ rule.
-	for id := lo; id < hi && walkErr == nil; id++ {
-		if g.Contained[id] {
-			continue
-		}
-		for _, v0 := range [2]Vertex{V(seq.ReadID(id), false), V(seq.ReadID(id), true)} {
-			rec0 := c.localRec(v0)
-			if !mergeable(rec0) || rec0.outdeg != 1 {
-				continue
+			if pc != nil {
+				pends = append(pends, pc)
 			}
-			path := []Vertex{v0}
-			lens := []int32{}
-			minTwin := v0.Twin()
-			cur := rec0
-			closed := false
-			for len(path) < maxSteps {
-				w, l := cur.succ, cur.succLen
-				if w == v0 {
-					closed = true
+		}
+		if walkErr == nil {
+			for _, v0 := range starts {
+				pc, _, err := c.tryCycle(v0, maxSteps, get)
+				if err != nil {
+					walkErr = err
 					break
 				}
-				if w < v0 {
-					break // a smaller cycle vertex will emit
+				if pc != nil {
+					pends = append(pends, pc)
 				}
-				wrec := c.rec(w)
-				if !mergeable(wrec) || wrec.outdeg != 1 {
-					break // not a pure cycle: the linear pass covers it
-				}
-				path = append(path, w)
-				lens = append(lens, l)
-				if t := w.Twin(); t < minTwin {
-					minTwin = t
-				}
-				cur = wrec
 			}
-			if len(path) >= maxSteps {
-				walkErr = fmt.Errorf("graph: cycle walk from %v exceeded %d steps", v0, maxSteps)
-				break
-			}
-			if !closed || v0 > minTwin {
-				continue
-			}
-			contigs = append(contigs, c.emit(path, lens, true))
 		}
+		// Assemble before the exit barrier: emission pulls remote
+		// suffixes over RPC and peers must still be serving.
+		var contigs []Contig
+		if walkErr == nil {
+			for _, pc := range pends {
+				contigs = append(contigs, c.emit(pc.path, pc.lens, pc.circular))
+			}
+		}
+		r.Drain(0)
+		r.Barrier() // keep serving peers still walking
+		if walkErr != nil {
+			return nil, walkErr
+		}
+		return finishContigs(r, contigs, cfg)
 	}
 
-	r.Drain(0)
-	r.Barrier() // keep serving peers still walking
+	// bsp: replay both phases round-by-round, then resolve all suffixes
+	// in one batched exchange before assembling. Phases run even after a
+	// local error so the collectives stay matched across ranks.
+	pends, walkErr = c.replayRounds(starts, func(v0 Vertex) (*pendContig, bool, error) {
+		return c.tryLinear(v0, maxSteps, cfg.MinReads, c.tryRec)
+	})
+	cycPends, cycErr := c.replayRounds(starts, func(v0 Vertex) (*pendContig, bool, error) {
+		return c.tryCycle(v0, maxSteps, c.tryRec)
+	})
+	if walkErr == nil {
+		walkErr = cycErr
+	}
+	pends = append(pends, cycPends...)
+	if walkErr != nil {
+		pends = nil
+	}
+	if err := c.fetchSuffixes(pends); err != nil && walkErr == nil {
+		walkErr = err
+	}
 	if walkErr != nil {
 		return nil, walkErr
 	}
+	var contigs []Contig
+	for _, pc := range pends {
+		contigs = append(contigs, c.emit(pc.path, pc.lens, pc.circular))
+	}
+	return finishContigs(r, contigs, cfg)
+}
+
+// finishContigs orders the walk output and applies the cost model.
+func finishContigs(r rt.Runtime, contigs []Contig, cfg ContigConfig) ([]Contig, error) {
 
 	sort.Slice(contigs, func(i, j int) bool { return contigs[i].Start < contigs[j].Start })
 	total := 0

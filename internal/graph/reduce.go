@@ -103,6 +103,9 @@ func (g *Graph) fetchNeighbors(r rt.Runtime, mode string, need map[Vertex]bool) 
 	}
 	for _, ids := range perOwner {
 		SortVertices(ids)
+		// Each distinct remote vertex costs exactly one wire record per
+		// requesting rank, whatever the mode.
+		r.Metrics().GraphFetches += int64(len(ids))
 	}
 
 	switch mode {
@@ -194,9 +197,16 @@ func Reduce(r rt.Runtime, g *Graph, cfg ReduceConfig) (*Graph, error) {
 	// Which middle-vertex adjacencies does this rank need? Every To of a
 	// local edge.
 	need := make(map[Vertex]bool)
+	me := r.Rank()
+	met := r.Metrics()
 	r.Timed(rt.CatOverhead, func() {
 		for _, es := range g.Adj {
 			for _, e := range es {
+				// A repeated remote middle vertex is a lookup the need-map
+				// dedup saved from the wire.
+				if need[e.To] && g.Part.Owner(e.To.Read()) != me {
+					met.GraphCoalesced++
+				}
 				need[e.To] = true
 			}
 		}

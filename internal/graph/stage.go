@@ -63,6 +63,7 @@ func (s ReduceStage) Run(r rt.Runtime, _ *pipeline.Plan, _ seq.Store, prev any) 
 // Output: []Contig — this rank's contigs; GatherContigs collects them.
 type ContigStage struct {
 	MinReads int
+	Mode     string // remote records: "bsp" (default) or "async"
 	Model    *CostModel
 }
 
@@ -78,7 +79,7 @@ func (s ContigStage) Run(r rt.Runtime, _ *pipeline.Plan, store seq.Store, prev a
 	if !ok {
 		return nil, fmt.Errorf("contig stage wants *graph.Graph, got %T", prev)
 	}
-	return Contigs(r, g, store, ContigConfig{MinReads: s.MinReads, Model: s.Model})
+	return Contigs(r, g, store, ContigConfig{MinReads: s.MinReads, Mode: s.Mode, Model: s.Model})
 }
 
 // AssemblyStages is the canonical full chain after discovery/alignment:
@@ -88,6 +89,6 @@ func AssemblyStages(slack, minOverlap, fuzz int, mode string, model *CostModel) 
 	return []pipeline.Stage{
 		BuildStage{Slack: slack, MinOverlap: minOverlap, Model: model},
 		ReduceStage{Fuzz: fuzz, Mode: mode, Model: model},
-		ContigStage{Model: model},
+		ContigStage{Mode: mode, Model: model},
 	}
 }

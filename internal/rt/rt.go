@@ -123,6 +123,15 @@ type Metrics struct {
 	IntraBytes int64
 	InterBytes int64
 
+	// Graph-round fetch accounting (DESIGN.md §17). GraphFetches counts
+	// distinct remote vertex/suffix records this rank actually pulled over
+	// the wire during assembly rounds (Reduce neighbor fetch, Contigs
+	// walks); GraphCoalesced counts remote lookups satisfied without a new
+	// wire fetch — deduplicated within a round or served from the per-run
+	// record cache.
+	GraphFetches   int64
+	GraphCoalesced int64
+
 	// Alignment-kernel accounting (DESIGN.md §16). SWARTasks/FallbackTasks
 	// count alignment tasks served entirely by the packed int16 kernel vs
 	// tasks where at least one extension fell back to the scalar kernel;
@@ -172,6 +181,8 @@ func Sub(cur, prev Metrics) Metrics {
 	d.CacheEvicts -= prev.CacheEvicts
 	d.IntraBytes -= prev.IntraBytes
 	d.InterBytes -= prev.InterBytes
+	d.GraphFetches -= prev.GraphFetches
+	d.GraphCoalesced -= prev.GraphCoalesced
 	d.SWARTasks -= prev.SWARTasks
 	d.FallbackTasks -= prev.FallbackTasks
 	d.LaneCells -= prev.LaneCells
@@ -333,6 +344,9 @@ func TraceRow(rank int, m *Metrics, b *trace.Buf) trace.RankMetrics {
 		CachePinned: m.CachePinnedPeak,
 		IntraBytes:  m.IntraBytes,
 		InterBytes:  m.InterBytes,
+
+		GraphFetches:   m.GraphFetches,
+		GraphCoalesced: m.GraphCoalesced,
 
 		SWARTasks:     m.SWARTasks,
 		FallbackTasks: m.FallbackTasks,

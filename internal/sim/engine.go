@@ -31,6 +31,16 @@ type Config struct {
 	// node, one rank per node, or Hierarchical false, the flat pairwise
 	// pricing applies.
 	Hierarchical bool
+
+	// Placement maps each rank to a node slot, mirroring
+	// dist.Config.Placement: rank q lives on node Placement[q]/RanksPerNode
+	// and the rank on a node's first slot is its leader. nil is the
+	// identity placement (rank q on slot q, the historical consecutive
+	// grouping). Placement changes only which pairs are priced and
+	// classified as intra- vs inter-node (and who relays under
+	// Hierarchical); the exchanged payloads are untouched. Must be a
+	// permutation of 0..Ranks()-1.
+	Placement []int
 }
 
 // Ranks returns the total simulated rank count.
@@ -134,6 +144,11 @@ type Engine struct {
 	back  chan struct{}
 	stamp int64
 
+	// slot/inv materialise Config.Placement (identity when nil):
+	// rank→slot and slot→rank. Node of rank q is slot[q]/RanksPerNode,
+	// leader of node k is inv[k*RanksPerNode].
+	slot, inv []int
+
 	bar, split, a2a, red collective
 
 	running bool
@@ -155,6 +170,27 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	p := cfg.Nodes * cfg.RanksPerNode
 	e := &Engine{cfg: cfg, p: p, back: make(chan struct{})}
+	if cfg.Placement != nil && len(cfg.Placement) != p {
+		return nil, fmt.Errorf("sim: placement has %d entries, want %d", len(cfg.Placement), p)
+	}
+	e.slot = make([]int, p)
+	e.inv = make([]int, p)
+	for q := 0; q < p; q++ {
+		s := q
+		if cfg.Placement != nil {
+			s = cfg.Placement[q]
+		}
+		if s < 0 || s >= p {
+			return nil, fmt.Errorf("sim: placement[%d]=%d out of range [0,%d)", q, s, p)
+		}
+		e.slot[q] = s
+		e.inv[s] = q
+	}
+	for s, q := range e.inv {
+		if e.slot[q] != s {
+			return nil, fmt.Errorf("sim: placement is not a permutation: slot %d unassigned", s)
+		}
+	}
 	e.procs = make([]*proc, p)
 	for i := 0; i < p; i++ {
 		pr := &proc{
@@ -279,6 +315,12 @@ func (e *Engine) post(dst int, ev *event) {
 		e.push(p, ev.arrival) // decrease-key via fresh entry
 	}
 }
+
+// nodeOf returns the node index of rank q under the placement.
+func (e *Engine) nodeOf(q int) int { return e.slot[q] / e.cfg.RanksPerNode }
+
+// leaderOf returns the leader rank of node k: the rank on its first slot.
+func (e *Engine) leaderOf(k int) int { return e.inv[k*e.cfg.RanksPerNode] }
 
 // alphaLog is the latency of a log-tree collective phase.
 func (e *Engine) alphaLog() int64 {

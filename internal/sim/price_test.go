@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"gnbody/internal/rt"
+)
+
+// TestPriceExchangeMatchesEngine pins the analytic pricer to the event
+// engine: for the same traffic matrix, PriceExchange must reproduce the
+// engine's exchange time and tier byte totals bit-for-bit — flat and
+// hierarchical, identity and permuted placement.
+func TestPriceExchangeMatchesEngine(t *testing.T) {
+	const nodes, rpn = 2, 3
+	p := nodes * rpn
+	// A skewed matrix: rank 0 is a hub; include an intra pair and zero rows.
+	cells := []Traffic{
+		{Src: 0, Dst: 3, Bytes: 1000},
+		{Src: 0, Dst: 4, Bytes: 700},
+		{Src: 3, Dst: 0, Bytes: 650},
+		{Src: 1, Dst: 2, Bytes: 400},
+		{Src: 5, Dst: 1, Bytes: 250},
+		{Src: 2, Dst: 5, Bytes: 90},
+	}
+	placements := map[string][]int{
+		"identity": nil,
+		"permuted": {4, 2, 0, 1, 5, 3},
+	}
+	for name, pl := range placements {
+		for _, hier := range []bool{false, true} {
+			eng, err := NewEngine(Config{Machine: CoriKNL(), Nodes: nodes,
+				RanksPerNode: rpn, Seed: 1, Hierarchical: hier, Placement: pl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Run(func(r rt.Runtime) {
+				send := make([][]byte, p)
+				for _, c := range cells {
+					if c.Src == r.Rank() {
+						send[c.Dst] = make([]byte, c.Bytes)
+					}
+				}
+				r.Alltoallv(send)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var gotIntra, gotInter int64
+			for q := 0; q < p; q++ {
+				gotIntra += eng.Metrics(q).IntraBytes
+				gotInter += eng.Metrics(q).InterBytes
+			}
+			elapsed, intra, inter, err := PriceExchange(CoriKNL(), nodes, rpn, pl, cells, hier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if intra != gotIntra || inter != gotInter {
+				t.Errorf("%s hier=%v: priced tiers %d/%d, engine %d/%d",
+					name, hier, intra, inter, gotIntra, gotInter)
+			}
+			if elapsed != eng.MaxClock() {
+				t.Errorf("%s hier=%v: priced %v, engine %v", name, hier, elapsed, eng.MaxClock())
+			}
+		}
+	}
+}
+
+// TestPriceExchangeRejectsBadCells covers the validation path.
+func TestPriceExchangeRejectsBadCells(t *testing.T) {
+	if _, _, _, err := PriceExchange(CoriKNL(), 2, 2, nil,
+		[]Traffic{{Src: 0, Dst: 9, Bytes: 1}}, false); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+	if _, _, _, err := PriceExchange(CoriKNL(), 0, 4, nil, nil, false); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}

@@ -193,10 +193,10 @@ func (p *proc) serve(ev *event) {
 	p.eng.post(ev.from, &event{arrival: arr, kind: evResponse, from: p.id, seq: ev.seq, val: val})
 }
 
-// sameNode reports whether rank q shares this rank's node.
+// sameNode reports whether rank q shares this rank's node (under the
+// configured placement).
 func (p *proc) sameNode(q int) bool {
-	rpn := p.eng.cfg.RanksPerNode
-	return p.id/rpn == q/rpn
+	return p.eng.nodeOf(p.id) == p.eng.nodeOf(q)
 }
 
 // linkAlpha returns the one-way latency to rank q.
@@ -359,7 +359,7 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 			met := &e.procs[src].met
 			for dst := 0; dst < e.p; dst++ {
 				n := int64(len(row[dst]))
-				if src/rpn == dst/rpn { // shared-memory peers
+				if e.nodeOf(src) == e.nodeOf(dst) { // shared-memory peers
 					intraSend[src] += n
 					intraRecv[dst] += n
 					if n > 0 {
@@ -390,14 +390,14 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 			for src := 0; src < e.p; src++ {
 				row := c.store[src]
 				for dst := 0; dst < e.p; dst++ {
-					if src/rpn != dst/rpn {
-						nodePair[(src/rpn)*nodes+dst/rpn] += int64(len(row[dst]))
+					if e.nodeOf(src) != e.nodeOf(dst) {
+						nodePair[e.nodeOf(src)*nodes+e.nodeOf(dst)] += int64(len(row[dst]))
 					}
 				}
 			}
 			for q := 0; q < e.p; q++ {
-				node := q / rpn
-				leader := node * rpn
+				node := e.nodeOf(q)
+				leader := e.leaderOf(node)
 				nodeOut[node] += interSend[q]
 				nodeIn[node] += interRecv[q]
 				if q != leader {
@@ -416,7 +416,7 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 				}
 			}
 			for a := 0; a < nodes; a++ {
-				leader := a * rpn
+				leader := e.leaderOf(a)
 				for b := 0; b < nodes; b++ {
 					if v := nodePair[a*nodes+b]; v > 0 {
 						e.procs[leader].met.InterBytes += v + a2aEnvelope
@@ -426,9 +426,9 @@ func (p *proc) Alltoallv(send [][]byte) [][]byte {
 			// Pricing below reads the per-node loads through the leaders'
 			// inter arrays: the leader's NIC serialises the node's volume.
 			for q := 0; q < e.p; q++ {
-				if q%rpn == 0 {
-					interSend[q] = nodeOut[q/rpn]
-					interRecv[q] = nodeIn[q/rpn]
+				if q == e.leaderOf(e.nodeOf(q)) {
+					interSend[q] = nodeOut[e.nodeOf(q)]
+					interRecv[q] = nodeIn[e.nodeOf(q)]
 				} else {
 					interSend[q] = 0
 					interRecv[q] = 0

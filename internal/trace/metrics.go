@@ -41,6 +41,9 @@ type RankMetrics struct {
 	IntraBytes  int64   `json:"intra_bytes"`
 	InterBytes  int64   `json:"inter_bytes"`
 
+	GraphFetches   int64 `json:"graph_fetches"`
+	GraphCoalesced int64 `json:"graph_coalesced"`
+
 	SWARTasks     int64 `json:"swar_tasks"`
 	FallbackTasks int64 `json:"fallback_tasks"`
 	LaneCells     int64 `json:"lane_cells"`
@@ -65,6 +68,8 @@ type MetricsSummary struct {
 	TotalCacheMisses int64   `json:"total_cache_misses"`
 	TotalIntraBytes  int64   `json:"total_intra_bytes"`
 	TotalInterBytes  int64   `json:"total_inter_bytes"`
+	TotalGraphFetch  int64   `json:"total_graph_fetches"`
+	TotalGraphCoal   int64   `json:"total_graph_coalesced"`
 	TotalSWARTasks   int64   `json:"total_swar_tasks"`
 	TotalFallback    int64   `json:"total_fallback_tasks"`
 	LaneOccupancy    float64 `json:"lane_occupancy"`
@@ -113,6 +118,8 @@ func Summarize(rows []RankMetrics) MetricsSummary {
 		s.TotalCacheMisses += r.CacheMisses
 		s.TotalIntraBytes += r.IntraBytes
 		s.TotalInterBytes += r.InterBytes
+		s.TotalGraphFetch += r.GraphFetches
+		s.TotalGraphCoal += r.GraphCoalesced
 		s.TotalSWARTasks += r.SWARTasks
 		s.TotalFallback += r.FallbackTasks
 		laneCells += r.LaneCells
@@ -137,6 +144,7 @@ var metricsHeader = []string{
 	"trace_events", "trace_events_dropped",
 	"cache_hits", "cache_misses", "cache_evictions", "cache_pinned_peak_bytes",
 	"intra_bytes", "inter_bytes",
+	"graph_fetches", "graph_coalesced",
 	"swar_tasks", "fallback_tasks", "lane_cells", "lane_slots",
 }
 
@@ -157,6 +165,7 @@ func (r RankMetrics) record() []string {
 		strconv.FormatInt(r.CacheHits, 10), strconv.FormatInt(r.CacheMisses, 10),
 		strconv.FormatInt(r.CacheEvicts, 10), strconv.FormatInt(r.CachePinned, 10),
 		strconv.FormatInt(r.IntraBytes, 10), strconv.FormatInt(r.InterBytes, 10),
+		strconv.FormatInt(r.GraphFetches, 10), strconv.FormatInt(r.GraphCoalesced, 10),
 		strconv.FormatInt(r.SWARTasks, 10), strconv.FormatInt(r.FallbackTasks, 10),
 		strconv.FormatInt(r.LaneCells, 10), strconv.FormatInt(r.LaneSlots, 10),
 	}

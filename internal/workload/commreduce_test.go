@@ -7,6 +7,7 @@ package workload_test
 
 import (
 	"flag"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -14,8 +15,12 @@ import (
 	"gnbody/internal/core"
 	"gnbody/internal/dist"
 	"gnbody/internal/expt"
+	"gnbody/internal/genome"
+	"gnbody/internal/graph"
 	"gnbody/internal/partition"
+	"gnbody/internal/pipeline"
 	"gnbody/internal/rt"
+	"gnbody/internal/seq"
 	"gnbody/internal/sim"
 	"gnbody/internal/workload"
 )
@@ -184,6 +189,164 @@ func runDistBSP(t testing.TB, w *workload.Workload, p, nodeSize int, noAgg bool)
 	return hits, intra, inter
 }
 
+// runPlacedTwoPass executes the paper-style two-pass BSP pipeline (candidate
+// pass + re-extension pass, optional persistent cache) over a loopback dist
+// world under a rank→slot placement, and reduces the tier byte counters.
+func runPlacedTwoPass(t testing.TB, w *workload.Workload, p, nodeSize int, pl []int,
+	cacheBudget int64, noAgg bool) (hits []core.Hit, intra, inter int64) {
+	t.Helper()
+	lensInt := make([]int, len(w.Lens))
+	for i, l := range w.Lens {
+		lensInt[i] = int(l)
+	}
+	pt, err := partition.BySize(lensInt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRank := partition.AssignTasks(w.Tasks, pt)
+	world, err := dist.NewWorld(dist.Config{P: p, NodeSize: nodeSize,
+		Placement: pl, NoAggregation: noAgg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	exec := core.ModelExecutor{Model: align.DefaultCostModel(), Meta: w.Meta()}
+	results := make([]*core.Result, p)
+	errs := make([]error, p)
+	if err := world.Run(func(r rt.Runtime) {
+		in := &core.Input{Part: pt, Lens: w.Lens, Tasks: byRank[r.Rank()],
+			Codec: core.PhantomCodec{Lens: w.Lens}}
+		cfg := core.Config{Exec: exec, MinScore: 1}
+		if cacheBudget != 0 {
+			cfg.Cache = core.NewReadCache(cacheBudget) // persists across both passes
+		}
+		pass1, err1 := core.RunBSP(r, in, cfg)
+		pass2, err2 := core.RunBSP(r, in, cfg)
+		results[r.Rank()] = pass1
+		if err1 != nil {
+			errs[r.Rank()] = err1
+		} else if err2 != nil {
+			errs[r.Rank()] = err2
+		} else if len(pass1.Hits) != len(pass2.Hits) {
+			errs[r.Rank()] = fmt.Errorf("pass hit counts diverged: %d vs %d",
+				len(pass1.Hits), len(pass2.Hits))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for rk := 0; rk < p; rk++ {
+		if errs[rk] != nil {
+			t.Fatalf("rank %d: %v", rk, errs[rk])
+		}
+		hits = append(hits, results[rk].Hits...)
+		intra += world.Metrics(rk).IntraBytes
+		inter += world.Metrics(rk).InterBytes
+	}
+	core.SortHits(hits)
+	return hits, intra, inter
+}
+
+// placementStudyWorkload builds the frozen placement acceptance workload
+// (DESIGN.md §17): E. coli 30x at the reduced study density, genome-block
+// scattered so consecutive-rank grouping is pessimal, still Zipf-skewed.
+func placementStudyWorkload(t testing.TB, p int) *workload.Workload {
+	t.Helper()
+	w, err := expt.PlacementWorkload(workload.EColi30x, 40, 3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts := workload.SortedTaskCounts(w); counts[0] < 8 {
+		t.Fatalf("placement workload not skewed enough: max read degree %d, want >= 8", counts[0])
+	}
+	return w
+}
+
+// TestPlacementCommReductionSkewed pins the topology-aware placement
+// acceptance number: on the scattered Zipf-skewed two-pass workload with 8
+// ranks in nodes of 4, the traffic-aware placement must cut measured
+// cross-node bytes by at least 25% against identity, with byte-identical
+// hits — placement only regroups ranks, it never moves work or payload.
+func TestPlacementCommReductionSkewed(t *testing.T) {
+	const p, ns = 8, 4
+	w := placementStudyWorkload(t, p)
+	lensInt := make([]int, len(w.Lens))
+	for i, l := range w.Lens {
+		lensInt[i] = int(l)
+	}
+	pt, err := partition.BySize(lensInt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRank := partition.AssignTasks(w.Tasks, pt)
+	pairs := partition.TrafficMatrix(byRank, pt, w.Lens)
+	pl := partition.PlaceByTraffic(pairs, p, ns)
+	identity := true
+	for q, s := range pl {
+		identity = identity && q == s
+	}
+	if identity {
+		t.Fatal("traffic-aware placement degenerated to identity; acceptance is vacuous")
+	}
+
+	idHits, idIntra, idInter := runPlacedTwoPass(t, w, p, ns, nil, 0, false)
+	trHits, trIntra, trInter := runPlacedTwoPass(t, w, p, ns, pl, 0, false)
+	if !reflect.DeepEqual(idHits, trHits) {
+		t.Errorf("placement changed hits: %d vs %d", len(trHits), len(idHits))
+	}
+	if idIntra == 0 || idInter == 0 || trIntra == 0 || trInter == 0 {
+		t.Fatalf("tier counters incomplete: id %d/%d tr %d/%d", idIntra, idInter, trIntra, trInter)
+	}
+	if 4*trInter > 3*idInter {
+		t.Errorf("placement cut cross-node bytes only %d -> %d (%.1f%%), want >= 25%%",
+			idInter, trInter, 100*(1-float64(trInter)/float64(idInter)))
+	}
+	t.Logf("placement %v: cross-node bytes %d -> %d (%.1f%% saved)", pl, idInter, trInter,
+		100*(1-float64(trInter)/float64(idInter)))
+}
+
+// TestPlacementCacheCompose: placement composes with the remote-read cache
+// without double-counting tier bytes. Under NoAggregation every rank sends
+// the identical direct frames whatever the placement — only the
+// intra/inter classification of each frame moves — so the *total* wire
+// bytes must match exactly across placements while the split shifts, with
+// the persistent cache live across both passes and hits unchanged.
+func TestPlacementCacheCompose(t *testing.T) {
+	const p, ns = 8, 4
+	w := placementStudyWorkload(t, p)
+	lensInt := make([]int, len(w.Lens))
+	for i, l := range w.Lens {
+		lensInt[i] = int(l)
+	}
+	pt, err := partition.BySize(lensInt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRank := partition.AssignTasks(w.Tasks, pt)
+	pl := partition.PlaceByTraffic(partition.TrafficMatrix(byRank, pt, w.Lens), p, ns)
+	reversed := make([]int, p)
+	for q := range reversed {
+		reversed[q] = p - 1 - q
+	}
+
+	idHits, idIntra, idInter := runPlacedTwoPass(t, w, p, ns, nil, -1, true)
+	for name, perm := range map[string][]int{"traffic": pl, "reversed": reversed} {
+		hits, intra, inter := runPlacedTwoPass(t, w, p, ns, perm, -1, true)
+		if !reflect.DeepEqual(idHits, hits) {
+			t.Errorf("%s: placement changed hits under cache: %d vs %d", name, len(hits), len(idHits))
+		}
+		if intra+inter != idIntra+idInter {
+			t.Errorf("%s: total wire bytes moved: %d+%d != %d+%d (placement must only reclassify)",
+				name, intra, inter, idIntra, idInter)
+		}
+	}
+	// The traffic-aware split must actually move (reversed keeps the same
+	// groups at p=8/ns=4: {7..4}{3..0} is the identity grouping).
+	_, trIntra, _ := runPlacedTwoPass(t, w, p, ns, pl, -1, true)
+	if trIntra == idIntra {
+		t.Errorf("traffic placement did not shift the tier split (intra stayed %d)", idIntra)
+	}
+}
+
 // TestHierCommReductionSkewed pins the other half of the exchange: with 8
 // ranks in 2 nodes of 4, node-local combining must move strictly fewer
 // bytes across the node boundary than the flat pairwise exchange, with
@@ -230,4 +393,66 @@ func BenchmarkCommExchange(b *testing.B) {
 		b.ReportMetric(float64(inter), "interbytes/op")
 		b.ReportMetric(float64(intra), "intrabytes/op")
 	})
+	b.Run("dist-assembly", func(b *testing.B) {
+		noAgg := *benchCacheBudget == 0 // baseline run: flat exchange
+		var intra, inter, fetches, coal int64
+		for i := 0; i < b.N; i++ {
+			intra, inter, fetches, coal = runDistAssembly(b, noAgg)
+		}
+		b.ReportMetric(float64(inter), "interbytes/op")
+		b.ReportMetric(float64(intra), "intrabytes/op")
+		b.ReportMetric(float64(fetches), "graphfetches/op")
+		b.ReportMetric(float64(coal), "graphcoalesced/op")
+	})
+}
+
+// runDistAssembly runs the full staged chain — discover, align, string
+// graph, transitive reduction, contigs — on an 8-rank dist world in nodes
+// of 4, so bench-comm records the assembly stages' tier byte split and the
+// neighbour-fetch coalescing counters alongside the overlap phase's.
+func runDistAssembly(t testing.TB, noAgg bool) (intra, inter, fetches, coal int64) {
+	t.Helper()
+	const p, ns = 8, 4
+	g := genome.Generate(genome.Config{Length: 30000, Seed: 11})
+	smp, err := genome.NewSampler(g, genome.ReadConfig{
+		Coverage: 8, MeanLen: 600, SigmaLog: 0.15, BothStrands: true, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, _ := smp.Sample()
+	lens := workload.LensOf(reads)
+	plan, err := pipeline.NewPlan(lens, p, pipeline.Spec{K: 15, Lo: 2, Hi: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Stages = []pipeline.Stage{
+		pipeline.DiscoverStage{},
+		pipeline.AlignStage{MinScore: 100,
+			Exec: core.RealExecutor{Scoring: align.DefaultScoring(), X: 20}},
+	}
+	plan.Stages = append(plan.Stages, graph.AssemblyStages(0, 0, 0, "bsp", nil)...)
+	world, err := dist.NewWorld(dist.Config{P: p, NodeSize: ns, NoAggregation: noAgg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer world.Close()
+	errs := make([]error, p)
+	if err := world.Run(func(r rt.Runtime) {
+		lo, hi := plan.Part.Range(r.Rank())
+		st := seq.Scope(reads, lo, hi, lens)
+		_, errs[r.Rank()] = plan.RunStages(r, st, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for rk := 0; rk < p; rk++ {
+		if errs[rk] != nil {
+			t.Fatalf("rank %d: %v", rk, errs[rk])
+		}
+		m := world.Metrics(rk)
+		intra += m.IntraBytes
+		inter += m.InterBytes
+		fetches += m.GraphFetches
+		coal += m.GraphCoalesced
+	}
+	return
 }

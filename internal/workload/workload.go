@@ -295,6 +295,68 @@ func LensOf(rs *seq.ReadSet) []int32 {
 	return out
 }
 
+// ScatterGenomeBlocks returns a copy of w with reads relabeled so that
+// genomic neighbourhoods concentrate on scattered rank-label pairs: the
+// position-sorted read sequence is cut into p blocks, and consecutive
+// genome blocks 2k and 2k+1 are assigned the distant label blocks k and
+// k+⌈p/2⌉. Under a p-rank contiguous partition, each rank then co-owns a
+// genome segment with exactly one far-away partner rank, so the overlap
+// traffic clusters on ⌊p/2⌋ heavy rank pairs that a consecutive node
+// grouping always splits — the regime topology-aware placement
+// (partition.PlaceByTraffic, DESIGN.md §17) is built for. It models
+// inputs with genomic locality whose load order scatters neighbourhoods
+// across rank labels (interleaved lanes, merged runs). Deterministic;
+// task semantics are untouched (labels permute, overlaps don't).
+func ScatterGenomeBlocks(w *Workload, p int) *Workload {
+	n := len(w.Lens)
+	if p < 2 || n < p {
+		p = 1
+	}
+	// Position-sorted view of the reads.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return w.Truth[order[i]].Start < w.Truth[order[j]].Start
+	})
+	// Label block k covers [k*n/p, (k+1)*n/p); genome block g feeds label
+	// block sigma(g), pairing consecutive genome blocks with far labels.
+	half := (p + 1) / 2
+	sigma := func(g int) int {
+		if g/2 >= p/2 {
+			return p / 2 // odd p: the unpaired tail block takes the middle label
+		}
+		if g%2 == 0 {
+			return g / 2
+		}
+		return g/2 + half
+	}
+	newID := make([]seq.ReadID, n)
+	pos := 0
+	for g := 0; g < p; g++ {
+		k := sigma(g)
+		lo, hi := k*n/p, (k+1)*n/p
+		for id := lo; id < hi; id++ {
+			newID[order[pos]] = seq.ReadID(id)
+			pos++
+		}
+	}
+	out := &Workload{Preset: w.Preset, Scale: w.Scale,
+		Lens:      make([]int32, n),
+		Tasks:     make([]overlap.Task, len(w.Tasks)),
+		Truth:     make([]genome.SampledRead, n),
+		TrueTasks: w.TrueTasks, FalseTasks: w.FalseTasks}
+	for old, id := range newID {
+		out.Lens[id] = w.Lens[old]
+		out.Truth[id] = w.Truth[old]
+	}
+	for i, t := range w.Tasks {
+		out.Tasks[i] = overlap.Task{A: newID[t.A], B: newID[t.B], Seed: t.Seed}
+	}
+	return out
+}
+
 // SortedTaskCounts returns per-read task participation counts, sorted
 // descending — the skew view used in reporting.
 func SortedTaskCounts(w *Workload) []int {
